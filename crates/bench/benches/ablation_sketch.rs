@@ -1,0 +1,48 @@
+//! Ablation A3 bench: the §5.2 sum-sketch insertion — the paper's
+//! literal per-element loop vs the exact binomial-splitting fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pov_core::pov_sketch::FmSketch;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sketch_sum_insert");
+    for &m in &[100u64, 1_000, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut s = FmSketch::new(8);
+                s.insert_elements(m, &mut rng);
+                black_box(s)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fast", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut s = FmSketch::new(8);
+                s.insert_elements_fast(m, &mut rng);
+                black_box(s)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sketch_merge");
+    for &c_reps in &[4usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("merge", c_reps), &c_reps, |b, &c_reps| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut a = FmSketch::new(c_reps);
+            let mut bb = FmSketch::new(c_reps);
+            a.insert_elements(500, &mut rng);
+            bb.insert_elements(500, &mut rng);
+            b.iter(|| black_box(a.clone().merged(&bb)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

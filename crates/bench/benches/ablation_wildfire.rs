@@ -1,0 +1,65 @@
+//! Ablation A1/A2 bench: WILDFIRE with each §5.3 optimization toggled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pov_core::pov_protocols::wildfire::WildfireOpts;
+use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_core::pov_topology::analysis;
+use pov_core::pov_topology::generators::TopologyKind;
+use pov_core::workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wildfire");
+    group.sample_size(10);
+    let n = 2_000;
+    let graph = TopologyKind::Random.build(n, 99);
+    let values = workload::paper_values(n, 98);
+    let d = analysis::diameter_estimate(&graph, 4, 1);
+    let cfg = RunConfig::new(Aggregate::Count, d + 2);
+    let variants = [
+        (
+            "none",
+            WildfireOpts {
+                early_deadline: false,
+                piggyback: false,
+            },
+        ),
+        (
+            "early_deadline",
+            WildfireOpts {
+                early_deadline: true,
+                piggyback: false,
+            },
+        ),
+        (
+            "piggyback",
+            WildfireOpts {
+                early_deadline: false,
+                piggyback: true,
+            },
+        ),
+        (
+            "both",
+            WildfireOpts {
+                early_deadline: true,
+                piggyback: true,
+            },
+        ),
+    ];
+    for (label, opts) in variants {
+        group.bench_with_input(BenchmarkId::new("opts", label), &opts, |b, opts| {
+            b.iter(|| {
+                black_box(runner::run(
+                    ProtocolKind::Wildfire(*opts),
+                    &graph,
+                    &values,
+                    &cfg,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Extension bench (§7 future work): the cost of richer duplicate-
+//! insensitive operators riding WILDFIRE — FM count vs KMV count vs a
+//! full value histogram — plus the gossip baseline for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pov_core::pov_protocols::runner::{self, run_wildfire_operator};
+use pov_core::pov_protocols::wildfire::WildfireOpts;
+use pov_core::pov_protocols::{Aggregate, Operator, ProtocolKind, RunConfig};
+use pov_core::pov_topology::analysis;
+use pov_core::pov_topology::generators::TopologyKind;
+use pov_core::workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_operators");
+    group.sample_size(10);
+    let n = 1_500;
+    let graph = TopologyKind::Gnutella.build(n, 23);
+    let values = workload::paper_values(n, 24);
+    let d = analysis::diameter_estimate(&graph, 4, 1);
+    let cfg = RunConfig {
+        c: 8,
+        ..RunConfig::new(Aggregate::Count, d + 2)
+    };
+    let operators = [
+        ("fm_count", Operator::Standard),
+        ("kmv_count_k64", Operator::KmvCount { k: 64 }),
+        (
+            "histogram_10_buckets",
+            Operator::ValueHistogram {
+                min: workload::PAPER_MIN,
+                max: workload::PAPER_MAX,
+                buckets: 10,
+            },
+        ),
+    ];
+    for (label, op) in operators {
+        group.bench_with_input(BenchmarkId::new("wildfire", label), &op, |b, op| {
+            b.iter(|| {
+                black_box(run_wildfire_operator(
+                    *op,
+                    WildfireOpts::default(),
+                    &graph,
+                    &values,
+                    &cfg,
+                ))
+            });
+        });
+    }
+    group.bench_function("gossip_120_rounds/avg", |b| {
+        let cfg = RunConfig {
+            c: 8,
+            ..RunConfig::new(Aggregate::Average, d + 2)
+        };
+        b.iter(|| {
+            black_box(runner::run(
+                ProtocolKind::Gossip { rounds: 120 },
+                &graph,
+                &values,
+                &cfg,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig 6 bench: the duplicate-insensitive count/sum operator sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pov_core::experiments::fig06;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_sketch_accuracy");
+    group.sample_size(10);
+    for &m in &[1u64 << 10, 1 << 12] {
+        let cfg = fig06::Config {
+            set_sizes: vec![m],
+            c_values: vec![8],
+            trials: 3,
+            seed: 2004,
+        };
+        group.bench_with_input(BenchmarkId::new("count_and_sum", m), &cfg, |b, cfg| {
+            b.iter(|| black_box(fig06::run(cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig 8 bench: the validity sweep (declared value vs departures R)
+//! for the Sum query on the Gnutella topology at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pov_core::experiments::validity;
+use pov_core::pov_protocols::Aggregate;
+use pov_core::pov_topology::generators::TopologyKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_sum_gnutella");
+    group.sample_size(10);
+    let cfg = validity::Config {
+        trials: 2,
+        ..validity::Config::smoke(TopologyKind::Gnutella, Aggregate::Sum, 800)
+    };
+    group.bench_function("sweep", |b| {
+        b.iter(|| black_box(validity::run(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig 10 bench: communication cost of each protocol on Random
+//! topologies. The per-protocol cost is the figure; the wall-time is the
+//! Criterion measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pov_core::pov_protocols::allreport::ReportRouting;
+use pov_core::pov_protocols::wildfire::WildfireOpts;
+use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_core::pov_topology::analysis;
+use pov_core::pov_topology::generators::TopologyKind;
+use pov_core::workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_comm_random");
+    group.sample_size(10);
+    let n = 2_000;
+    let graph = TopologyKind::Random.build(n, 10);
+    let values = workload::paper_values(n, 99);
+    let d = analysis::diameter_estimate(&graph, 4, 1);
+    let cfg = RunConfig::new(Aggregate::Count, d + 2);
+    let contestants = [
+        ("wildfire", ProtocolKind::Wildfire(WildfireOpts::default())),
+        ("spanning_tree", ProtocolKind::SpanningTree),
+        ("dag_k2", ProtocolKind::Dag { k: 2 }),
+        ("allreport", ProtocolKind::AllReport(ReportRouting::Direct)),
+    ];
+    for (label, kind) in contestants {
+        group.bench_with_input(BenchmarkId::new("count", label), &kind, |b, kind| {
+            b.iter(|| black_box(runner::run(*kind, &graph, &values, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig 11 bench: radio-medium communication cost on the sensor grid,
+//! per aggregate (count vs max vs min — early aggregation at work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pov_core::pov_protocols::wildfire::WildfireOpts;
+use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_core::pov_sim::Medium;
+use pov_core::pov_topology::analysis;
+use pov_core::pov_topology::generators;
+use pov_core::workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_comm_grid");
+    group.sample_size(10);
+    let graph = generators::grid_square(40);
+    let values = workload::paper_values(graph.num_hosts(), 11);
+    let d = analysis::diameter_estimate(&graph, 2, 1);
+    for aggregate in [Aggregate::Count, Aggregate::Max, Aggregate::Min] {
+        let cfg = RunConfig {
+            medium: Medium::Radio,
+            ..RunConfig::new(aggregate, d + 2)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("wildfire_radio", aggregate.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(runner::run(
+                        ProtocolKind::Wildfire(WildfireOpts::default()),
+                        &graph,
+                        &values,
+                        cfg,
+                    ))
+                });
+            },
+        );
+    }
+    let cfg = RunConfig {
+        medium: Medium::Radio,
+        ..RunConfig::new(Aggregate::Count, d + 2)
+    };
+    group.bench_function("spanning_tree_radio/count", |b| {
+        b.iter(|| {
+            black_box(runner::run(
+                ProtocolKind::SpanningTree,
+                &graph,
+                &values,
+                &cfg,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

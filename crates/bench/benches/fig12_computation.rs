@@ -1,0 +1,23 @@
+//! Fig 12 bench: the computation-cost-distribution measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pov_core::experiments::fig12;
+use pov_core::pov_topology::generators::TopologyKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_computation");
+    group.sample_size(10);
+    let cfg = fig12::Config {
+        topologies: vec![(TopologyKind::PowerLaw, 1_500), (TopologyKind::Grid, 900)],
+        c: 8,
+        seed: 12,
+    };
+    group.bench_function("distribution", |b| {
+        b.iter(|| black_box(fig12::run(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig 13 bench: time-cost sweep (a) and the per-tick message profile (b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pov_core::experiments::fig13;
+use pov_core::pov_topology::generators::TopologyKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_time");
+    group.sample_size(10);
+    let cfg = fig13::Config {
+        sizes: vec![1_000],
+        d_hat_multipliers: vec![1, 2, 4],
+        profile_topologies: vec![(TopologyKind::Random, 1_000), (TopologyKind::Grid, 900)],
+        c: 8,
+        seed: 13,
+    };
+    group.bench_function("time_cost_sweep", |b| {
+        b.iter(|| black_box(fig13::run_time_cost(&cfg)));
+    });
+    group.bench_function("per_tick_profile", |b| {
+        b.iter(|| black_box(fig13::run_profile(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! `repro` — regenerate every table and figure of the paper's §6.
+//!
+//! ```sh
+//! repro                  # all experiments at quick scale
+//! repro --paper          # all experiments at the paper's full sizes
+//! repro fig6 fig13b      # a subset
+//! repro list             # what exists
+//! ```
+
+use pov_bench::Scale;
+use pov_core::experiments::{
+    ablation, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
+};
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "price",
+    "ablation", "ext",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.contains(&"list") {
+        println!("experiments: {}", ALL.join(" "));
+        return;
+    }
+    if wanted.is_empty() {
+        wanted = ALL.to_vec();
+    }
+
+    println!(
+        "# The Price of Validity — reproduction harness ({:?} scale)\n",
+        scale
+    );
+    for name in wanted {
+        let start = Instant::now();
+        match name {
+            "fig6" => {
+                let cfg = scale.fig06();
+                println!("{}", fig06::table(&fig06::run(&cfg)));
+            }
+            "fig7" => {
+                let cfg = scale.fig07();
+                println!("{}", validity::table(&cfg, &validity::run(&cfg)));
+            }
+            "fig8" => {
+                let cfg = scale.fig08();
+                println!("{}", validity::table(&cfg, &validity::run(&cfg)));
+            }
+            "fig9" => {
+                let cfg = scale.fig09();
+                println!("{}", validity::table(&cfg, &validity::run(&cfg)));
+            }
+            "fig10" => {
+                let cfg = scale.fig10();
+                let rows = fig10::run(&cfg);
+                println!("{}", fig10::table(&rows));
+                println!("WILDFIRE/SPANNINGTREE message ratios:");
+                for (topo, n, ratio) in fig10::price_ratios(&rows) {
+                    println!("  {topo:<10} |H|={n:<6} {ratio:.2}x");
+                }
+                println!();
+            }
+            "fig11" => {
+                let cfg = scale.fig11();
+                println!("{}", fig11::table(&fig11::run(&cfg)));
+            }
+            "fig12" => {
+                let cfg = scale.fig12();
+                let rows = fig12::run(&cfg);
+                println!("{}", fig12::table(&rows));
+                println!("max computation-cost ratios (WILDFIRE/SPANNINGTREE):");
+                for (topo, ratio) in fig12::max_ratios(&rows) {
+                    println!("  {topo:<10} {ratio:.1}x");
+                }
+                println!();
+            }
+            "fig13a" => {
+                let cfg = scale.fig13();
+                println!("{}", fig13::time_table(&fig13::run_time_cost(&cfg)));
+            }
+            "fig13b" => {
+                let cfg = scale.fig13();
+                let profiles = fig13::run_profile(&cfg);
+                println!("{}", fig13::profile_table(&profiles));
+                for p in &profiles {
+                    let series: Vec<String> =
+                        p.sent_per_tick.iter().map(|c| c.to_string()).collect();
+                    println!("  {} per-tick: [{}]", p.topology, series.join(", "));
+                }
+                println!();
+            }
+            "price" => {
+                let cfg = scale.price();
+                println!("{}", price::table(&price::run(&cfg)));
+            }
+            "ablation" => {
+                let cfg = scale.ablation();
+                println!("{}", ablation::table(&ablation::run(&cfg)));
+            }
+            "ext" => {
+                let cfg = match scale {
+                    Scale::Paper => ext_accuracy::Config::paper(),
+                    Scale::Quick => ext_accuracy::Config {
+                        n: 20_000,
+                        ..ext_accuracy::Config::paper()
+                    },
+                };
+                println!("{}", ext_accuracy::table(&cfg, &ext_accuracy::run(&cfg)));
+            }
+            other => {
+                eprintln!("unknown experiment '{other}' (try: repro list)");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{name} done in {:.1?}]\n", start.elapsed());
+    }
+}

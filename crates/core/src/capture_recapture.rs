@@ -1,0 +1,269 @@
+//! Continuous approximate network-size estimation by capture–recapture
+//! (§5.4).
+//!
+//! The paper views a dynamic network as an *evolving ecology* and applies
+//! the Jolly–Seber model for open populations: maintain a set of *marked*
+//! hosts `M_t` (hosts sampled previously and verified alive by probing),
+//! sample `N_t` fresh random hosts each period, count the recaptures
+//! `m_t = |M_t ∩ N_t|`, and estimate
+//!
+//! ```text
+//! Ĥ_t = |M_t| · |N_t| / m_t
+//! ```
+//!
+//! The scheme assumes (1) uniform sampling, (2) instantaneous sampling
+//! relative to host lifetimes, and (3) memoryless departures — all three
+//! stated in §5.4. [`PopulationModel`] below satisfies them by
+//! construction, providing the black-box "return `s` random alive hosts"
+//! operation the paper requires.
+
+use pov_topology::HostId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An open population with memoryless departures and Poisson-ish
+/// arrivals — the §5.4 ecology, decoupled from any particular overlay.
+#[derive(Clone, Debug)]
+pub struct PopulationModel {
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Per-step departure probability (assumption 3: identical for all).
+    leave_prob: f64,
+    /// Expected joins per step.
+    join_rate: f64,
+    rng: SmallRng,
+}
+
+impl PopulationModel {
+    /// A population of `n` hosts with the given churn parameters.
+    pub fn new(n: usize, leave_prob: f64, join_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&leave_prob), "probability range");
+        PopulationModel {
+            alive: vec![true; n],
+            alive_count: n,
+            leave_prob,
+            join_rate,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current population size `|H_t|` (the quantity to estimate).
+    pub fn size(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Whether a host is currently alive (the probe primitive; §5.4
+    /// maintains `M_t` by probing candidates).
+    pub fn is_alive(&self, h: HostId) -> bool {
+        self.alive.get(h.index()).copied().unwrap_or(false)
+    }
+
+    /// Advance one period: every host departs independently with
+    /// `leave_prob`; `~join_rate` new hosts arrive.
+    pub fn step(&mut self) {
+        for i in 0..self.alive.len() {
+            if self.alive[i] && self.rng.gen_bool(self.leave_prob) {
+                self.alive[i] = false;
+                self.alive_count -= 1;
+            }
+        }
+        // Integer part plus Bernoulli remainder keeps the expectation.
+        let whole = self.join_rate.floor() as usize;
+        let frac = self.join_rate - self.join_rate.floor();
+        let joins = whole + usize::from(frac > 0.0 && self.rng.gen_bool(frac));
+        for _ in 0..joins {
+            self.alive.push(true);
+            self.alive_count += 1;
+        }
+    }
+
+    /// Uniform sample of `s` distinct alive hosts (assumptions 1–2).
+    pub fn sample(&mut self, s: usize) -> Vec<HostId> {
+        let alive: Vec<HostId> = self
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| HostId(i as u32))
+            .collect();
+        let mut idx: Vec<usize> = (0..alive.len()).collect();
+        let take = s.min(alive.len());
+        let mut out = Vec::with_capacity(take);
+        for i in 0..take {
+            let j = self.rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+            out.push(alive[idx[i]]);
+        }
+        out
+    }
+}
+
+/// The Jolly–Seber estimator state at the querying host.
+#[derive(Clone, Debug)]
+pub struct JollySeber {
+    /// Marked hosts `M_t` (alive as of the last probe round).
+    marked: Vec<HostId>,
+    /// Last period's fresh sample `N_{t-1}`, merged into the mark pool
+    /// next period (§5.4: `M'_t = M_{t−1} ∪ N_{t−1}`).
+    last_sample: Vec<HostId>,
+    /// Fresh hosts sampled per period.
+    sample_size: usize,
+    /// Cap on the marked pool (§5.4: "If the set M_t grows more than
+    /// required, hq can arbitrarily remove hosts").
+    max_marked: usize,
+    /// Probe + sample messages spent so far (2 per probe: ping/ack).
+    pub messages: u64,
+}
+
+/// One period's estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeEstimate {
+    /// `Ĥ_t`, if any recaptures occurred.
+    pub estimate: Option<f64>,
+    /// `|M_t|` after probing.
+    pub marked: usize,
+    /// Recaptures `m_t`.
+    pub recaptured: usize,
+}
+
+impl JollySeber {
+    /// A fresh estimator sampling `sample_size` hosts per period and
+    /// keeping at most `max_marked` marked hosts.
+    pub fn new(sample_size: usize, max_marked: usize) -> Self {
+        assert!(sample_size >= 1, "need a positive sample size");
+        JollySeber {
+            marked: Vec::new(),
+            last_sample: Vec::new(),
+            sample_size,
+            max_marked,
+            messages: 0,
+        }
+    }
+
+    /// Run one period against the population: merge last period's sample
+    /// into the candidate mark set, probe the candidates, draw a fresh
+    /// sample, count recaptures, estimate. The first period only marks
+    /// (`M_1 = ∅` in the paper; estimation begins at the second).
+    pub fn observe(&mut self, pop: &mut PopulationModel) -> SizeEstimate {
+        // M'_t = M_{t−1} ∪ N_{t−1}, then probe all candidates.
+        let mut candidates = std::mem::take(&mut self.marked);
+        candidates.append(&mut self.last_sample);
+        candidates.sort_unstable();
+        candidates.dedup();
+        self.messages += 2 * candidates.len() as u64; // ping + ack each
+        candidates.retain(|&h| pop.is_alive(h));
+        candidates.truncate(self.max_marked);
+        self.marked = candidates;
+
+        let sample = pop.sample(self.sample_size);
+        self.messages += sample.len() as u64; // one reply per sampled host
+        let recaptured = sample
+            .iter()
+            .filter(|h| self.marked.binary_search(h).is_ok())
+            .count();
+        let estimate = if recaptured > 0 && !self.marked.is_empty() {
+            Some(self.marked.len() as f64 * sample.len() as f64 / recaptured as f64)
+        } else {
+            None
+        };
+        let result = SizeEstimate {
+            estimate,
+            marked: self.marked.len(),
+            recaptured,
+        };
+        self.last_sample = sample;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_population_estimate_converges() {
+        let mut pop = PopulationModel::new(10_000, 0.0, 0.0, 1);
+        let mut js = JollySeber::new(400, 4_000);
+        let mut estimates = Vec::new();
+        for _ in 0..12 {
+            if let Some(e) = js.observe(&mut pop).estimate {
+                estimates.push(e);
+            }
+        }
+        assert!(estimates.len() >= 8, "should estimate most periods");
+        let mean: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        assert!(
+            (7_000.0..14_000.0).contains(&mean),
+            "mean estimate {mean} for 10000"
+        );
+    }
+
+    #[test]
+    fn first_period_has_no_estimate() {
+        let mut pop = PopulationModel::new(1_000, 0.0, 0.0, 2);
+        let mut js = JollySeber::new(100, 1_000);
+        let first = js.observe(&mut pop);
+        assert!(first.estimate.is_none());
+        assert_eq!(first.marked, 0);
+    }
+
+    #[test]
+    fn tracks_shrinking_population() {
+        let mut pop = PopulationModel::new(8_000, 0.05, 0.0, 3);
+        let mut js = JollySeber::new(500, 4_000);
+        let mut last_estimates = Vec::new();
+        for t in 0..25 {
+            pop.step();
+            if let Some(e) = js.observe(&mut pop).estimate {
+                if t >= 20 {
+                    last_estimates.push((e, pop.size()));
+                }
+            }
+        }
+        assert!(!last_estimates.is_empty());
+        for (e, truth) in last_estimates {
+            assert!(
+                e > 0.2 * truth as f64 && e < 5.0 * truth as f64,
+                "estimate {e} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn population_with_joins_grows_index_space() {
+        let mut pop = PopulationModel::new(100, 0.0, 5.0, 4);
+        pop.step();
+        assert_eq!(pop.size(), 105);
+        assert!(pop.is_alive(HostId(104)));
+    }
+
+    #[test]
+    fn dead_hosts_leave_marked_pool() {
+        let mut pop = PopulationModel::new(50, 0.0, 0.0, 5);
+        let mut js = JollySeber::new(50, 100);
+        js.observe(&mut pop); // everyone sampled and (next round) marked
+                              // Kill everything; the probe round must empty the pool.
+        let mut dead = PopulationModel::new(50, 1.0, 0.0, 6);
+        dead.step();
+        let e = js.observe(&mut dead);
+        assert_eq!(e.marked, 0);
+        assert!(e.estimate.is_none());
+    }
+
+    #[test]
+    fn message_cost_accrues() {
+        let mut pop = PopulationModel::new(1_000, 0.0, 0.0, 7);
+        let mut js = JollySeber::new(100, 500);
+        js.observe(&mut pop);
+        let after_one = js.messages;
+        assert_eq!(after_one, 100); // first period: sample only
+        js.observe(&mut pop);
+        assert!(js.messages > after_one, "probing must cost messages");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sample size")]
+    fn rejects_zero_sample() {
+        JollySeber::new(0, 10);
+    }
+}

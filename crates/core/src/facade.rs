@@ -1,0 +1,334 @@
+//! High-level façade: build a network, issue a query, get a judged
+//! answer. The experiment drivers use the lower-level crates directly;
+//! this is the API a downstream user starts from.
+
+use crate::workload;
+use pov_oracle::{host_sets, Verdict};
+use pov_protocols::allreport::ReportRouting;
+use pov_protocols::wildfire::WildfireOpts;
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_sim::{ChurnPlan, Medium, Metrics, Time};
+use pov_topology::generators::TopologyKind;
+use pov_topology::{analysis, Graph, HostId};
+
+/// The protocols exposed through the façade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// ALLREPORT with direct (underlay) report delivery.
+    AllReport,
+    /// SPANNINGTREE (TAG-style tree convergecast).
+    SpanningTree,
+    /// DIRECTEDACYCLICGRAPH with 2 parents.
+    Dag2,
+    /// DIRECTEDACYCLICGRAPH with 3 parents.
+    Dag3,
+    /// WILDFIRE with both §5.3 optimizations.
+    Wildfire,
+}
+
+impl Protocol {
+    fn kind(self) -> ProtocolKind {
+        match self {
+            Protocol::AllReport => ProtocolKind::AllReport(ReportRouting::Direct),
+            Protocol::SpanningTree => ProtocolKind::SpanningTree,
+            Protocol::Dag2 => ProtocolKind::Dag { k: 2 },
+            Protocol::Dag3 => ProtocolKind::Dag { k: 3 },
+            Protocol::Wildfire => ProtocolKind::Wildfire(WildfireOpts::default()),
+        }
+    }
+
+    /// Paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::AllReport => "ALLREPORT",
+            Protocol::SpanningTree => "SPANNINGTREE",
+            Protocol::Dag2 => "DAG(k=2)",
+            Protocol::Dag3 => "DAG(k=3)",
+            Protocol::Wildfire => "WILDFIRE",
+        }
+    }
+}
+
+/// A topology with per-host attribute values and a calibrated
+/// stable-diameter overestimate `D̂`.
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: Graph,
+    values: Vec<u64>,
+    d_hat: u32,
+    seed: u64,
+}
+
+impl Network {
+    /// Build one of the §6.1 topologies with `n` hosts and paper-Zipf
+    /// attribute values. `D̂` is set to the measured diameter plus a
+    /// small slack, mirroring the paper's "overestimate by a reasonably
+    /// small constant" (§4.1).
+    pub fn build(kind: TopologyKind, n: usize, seed: u64) -> Self {
+        let graph = kind.build(n, seed);
+        Self::from_graph(graph, seed)
+    }
+
+    /// Wrap an existing graph, assigning paper-Zipf values.
+    pub fn from_graph(graph: Graph, seed: u64) -> Self {
+        let values = workload::paper_values(graph.num_hosts(), seed ^ 0x5eed_0001);
+        let d = analysis::diameter_estimate(&graph, 4, seed | 1);
+        Network {
+            graph,
+            values,
+            d_hat: d + 2,
+            seed,
+        }
+    }
+
+    /// Wrap a graph with explicit values and `D̂`.
+    pub fn with_values(graph: Graph, values: Vec<u64>, d_hat: u32, seed: u64) -> Self {
+        assert_eq!(graph.num_hosts(), values.len(), "one value per host");
+        Network {
+            graph,
+            values,
+            d_hat,
+            seed,
+        }
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Per-host attribute values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The stable-diameter overestimate used for query deadlines.
+    pub fn d_hat(&self) -> u32 {
+        self.d_hat
+    }
+
+    /// Start describing a query.
+    pub fn query(&self, aggregate: Aggregate) -> QueryBuilder<'_> {
+        QueryBuilder {
+            net: self,
+            aggregate,
+            failures: 0,
+            c: 8,
+            medium: Medium::PointToPoint,
+            hq: HostId(0),
+            seed: self.seed ^ 0xc0ffee,
+        }
+    }
+}
+
+/// Fluent query configuration.
+#[derive(Clone, Debug)]
+pub struct QueryBuilder<'a> {
+    net: &'a Network,
+    aggregate: Aggregate,
+    failures: usize,
+    c: usize,
+    medium: Medium,
+    hq: HostId,
+    seed: u64,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Fail `r` random hosts at a uniform rate during query processing
+    /// (the §6.2 dynamism model).
+    pub fn churn(mut self, r: usize) -> Self {
+        self.failures = r;
+        self
+    }
+
+    /// FM repetitions `c` for sketched aggregates (default 8, per Fig 6).
+    pub fn repetitions(mut self, c: usize) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Choose the communication medium (default point-to-point).
+    pub fn medium(mut self, medium: Medium) -> Self {
+        self.medium = medium;
+        self
+    }
+
+    /// Choose the querying host (default `h0`).
+    pub fn from_host(mut self, hq: HostId) -> Self {
+        self.hq = hq;
+        self
+    }
+
+    /// Per-query seed (default derived from the network seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the query under `protocol` and judge the outcome.
+    pub fn run(&self, protocol: Protocol) -> Answer {
+        let deadline = 2 * self.net.d_hat as u64;
+        let churn = ChurnPlan::uniform_failures(
+            self.net.graph.num_hosts(),
+            self.failures,
+            Time::ZERO,
+            Time(deadline),
+            self.hq,
+            self.seed ^ 0xdead,
+        );
+        let cfg = RunConfig {
+            aggregate: self.aggregate,
+            d_hat: self.net.d_hat,
+            c: self.c,
+            medium: self.medium,
+            churn,
+            seed: self.seed,
+            hq: self.hq,
+        };
+        let outcome = runner::run(protocol.kind(), &self.net.graph, &self.net.values, &cfg);
+        let end = outcome.declared_at.unwrap_or(Time(deadline));
+        let sets = host_sets(&self.net.graph, &outcome.trace, self.hq, Time::ZERO, end);
+        let verdict = Verdict::judge(
+            self.aggregate,
+            &sets,
+            &self.net.values,
+            outcome.value.unwrap_or(f64::NAN),
+        );
+        Answer {
+            value: outcome.value,
+            declared_at: outcome.declared_at,
+            verdict,
+            hc_size: sets.hc_len(),
+            hu_size: sets.hu_len(),
+            metrics: outcome.metrics,
+        }
+    }
+}
+
+/// A declared value together with the oracle's judgement and the run's
+/// cost metrics.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The value `hq` declared (None if `hq` died first).
+    pub value: Option<f64>,
+    /// When it was declared.
+    pub declared_at: Option<Time>,
+    /// The oracle's Single-Site-Validity judgement.
+    pub verdict: Verdict,
+    /// `|HC|` over the query interval.
+    pub hc_size: usize,
+    /// `|HU|` over the query interval.
+    pub hu_size: usize,
+    /// §6.3 cost metrics.
+    pub metrics: Metrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let net = Network::build(TopologyKind::Random, 300, 11);
+        let answer = net.query(Aggregate::Max).run(Protocol::Wildfire);
+        assert!(answer.verdict.is_valid());
+        let truth = *net.values().iter().max().unwrap() as f64;
+        assert_eq!(answer.value, Some(truth));
+    }
+
+    #[test]
+    fn wildfire_valid_under_churn() {
+        let net = Network::build(TopologyKind::Gnutella, 400, 5);
+        for seed in 0..3 {
+            let answer = net
+                .query(Aggregate::Min)
+                .churn(40)
+                .seed(seed)
+                .run(Protocol::Wildfire);
+            assert!(
+                answer.verdict.is_valid(),
+                "seed {seed}: {:?}",
+                answer.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn spanning_tree_exact_without_churn() {
+        let net = Network::build(TopologyKind::Random, 250, 3);
+        let answer = net.query(Aggregate::Sum).run(Protocol::SpanningTree);
+        let truth: u64 = net.values().iter().sum();
+        assert_eq!(answer.value, Some(truth as f64));
+        assert!(answer.verdict.within_bounds);
+        assert_eq!(answer.hc_size, 250);
+        assert_eq!(answer.hu_size, 250);
+    }
+
+    #[test]
+    fn churn_shrinks_hc() {
+        let net = Network::build(TopologyKind::Random, 300, 9);
+        let answer = net
+            .query(Aggregate::Count)
+            .churn(60)
+            .run(Protocol::SpanningTree);
+        assert!(answer.hc_size < 300 - 59, "hc = {}", answer.hc_size);
+        assert_eq!(answer.hu_size, 300);
+    }
+
+    #[test]
+    fn all_facade_protocols_run() {
+        let net = Network::build(TopologyKind::Grid, 100, 2);
+        for p in [
+            Protocol::AllReport,
+            Protocol::SpanningTree,
+            Protocol::Dag2,
+            Protocol::Dag3,
+            Protocol::Wildfire,
+        ] {
+            let answer = net.query(Aggregate::Max).run(p);
+            assert!(answer.value.is_some(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per host")]
+    fn with_values_checks_length() {
+        let g = pov_topology::generators::special::chain(3);
+        Network::with_values(g, vec![1, 2], 4, 0);
+    }
+
+    #[test]
+    fn query_from_non_default_host() {
+        // A mid-chain querying host sees the whole chain; HC/HU are
+        // computed from *its* vantage point.
+        let g = pov_topology::generators::special::chain(9);
+        let values: Vec<u64> = (10..19).collect();
+        let net = Network::with_values(g, values.clone(), 10, 1);
+        let answer = net
+            .query(Aggregate::Max)
+            .from_host(HostId(4))
+            .run(Protocol::Wildfire);
+        assert_eq!(answer.value, Some(18.0));
+        assert!(answer.verdict.is_valid());
+        assert_eq!(answer.hc_size, 9);
+
+        // The exact protocols agree from the same vantage point.
+        let g = pov_topology::generators::special::chain(9);
+        let net = Network::with_values(g, values, 10, 1);
+        let answer = net
+            .query(Aggregate::Count)
+            .from_host(HostId(4))
+            .run(Protocol::SpanningTree);
+        assert_eq!(answer.value, Some(9.0));
+    }
+
+    #[test]
+    fn custom_d_hat_controls_deadline() {
+        let g = pov_topology::generators::special::cycle(8);
+        let net = Network::with_values(g, vec![5; 8], 6, 3);
+        assert_eq!(net.d_hat(), 6);
+        let answer = net.query(Aggregate::Max).run(Protocol::Wildfire);
+        // WILDFIRE declares at exactly 2·D̂.
+        assert_eq!(answer.declared_at, Some(Time(12)));
+    }
+}

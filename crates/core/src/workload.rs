@@ -1,0 +1,126 @@
+//! Attribute-value workloads.
+//!
+//! §6.1: *"Each host h in G possesses an attribute value that is drawn
+//! from a Zipfian distribution in the range [10, 500]."* The same
+//! distribution feeds the operator-accuracy experiment of Fig 6.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's value range.
+pub const PAPER_MIN: u64 = 10;
+/// The paper's value range.
+pub const PAPER_MAX: u64 = 500;
+
+/// Inverse-CDF sampler for a Zipfian distribution over the integers
+/// `[min, max]`: `P(min + k) ∝ (k + 1)^{-s}`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    min: u64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `[min, max]` with exponent `s` (the classic
+    /// Zipf has `s = 1`).
+    pub fn new(min: u64, max: u64, s: f64) -> Self {
+        assert!(max >= min, "empty value range");
+        assert!(s > 0.0, "exponent must be positive");
+        let k = (max - min + 1) as usize;
+        let mut weights = Vec::with_capacity(k);
+        for i in 0..k {
+            weights.push(((i + 1) as f64).powf(-s));
+        }
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        Zipf { min, cdf }
+    }
+
+    /// The paper's configuration: `[10, 500]`, exponent 1.
+    pub fn paper() -> Self {
+        Zipf::new(PAPER_MIN, PAPER_MAX, 1.0)
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.min + idx as u64
+    }
+
+    /// Draw `n` values.
+    pub fn sample_n(&self, n: usize, rng: &mut SmallRng) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The standard per-host value assignment used across the experiments:
+/// `n` paper-Zipf values from a seed.
+pub fn paper_values(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Zipf::paper().sample_n(n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_within_range() {
+        let vals = paper_values(5_000, 1);
+        assert_eq!(vals.len(), 5_000);
+        assert!(vals.iter().all(|&v| (PAPER_MIN..=PAPER_MAX).contains(&v)));
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let vals = paper_values(20_000, 2);
+        let head = vals.iter().filter(|&&v| v < 30).count();
+        let tail = vals.iter().filter(|&&v| v > 480).count();
+        assert!(
+            head > 10 * tail.max(1),
+            "head {head} should dominate tail {tail}"
+        );
+        // The most frequent value is the smallest.
+        let min_count = vals.iter().filter(|&&v| v == PAPER_MIN).count();
+        assert!(
+            min_count * 10 > vals.len() / 10,
+            "min value count {min_count}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(paper_values(100, 7), paper_values(100, 7));
+        assert_ne!(paper_values(100, 7), paper_values(100, 8));
+    }
+
+    #[test]
+    fn degenerate_single_value_range() {
+        let z = Zipf::new(42, 42, 1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let flat = Zipf::new(1, 100, 0.5).sample_n(5_000, &mut rng);
+        let steep = Zipf::new(1, 100, 2.0).sample_n(5_000, &mut rng);
+        let head = |v: &[u64]| v.iter().filter(|&&x| x <= 3).count();
+        assert!(head(&steep) > head(&flat));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value range")]
+    fn rejects_inverted_range() {
+        Zipf::new(10, 5, 1.0);
+    }
+}

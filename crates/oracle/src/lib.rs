@@ -1,0 +1,28 @@
+//! The ORACLE of §6.2: an omniscient observer that replays the
+//! simulator's membership trace and computes the Single-Site-Validity
+//! bounds against which every protocol is judged.
+//!
+//! *"As a frame of reference, an ORACLE was devised that observes all
+//! events in G. The ORACLE detects reachability of each host from `hq`,
+//! and using this information it computes `HC` and `HU` as the lower and
+//! upper bounds of Single-Site Validity. Clearly, such an ORACLE is not
+//! feasible in practice."*
+//!
+//! * [`HostSets`] — `HC` (hosts with a stable path to `hq` over the
+//!   whole query interval) and `HU` (hosts alive at some instant of it);
+//! * [`Verdict`] — whether a declared value `v` equals `q(H)` for some
+//!   `HC ⊆ H ⊆ HU` (§4.1), with interval bounds per aggregate;
+//! * [`metrics`] — the §2.4 post-hoc validity metrics (Completeness,
+//!   Relative Error).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+pub mod metrics;
+pub mod semantics;
+mod verdict;
+
+pub use bounds::{host_sets, HostSets};
+pub use semantics::{interval_bounds, interval_sets, interval_valid, snapshot_valid};
+pub use verdict::{aggregate_bounds, Verdict};

@@ -1,0 +1,50 @@
+//! The post-hoc validity metrics of §2.4.
+//!
+//! *"Completeness or Relative Error have been used to measure the
+//! validity of query results... These are essentially validity metrics
+//! that can only be computed by an Oracle (with a perfect view of the
+//! dynamic network) post processing."*
+
+/// Completeness \[14\]: the fraction of relevant hosts whose data
+/// contributed to the result. For count-like queries the natural proxy —
+/// and the one we report — is `v / |reference|`, clamped to `\[0, 1\]`.
+pub fn completeness(contributed: f64, reference: usize) -> f64 {
+    if reference == 0 {
+        return 1.0;
+    }
+    (contributed / reference as f64).clamp(0.0, 1.0)
+}
+
+/// Relative Error \[7,40\]: `|v̂/v − 1|` where `v̂` is reported and `v` is
+/// the oracle's true value. Returns `None` when the truth is 0 (the
+/// metric is undefined there).
+pub fn relative_error(reported: f64, truth: f64) -> Option<f64> {
+    if truth == 0.0 {
+        None
+    } else {
+        Some((reported / truth - 1.0).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completeness_basics() {
+        assert_eq!(completeness(50.0, 100), 0.5);
+        assert_eq!(completeness(120.0, 100), 1.0); // overestimates clamp
+        assert_eq!(completeness(0.0, 100), 0.0);
+        assert_eq!(completeness(0.0, 0), 1.0); // nothing to miss
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let e = relative_error(110.0, 100.0).unwrap();
+        assert!((e - 0.1).abs() < 1e-12);
+        let e = relative_error(90.0, 100.0).unwrap();
+        assert!((e - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(100.0, 100.0), Some(0.0));
+        assert_eq!(relative_error(5.0, 0.0), None);
+    }
+}

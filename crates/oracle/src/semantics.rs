@@ -1,0 +1,231 @@
+//! The full §4 semantics hierarchy, as checkable predicates.
+//!
+//! The paper defines three correctness conditions and proves the first
+//! two unachievable (Theorems 4.1, 4.2) before settling on the third:
+//!
+//! * **Snapshot Validity** — `v = q(H_t)` for some instant `t ∈ [0, T]`;
+//! * **Interval Validity** — `v = q(H)` for some `HI ⊆ H ⊆ HU`, where
+//!   `HI = ∩ H_t` (alive throughout) and `HU = ∪ H_t`;
+//! * **Single-Site Validity** — as Interval, but with the lower set
+//!   relaxed to `HC ⊆ HI`, the hosts with a *stable path* to `hq`.
+//!
+//! `HC ⊆ HI ⊆ HU`, so the conditions are strictly ordered:
+//! snapshot-valid ⟹ interval-valid ⟹ single-site-valid. These checkers
+//! let tests demonstrate the separations constructively — e.g. WILDFIRE
+//! under a partition returns answers that are single-site valid but
+//! *not* interval valid, which is exactly why Theorem 4.2 rules interval
+//! validity out.
+
+use crate::bounds::HostSets;
+use crate::verdict::{aggregate_bounds, Verdict};
+use pov_protocols::Aggregate;
+use pov_sim::{Time, Trace};
+
+/// Tolerance for floating-point comparisons against exact aggregates.
+const EPS: f64 = 1e-9;
+
+/// The Interval-Validity host sets `HI = ∩ H_t` and `HU = ∪ H_t` over
+/// `[start, end]` (§4.1). Note no connectivity enters: a host counts for
+/// `HI` merely by staying alive, even if unreachable.
+pub fn interval_sets(trace: &Trace, start: Time, end: Time) -> HostSets {
+    HostSets {
+        hc: trace.alive_throughout(start, end),
+        hu: trace.alive_sometime(start, end),
+    }
+}
+
+/// Whether `v` is Interval Valid: `v = q(H)` for some `HI ⊆ H ⊆ HU`.
+/// (Reuses the Single-Site bound machinery with `HI` as the lower set.)
+pub fn interval_valid(
+    aggregate: Aggregate,
+    trace: &Trace,
+    values: &[u64],
+    start: Time,
+    end: Time,
+    v: f64,
+) -> bool {
+    let sets = interval_sets(trace, start, end);
+    Verdict::judge(aggregate, &sets, values, v).is_valid()
+}
+
+/// The Interval-Validity bounds `[q(HI)-side, q(HU)-side]`.
+pub fn interval_bounds(
+    aggregate: Aggregate,
+    trace: &Trace,
+    values: &[u64],
+    start: Time,
+    end: Time,
+) -> Option<(f64, f64)> {
+    let sets = interval_sets(trace, start, end);
+    aggregate_bounds(aggregate, &sets, values)
+}
+
+/// Whether `v` is Snapshot Valid: `v = q(H_t)` for some `t ∈ [start, end]`
+/// (§4.1's strictest condition). Only membership-change instants need
+/// checking — `H_t` is piecewise constant between events.
+pub fn snapshot_valid(
+    aggregate: Aggregate,
+    trace: &Trace,
+    values: &[u64],
+    start: Time,
+    end: Time,
+    v: f64,
+) -> bool {
+    let mut instants: Vec<Time> = vec![start];
+    instants.extend(
+        trace
+            .events
+            .iter()
+            .map(|e| e.time())
+            .filter(|&t| t > start && t <= end),
+    );
+    for t in instants {
+        let alive = trace.alive_at(t);
+        let snapshot: Vec<u64> = alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| values[i])
+            .collect();
+        if let Some(q) = aggregate.ground_truth(&snapshot) {
+            if (q - v).abs() < EPS {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pov_sim::{ChurnPlan, Ctx, NodeLogic, SimBuilder};
+    use pov_topology::generators::special;
+    use pov_topology::HostId;
+
+    struct Idle;
+    impl NodeLogic for Idle {
+        type Msg = ();
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+    }
+
+    fn trace_with(churn: ChurnPlan, n: usize, end: Time) -> Trace {
+        let mut sim = SimBuilder::new(special::chain(n))
+            .churn(churn)
+            .build(|_| Idle);
+        sim.run_until(end);
+        sim.trace().clone()
+    }
+
+    #[test]
+    fn snapshot_checks_every_membership_epoch() {
+        // 4 hosts, one fails at t=5: counts 4 (before) and 3 (after) are
+        // snapshot-valid; nothing else is.
+        let churn = ChurnPlan::none().with_failure(Time(5), HostId(2));
+        let trace = trace_with(churn, 4, Time(10));
+        let values = [1u64; 4];
+        for (v, ok) in [(4.0, true), (3.0, true), (2.0, false), (3.5, false)] {
+            assert_eq!(
+                snapshot_valid(Aggregate::Count, &trace, &values, Time(0), Time(10), v),
+                ok,
+                "v = {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_admits_what_snapshot_rejects() {
+        // Two hosts fail at different times: H_t is {4},{3},{2}-sized, so
+        // count = 2 and 4 are snapshots; interval validity additionally
+        // admits any H with HI ⊆ H ⊆ HU — e.g. dropping only one of the
+        // two departed hosts (count 3) is interval valid and also a
+        // snapshot here; but the *sum* distinguishes them.
+        let values = [10u64, 20, 30, 40];
+        let churn = ChurnPlan::none()
+            .with_failure(Time(3), HostId(1))
+            .with_failure(Time(6), HostId(2));
+        let trace = trace_with(churn, 4, Time(10));
+        // Sum snapshots: 100 (all), 80 (minus h1), 50 (minus h1,h2).
+        assert!(snapshot_valid(
+            Aggregate::Sum,
+            &trace,
+            &values,
+            Time(0),
+            Time(10),
+            80.0
+        ));
+        assert!(!snapshot_valid(
+            Aggregate::Sum,
+            &trace,
+            &values,
+            Time(0),
+            Time(10),
+            70.0
+        ));
+        // 70 = drop h2 only — never a snapshot, but a legal interval set
+        // (HI = {0,3} ⊆ {0,1,3} ⊆ HU).
+        assert!(interval_valid(
+            Aggregate::Sum,
+            &trace,
+            &values,
+            Time(0),
+            Time(10),
+            70.0
+        ));
+    }
+
+    #[test]
+    fn hierarchy_nests() {
+        // Every snapshot-valid count is interval valid; every interval-
+        // valid count is single-site valid (HC ⊆ HI).
+        let values = [1u64; 6];
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(4))
+            .with_failure(Time(7), HostId(5));
+        let trace = trace_with(churn, 6, Time(12));
+        let (lo_i, hi_i) =
+            interval_bounds(Aggregate::Count, &trace, &values, Time(0), Time(12)).unwrap();
+        assert_eq!((lo_i, hi_i), (4.0, 6.0));
+        for v in [4.0, 5.0, 6.0] {
+            if snapshot_valid(Aggregate::Count, &trace, &values, Time(0), Time(12), v) {
+                assert!(interval_valid(
+                    Aggregate::Count,
+                    &trace,
+                    &values,
+                    Time(0),
+                    Time(12),
+                    v
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_2_separation_single_site_but_not_interval() {
+        // Chain 0-1-2-3: the cut vertex h1 dies at t=0. Hosts 2,3 stay
+        // alive (they are in HI) but are unreachable from h0 (not in HC).
+        // The answer v = 1 (only h0) is single-site valid — and NOT
+        // interval valid, because every legal interval set contains
+        // HI ⊇ {0,2,3}. This is the gap Theorem 4.2 exploits.
+        let churn = ChurnPlan::none().with_failure(Time(0), HostId(1));
+        let n = 4;
+        let mut sim = SimBuilder::new(special::chain(n))
+            .churn(churn)
+            .build(|_| Idle);
+        sim.run_until(Time(10));
+        let trace = sim.trace().clone();
+        let values = [1u64; 4];
+
+        let ssv_sets = crate::host_sets(&special::chain(n), &trace, HostId(0), Time(0), Time(10));
+        let ssv = Verdict::judge(Aggregate::Count, &ssv_sets, &values, 1.0);
+        assert!(ssv.is_valid(), "v=1 is single-site valid");
+        assert!(
+            !interval_valid(Aggregate::Count, &trace, &values, Time(0), Time(10), 1.0),
+            "v=1 is NOT interval valid (HI has 3 hosts)"
+        );
+        assert!(
+            !snapshot_valid(Aggregate::Count, &trace, &values, Time(0), Time(10), 1.0),
+            "v=1 is NOT snapshot valid either"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the oracle: bounds nest, verdicts accept
+//! exactly the achievable aggregate values.
+
+use pov_oracle::{aggregate_bounds, host_sets, Verdict};
+use pov_protocols::Aggregate;
+use pov_sim::{ChurnPlan, Ctx, NodeLogic, SimBuilder, Time};
+use pov_topology::{analysis, GraphBuilder, HostId};
+use proptest::prelude::*;
+
+struct Idle;
+impl NodeLogic for Idle {
+    type Msg = ();
+    fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+}
+
+#[derive(Debug, Clone)]
+struct World {
+    graph: pov_topology::Graph,
+    values: Vec<u64>,
+    churn: ChurnPlan,
+}
+
+fn world(max_n: u32) -> impl Strategy<Value = World> {
+    (3..max_n)
+        .prop_flat_map(move |n| {
+            (
+                Just(n),
+                prop::collection::vec((0..n, 0..n), 1..(2 * n as usize)),
+                prop::collection::vec(10u64..500, n as usize),
+                prop::collection::vec((0u32..max_n, 0u64..20), 0..(n as usize)),
+            )
+        })
+        .prop_map(|(n, es, values, fails)| {
+            let mut b = GraphBuilder::with_hosts(n as usize);
+            b.add_edge(HostId(0), HostId(1));
+            for (a, bb) in es {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+            let (graph, _) = analysis::connect_components(&b.build());
+            let mut churn = ChurnPlan::none();
+            for (h, t) in fails {
+                churn = churn.with_failure(Time(t), HostId(h % n));
+            }
+            World {
+                graph,
+                values,
+                churn,
+            }
+        })
+}
+
+fn sets_for(w: &World, end: Time) -> pov_oracle::HostSets {
+    let mut sim = SimBuilder::new(w.graph.clone())
+        .churn(w.churn.clone())
+        .build(|_| Idle);
+    sim.run_until(end);
+    host_sets(&w.graph, sim.trace(), HostId(0), Time::ZERO, end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hc_nested_in_hu(w in world(20), end in 1u64..25) {
+        let sets = sets_for(&w, Time(end));
+        for i in 0..w.graph.num_hosts() {
+            prop_assert!(!sets.hc[i] || sets.hu[i]);
+        }
+        prop_assert!(sets.hc_len() <= sets.hu_len());
+    }
+
+    #[test]
+    fn hc_shrinks_with_longer_intervals(w in world(16)) {
+        let early = sets_for(&w, Time(2));
+        let late = sets_for(&w, Time(20));
+        // More time ⇒ more failures observed ⇒ HC can only shrink.
+        for i in 0..w.graph.num_hosts() {
+            prop_assert!(!late.hc[i] || early.hc[i], "HC grew at host {i}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_ordered(w in world(16), end in 1u64..25) {
+        let sets = sets_for(&w, Time(end));
+        for aggregate in [
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Average,
+        ] {
+            if let Some((lo, hi)) = aggregate_bounds(aggregate, &sets, &w.values) {
+                prop_assert!(lo <= hi + 1e-9, "{aggregate:?}: {lo} > {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_valid_answers(w in world(16), end in 1u64..25) {
+        let sets = sets_for(&w, Time(end));
+        // q(HC) (take H = HC) and q(HU) (take H = HU) are always valid
+        // answers for count and sum.
+        let hc_vals = sets.hc_values(&w.values);
+        let hu_vals = sets.hu_values(&w.values);
+        for aggregate in [Aggregate::Count, Aggregate::Sum] {
+            for h in [&hc_vals, &hu_vals] {
+                let v = aggregate.ground_truth(h).unwrap();
+                let verdict = Verdict::judge(aggregate, &sets, &w.values, v);
+                prop_assert!(verdict.is_valid(), "{aggregate:?} q(H) = {v} rejected");
+            }
+        }
+        // Same for min/max whenever defined.
+        for aggregate in [Aggregate::Min, Aggregate::Max, Aggregate::Average] {
+            for h in [&hc_vals, &hu_vals] {
+                if let Some(v) = aggregate.ground_truth(h) {
+                    let verdict = Verdict::judge(aggregate, &sets, &w.values, v);
+                    prop_assert!(
+                        verdict.within_bounds,
+                        "{aggregate:?} q(H) = {v} outside {:?}",
+                        verdict.bounds
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_rejected(w in world(16), end in 1u64..25) {
+        let sets = sets_for(&w, Time(end));
+        // A count beyond |HU| (or a sum beyond sum(HU)) is never valid.
+        let hu_count = sets.hu_len() as f64;
+        let verdict = Verdict::judge(Aggregate::Count, &sets, &w.values, hu_count + 1.0);
+        prop_assert!(!verdict.within_bounds);
+        let hu_sum: u64 = sets.hu_values(&w.values).iter().sum();
+        let verdict =
+            Verdict::judge(Aggregate::Sum, &sets, &w.values, hu_sum as f64 + 1.0);
+        prop_assert!(!verdict.within_bounds);
+    }
+
+    #[test]
+    fn approx_factor_is_one_inside_bounds(w in world(16), end in 1u64..25) {
+        let sets = sets_for(&w, Time(end));
+        if let Some((lo, hi)) = aggregate_bounds(Aggregate::Count, &sets, &w.values) {
+            let mid = (lo + hi) / 2.0;
+            if mid > 0.0 {
+                let verdict = Verdict::judge(Aggregate::Count, &sets, &w.values, mid);
+                prop_assert_eq!(verdict.approx_factor, Some(1.0));
+            }
+        }
+    }
+}

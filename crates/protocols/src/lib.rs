@@ -1,0 +1,30 @@
+//! Aggregation protocols for dynamic networks — the algorithms evaluated
+//! in *"The Price of Validity in Dynamic Networks"* (Bawa et al.).
+//!
+//! | Protocol | Paper | Semantics under failures |
+//! |----------|-------|--------------------------|
+//! | [`allreport`]   | Fig 2, §4.1 | Single-Site Validity (naive, expensive) |
+//! | [`allreport::AllReportNode::randomized_query_host`] | §4.3 | Approximate Single-Site Validity |
+//! | [`spanning_tree`] | §4.4 | best-effort; arbitrarily bad (Thm 4.4) |
+//! | [`dag`] | §4.4 | best-effort with `k`-parent redundancy |
+//! | [`wildfire`] | §5 | Single-Site Validity (min/max exact; count/sum/avg within FM factor) |
+//! | [`gossip`] | §2.2 | eventual consistency (push-sum baseline) |
+//!
+//! All protocols implement [`pov_sim::NodeLogic`] and are driven by the
+//! shared runner in [`runner`], which wires a topology, per-host values,
+//! a churn plan and a query into one deterministic simulation and
+//! returns an [`Outcome`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allreport;
+mod common;
+pub mod dag;
+pub mod gossip;
+pub mod runner;
+pub mod spanning_tree;
+pub mod wildfire;
+
+pub use common::{Aggregate, Operator, Partial, QuerySpec};
+pub use runner::{Outcome, ProtocolKind, RunConfig};

@@ -1,0 +1,402 @@
+//! One-call drivers: topology + values + churn + query → [`Outcome`].
+//!
+//! Every experiment in §6 runs some protocol over some topology with
+//! some churn plan and inspects the declared value and the §6.3 cost
+//! metrics. This module is that loop, shared by the experiment drivers,
+//! benches and examples.
+
+use crate::allreport::{AllReportNode, ReportRouting};
+use crate::common::{Aggregate, Operator, Partial, QuerySpec};
+use crate::dag::DagNode;
+use crate::gossip::GossipNode;
+use crate::spanning_tree::SpanningTreeNode;
+use crate::wildfire::{WildfireNode, WildfireOpts};
+use pov_sim::{ChurnPlan, Medium, Metrics, NodeLogic, SimBuilder, Simulation, Time, Trace};
+use pov_topology::{Graph, HostId};
+
+/// Which protocol to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProtocolKind {
+    /// ALLREPORT (Fig 2) with the given report routing.
+    AllReport(ReportRouting),
+    /// RANDOMIZEDREPORT (§4.3) with report probability `p`.
+    RandomizedReport {
+        /// Per-host report probability.
+        p: f64,
+    },
+    /// SPANNINGTREE (§4.4).
+    SpanningTree,
+    /// DIRECTEDACYCLICGRAPH with `k` parents (§4.4).
+    Dag {
+        /// Maximum parents per host.
+        k: usize,
+    },
+    /// WILDFIRE (§5) with the §5.3 optimizations toggled by `opts`.
+    Wildfire(WildfireOpts),
+    /// Push-sum gossip for `rounds` rounds (§2.2 baseline).
+    Gossip {
+        /// Number of gossip rounds.
+        rounds: u32,
+    },
+}
+
+impl ProtocolKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::AllReport(_) => "ALLREPORT",
+            ProtocolKind::RandomizedReport { .. } => "RANDOMIZEDREPORT",
+            ProtocolKind::SpanningTree => "SPANNINGTREE",
+            ProtocolKind::Dag { .. } => "DAG",
+            ProtocolKind::Wildfire(_) => "WILDFIRE",
+            ProtocolKind::Gossip { .. } => "GOSSIP",
+        }
+    }
+}
+
+/// Everything needed to run one query.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// The aggregate to compute.
+    pub aggregate: Aggregate,
+    /// Stable-diameter overestimate `D̂`.
+    pub d_hat: u32,
+    /// FM repetitions `c` for sketched aggregates.
+    pub c: usize,
+    /// Communication medium.
+    pub medium: Medium,
+    /// Failure/join schedule.
+    pub churn: ChurnPlan,
+    /// Root seed for the run.
+    pub seed: u64,
+    /// The querying host.
+    pub hq: HostId,
+}
+
+impl RunConfig {
+    /// A failure-free point-to-point config with sensible defaults
+    /// (`c = 8` per Fig 6, `hq = h0`).
+    pub fn new(aggregate: Aggregate, d_hat: u32) -> Self {
+        RunConfig {
+            aggregate,
+            d_hat,
+            c: 8,
+            medium: Medium::PointToPoint,
+            churn: ChurnPlan::none(),
+            seed: 0,
+            hq: HostId(0),
+        }
+    }
+
+    fn spec(&self) -> QuerySpec {
+        QuerySpec {
+            aggregate: self.aggregate,
+            d_hat: self.d_hat,
+            c: self.c,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The declared value, if the querying host survived to declare one.
+    pub value: Option<f64>,
+    /// When the value was declared.
+    pub declared_at: Option<Time>,
+    /// §6.3 cost metrics.
+    pub metrics: Metrics,
+    /// Ground-truth membership trace (for the oracle).
+    pub trace: Trace,
+    /// Hosts alive when the run ended.
+    pub alive_at_end: Vec<bool>,
+}
+
+impl Outcome {
+    /// Time cost in ticks: declaration time at `hq` (§6.3/§6.6.2 measure
+    /// WILDFIRE's time cost as `2·D̂·δ`, i.e. the declaration instant).
+    pub fn time_cost(&self) -> Option<u64> {
+        self.declared_at.map(Time::ticks)
+    }
+}
+
+fn finish<L: NodeLogic>(
+    mut sim: Simulation<L>,
+    horizon: Time,
+    read_result: impl Fn(&L) -> Option<(f64, Time)>,
+    hq: HostId,
+) -> Outcome {
+    sim.run_until(horizon);
+    let result = read_result(sim.logic(hq));
+    let alive_at_end = (0..sim.graph().num_hosts() as u32)
+        .map(|h| sim.is_alive(HostId(h)))
+        .collect();
+    Outcome {
+        value: result.map(|(v, _)| v),
+        declared_at: result.map(|(_, t)| t),
+        metrics: sim.metrics().clone(),
+        trace: sim.trace().clone(),
+        alive_at_end,
+    }
+}
+
+/// Run `kind` over `graph` where host `h` holds `values[h]`.
+///
+/// # Panics
+/// Panics if `values.len() != graph.num_hosts()` or the querying host is
+/// out of range.
+pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], cfg: &RunConfig) -> Outcome {
+    assert_eq!(
+        values.len(),
+        graph.num_hosts(),
+        "one attribute value per host"
+    );
+    assert!(cfg.hq.index() < graph.num_hosts(), "querying host exists");
+    let spec = cfg.spec();
+    let horizon = Time(spec.deadline() + 2);
+    let hq = cfg.hq;
+    let vals = values.to_vec();
+    let builder = || {
+        SimBuilder::new(graph.clone())
+            .medium(cfg.medium)
+            .churn(cfg.churn.clone())
+            .seed(cfg.seed)
+    };
+    match kind {
+        ProtocolKind::AllReport(routing) => {
+            let sim = builder().build(move |h| {
+                if h == hq {
+                    AllReportNode::query_host(vals[h.index()], spec, routing)
+                } else {
+                    AllReportNode::host(vals[h.index()], routing)
+                }
+            });
+            finish(sim, horizon, AllReportNode::result, hq)
+        }
+        ProtocolKind::RandomizedReport { p } => {
+            let routing = ReportRouting::Direct;
+            let sim = builder().build(move |h| {
+                if h == hq {
+                    AllReportNode::randomized_query_host(vals[h.index()], spec, p, routing)
+                } else {
+                    AllReportNode::host(vals[h.index()], routing)
+                }
+            });
+            finish(sim, horizon, AllReportNode::result, hq)
+        }
+        ProtocolKind::SpanningTree => {
+            let sim = builder().build(move |h| {
+                if h == hq {
+                    SpanningTreeNode::query_host(vals[h.index()], spec)
+                } else {
+                    SpanningTreeNode::host(vals[h.index()])
+                }
+            });
+            finish(sim, horizon, SpanningTreeNode::result, hq)
+        }
+        ProtocolKind::Dag { k } => {
+            let sim = builder().build(move |h| {
+                if h == hq {
+                    DagNode::query_host(vals[h.index()], k, spec)
+                } else {
+                    DagNode::host(vals[h.index()], k)
+                }
+            });
+            finish(sim, horizon, DagNode::result, hq)
+        }
+        ProtocolKind::Wildfire(opts) => {
+            let sim = builder().build(move |h| {
+                if h == hq {
+                    WildfireNode::query_host(vals[h.index()], spec, opts)
+                } else {
+                    WildfireNode::host(vals[h.index()], opts)
+                }
+            });
+            finish(sim, horizon, WildfireNode::result, hq)
+        }
+        ProtocolKind::Gossip { rounds } => {
+            let aggregate = cfg.aggregate;
+            let sim = builder()
+                .build(move |h| GossipNode::new(vals[h.index()], aggregate, rounds, h == hq));
+            finish(sim, Time(rounds as u64 + 2), GossipNode::result, hq)
+        }
+    }
+}
+
+/// What a WILDFIRE run with an extension operator (§7) produced: the
+/// scalar estimate plus the full merged partial (e.g. a histogram the
+/// caller can query for buckets and quantiles).
+#[derive(Clone, Debug)]
+pub struct OperatorOutcome {
+    /// The scalar reading of the merged partial (count estimate /
+    /// histogram total).
+    pub value: Option<f64>,
+    /// The querying host's merged partial at declaration time.
+    pub partial: Option<Partial>,
+    /// When the result was declared.
+    pub declared_at: Option<Time>,
+    /// §6.3 cost metrics.
+    pub metrics: Metrics,
+    /// Ground-truth membership trace.
+    pub trace: Trace,
+}
+
+/// Run WILDFIRE with an extension [`Operator`] and return the merged
+/// partial alongside the scalar estimate.
+pub fn run_wildfire_operator(
+    operator: Operator,
+    opts: WildfireOpts,
+    graph: &Graph,
+    values: &[u64],
+    cfg: &RunConfig,
+) -> OperatorOutcome {
+    assert_eq!(
+        values.len(),
+        graph.num_hosts(),
+        "one attribute value per host"
+    );
+    let spec = cfg.spec();
+    let hq = cfg.hq;
+    let vals = values.to_vec();
+    let mut sim = SimBuilder::new(graph.clone())
+        .medium(cfg.medium)
+        .churn(cfg.churn.clone())
+        .seed(cfg.seed)
+        .build(move |h| {
+            if h == hq {
+                WildfireNode::query_host_with_operator(vals[h.index()], spec, opts, operator)
+            } else {
+                WildfireNode::host_with_operator(vals[h.index()], opts, operator)
+            }
+        });
+    sim.run_until(Time(spec.deadline() + 2));
+    let logic = sim.logic(hq);
+    let result = logic.result();
+    OperatorOutcome {
+        value: result.map(|(v, _)| v),
+        partial: logic.partial().cloned(),
+        declared_at: result.map(|(_, t)| t),
+        metrics: sim.metrics().clone(),
+        trace: sim.trace().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pov_topology::generators::special;
+
+    #[test]
+    fn all_protocols_agree_on_max_failure_free() {
+        let g = special::cycle(12);
+        let values: Vec<u64> = (0..12).map(|i| 10 + i * 7).collect();
+        let cfg = RunConfig::new(Aggregate::Max, 6);
+        for kind in [
+            ProtocolKind::AllReport(ReportRouting::Direct),
+            ProtocolKind::SpanningTree,
+            ProtocolKind::Dag { k: 2 },
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+        ] {
+            let out = run(kind, &g, &values, &cfg);
+            assert_eq!(out.value, Some(87.0), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn exact_protocols_agree_on_count() {
+        let g = special::cycle(10);
+        let values = vec![1u64; 10];
+        let cfg = RunConfig::new(Aggregate::Count, 5);
+        for kind in [
+            ProtocolKind::AllReport(ReportRouting::Direct),
+            ProtocolKind::SpanningTree,
+        ] {
+            let out = run(kind, &g, &values, &cfg);
+            assert_eq!(out.value, Some(10.0), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn outcome_carries_metrics_and_trace() {
+        let g = special::chain(5);
+        let cfg = RunConfig {
+            churn: ChurnPlan::none().with_failure(Time(1), HostId(3)),
+            ..RunConfig::new(Aggregate::Count, 4)
+        };
+        let out = run(ProtocolKind::SpanningTree, &g, &[1; 5], &cfg);
+        assert!(out.metrics.messages_sent > 0);
+        assert_eq!(out.trace.events.len(), 1);
+        assert_eq!(out.alive_at_end.iter().filter(|&&a| a).count(), 4);
+        assert!(out.time_cost().is_some());
+    }
+
+    #[test]
+    fn kmv_count_through_operator_runner() {
+        let g = special::cycle(64);
+        let cfg = RunConfig::new(Aggregate::Count, 34);
+        let out = run_wildfire_operator(
+            Operator::KmvCount { k: 32 },
+            WildfireOpts::default(),
+            &g,
+            &vec![1; 64],
+            &cfg,
+        );
+        let v = out.value.expect("declared");
+        // KMV with k = 32 on 64 hosts: exact-ish (k/2 < n < exact regime
+        // boundary); allow sketch noise.
+        assert!((40.0..110.0).contains(&v), "KMV count {v}");
+        assert!(matches!(out.partial, Some(Partial::KmvCount(_))));
+    }
+
+    #[test]
+    fn histogram_through_operator_runner() {
+        // 100 hosts: half hold value 10, half hold 90.
+        let g = special::cycle(100);
+        let values: Vec<u64> = (0..100).map(|i| if i % 2 == 0 { 10 } else { 90 }).collect();
+        let cfg = RunConfig {
+            c: 16,
+            ..RunConfig::new(Aggregate::Count, 52)
+        };
+        let out = run_wildfire_operator(
+            Operator::ValueHistogram {
+                min: 0,
+                max: 99,
+                buckets: 10,
+            },
+            WildfireOpts::default(),
+            &g,
+            &values,
+            &cfg,
+        );
+        let partial = out.partial.expect("present");
+        let hist = partial.as_histogram().expect("histogram partial");
+        let est = hist.bucket_estimates();
+        // Mass concentrates in buckets 1 (values 10..19) and 9 (90..99).
+        let hot: f64 = est[1] + est[9];
+        let cold: f64 = est.iter().sum::<f64>() - hot;
+        assert!(
+            hot > 3.0 * cold.max(1.0),
+            "hot buckets {hot} vs cold {cold} ({est:?})"
+        );
+        // The histogram-average sits between the two modes.
+        let avg = hist.average().expect("non-empty");
+        assert!((25.0..80.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn gossip_runs_through_runner() {
+        let g = special::complete(16);
+        let cfg = RunConfig::new(Aggregate::Average, 2);
+        let out = run(ProtocolKind::Gossip { rounds: 60 }, &g, &[10; 16], &cfg);
+        let v = out.value.expect("declared");
+        assert!((v - 10.0).abs() < 1.0, "avg {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one attribute value per host")]
+    fn value_count_mismatch_rejected() {
+        let g = special::chain(3);
+        let cfg = RunConfig::new(Aggregate::Count, 2);
+        run(ProtocolKind::SpanningTree, &g, &[1, 2], &cfg);
+    }
+}

@@ -1,0 +1,146 @@
+//! The §6.2 dynamism model.
+//!
+//! *"We model host failures by removing a total of R randomly selected
+//! hosts from G at a uniform rate during `[t0, tn]`."* Joins are also
+//! supported (they matter for the `HU` upper bound of Single-Site
+//! Validity) though the paper's simulations do not exercise them.
+
+use crate::Time;
+use pov_topology::HostId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A schedule of host failures (and optionally joins).
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    /// `(time, host)` failure events, sorted by time.
+    pub failures: Vec<(Time, HostId)>,
+    /// `(time, host)` join events for hosts that start dead.
+    pub joins: Vec<(Time, HostId)>,
+}
+
+impl ChurnPlan {
+    /// No churn at all: the static-network baseline.
+    pub fn none() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// The paper's model: `r` distinct hosts drawn uniformly from
+    /// `0..num_hosts` (excluding `spare`, normally the querying host
+    /// `hq`, which must survive to declare a result) fail at a uniform
+    /// rate over `[window_start, window_end]`.
+    pub fn uniform_failures(
+        num_hosts: usize,
+        r: usize,
+        window_start: Time,
+        window_end: Time,
+        spare: HostId,
+        seed: u64,
+    ) -> Self {
+        assert!(window_end >= window_start, "empty failure window");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut candidates: Vec<HostId> = (0..num_hosts as u32)
+            .map(HostId)
+            .filter(|&h| h != spare)
+            .collect();
+        candidates.shuffle(&mut rng);
+        let r = r.min(candidates.len());
+        let span = (window_end - window_start).max(1);
+        let failures = candidates[..r]
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                // Evenly spaced instants across the window: uniform *rate*.
+                let t = window_start + (i as u64 * span) / r.max(1) as u64;
+                (t, h)
+            })
+            .collect();
+        ChurnPlan {
+            failures,
+            joins: Vec::new(),
+        }
+    }
+
+    /// Add a single failure.
+    pub fn with_failure(mut self, at: Time, host: HostId) -> Self {
+        self.failures.push((at, host));
+        self
+    }
+
+    /// Add a single join (the host starts dead and appears at `at`).
+    pub fn with_join(mut self, at: Time, host: HostId) -> Self {
+        self.joins.push((at, host));
+        self
+    }
+
+    /// Hosts that join at some point (and therefore start dead).
+    pub fn initially_dead(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.joins.iter().map(|&(_, h)| h)
+    }
+
+    /// Number of scheduled failures.
+    pub fn num_failures(&self) -> usize {
+        self.failures.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_failures_basic() {
+        let plan = ChurnPlan::uniform_failures(100, 10, Time(0), Time(50), HostId(0), 7);
+        assert_eq!(plan.num_failures(), 10);
+        // Spare host is never selected.
+        assert!(plan.failures.iter().all(|&(_, h)| h != HostId(0)));
+        // Distinct victims.
+        let mut hosts: Vec<u32> = plan.failures.iter().map(|&(_, h)| h.0).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 10);
+        // All within the window.
+        assert!(plan
+            .failures
+            .iter()
+            .all(|&(t, _)| t >= Time(0) && t <= Time(50)));
+    }
+
+    #[test]
+    fn uniform_rate_spacing() {
+        let plan = ChurnPlan::uniform_failures(1000, 5, Time(10), Time(60), HostId(0), 1);
+        let times: Vec<u64> = plan.failures.iter().map(|&(t, _)| t.0).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn r_capped_at_population() {
+        let plan = ChurnPlan::uniform_failures(5, 50, Time(0), Time(10), HostId(2), 3);
+        assert_eq!(plan.num_failures(), 4); // everyone but the spare
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ChurnPlan::uniform_failures(100, 8, Time(0), Time(20), HostId(0), 5);
+        let b = ChurnPlan::uniform_failures(100, 8, Time(0), Time(20), HostId(0), 5);
+        assert_eq!(a.failures, b.failures);
+        let c = ChurnPlan::uniform_failures(100, 8, Time(0), Time(20), HostId(0), 6);
+        assert_ne!(a.failures, c.failures);
+    }
+
+    #[test]
+    fn joins_tracked_as_initially_dead() {
+        let plan = ChurnPlan::none()
+            .with_join(Time(4), HostId(9))
+            .with_failure(Time(2), HostId(1));
+        let dead: Vec<HostId> = plan.initially_dead().collect();
+        assert_eq!(dead, vec![HostId(9)]);
+    }
+
+    #[test]
+    fn zero_failures() {
+        let plan = ChurnPlan::uniform_failures(10, 0, Time(0), Time(10), HostId(0), 1);
+        assert_eq!(plan.num_failures(), 0);
+    }
+}

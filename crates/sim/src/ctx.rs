@@ -1,0 +1,236 @@
+//! The capability handle a host's logic receives during a callback.
+
+use crate::delay::DelayModel;
+use crate::engine::Medium;
+use crate::event::{EventQueue, Payload};
+use crate::metrics::Metrics;
+use crate::Time;
+use pov_topology::{Graph, HostId};
+use rand::rngs::SmallRng;
+
+/// Everything a host may do while handling an event: inspect its static
+/// neighbourhood, send messages, set timers and draw randomness.
+///
+/// Deliberately *not* exposed: other hosts' state, liveness of
+/// neighbours (hosts cannot observe failures instantaneously in the
+/// relaxed asynchronous model), or global time-travel.
+pub struct Ctx<'a, M> {
+    pub(crate) now: Time,
+    pub(crate) me: HostId,
+    pub(crate) graph: &'a Graph,
+    pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) medium: Medium,
+    pub(crate) delay: DelayModel,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) chain_depth: u32,
+    pub(crate) in_timer: bool,
+}
+
+impl<'a, M: Clone> Ctx<'a, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The host this callback runs on.
+    #[inline]
+    pub fn me(&self) -> HostId {
+        self.me
+    }
+
+    /// Static neighbour list `N(me)` from the topology. A neighbour may
+    /// have failed; sends to it are silently lost, exactly as a message
+    /// to a crashed host would be.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [HostId] {
+        self.graph.neighbors(self.me)
+    }
+
+    /// Degree of this host.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.me)
+    }
+
+    /// Send `msg` to a single neighbour. Costs one message in both media
+    /// (§3.1: sensors address unicast messages by MAC id; non-recipients
+    /// drop them in hardware at no processing cost).
+    pub fn send(&mut self, to: HostId, msg: M) {
+        debug_assert!(
+            self.graph.has_edge(self.me, to),
+            "{:?} tried to send to non-neighbor {:?}",
+            self.me,
+            to
+        );
+        self.metrics.record_send(self.now);
+        let d = self.delay.sample(self.rng);
+        self.queue.push(
+            self.now + d,
+            Payload::Deliver {
+                to,
+                from: self.me,
+                msg,
+                depth: self.chain_depth + 1,
+            },
+        );
+    }
+
+    /// Send `msg` to every neighbour. Under [`Medium::Radio`] this is a
+    /// single transmission (one message of communication cost) heard by
+    /// all neighbours (§5.3); under [`Medium::PointToPoint`] it is one
+    /// message per neighbour.
+    pub fn broadcast(&mut self, msg: M) {
+        self.broadcast_except(None, msg);
+    }
+
+    /// Send `msg` to every neighbour except `skip` (the common flooding
+    /// idiom: do not echo a message straight back to whoever sent it).
+    ///
+    /// Radio caveat: a radio transmission physically reaches *all*
+    /// neighbours — there is no way to exclude one — so under
+    /// [`Medium::Radio`] the excluded neighbour still receives the
+    /// message, and the cost is one message either way.
+    pub fn broadcast_except(&mut self, skip: Option<HostId>, msg: M) {
+        match self.medium {
+            Medium::Radio => {
+                self.metrics.record_send(self.now);
+                let d = self.delay.sample(self.rng);
+                for &n in self.graph.neighbors(self.me) {
+                    self.queue.push(
+                        self.now + d,
+                        Payload::Deliver {
+                            to: n,
+                            from: self.me,
+                            msg: msg.clone(),
+                            depth: self.chain_depth + 1,
+                        },
+                    );
+                }
+            }
+            Medium::PointToPoint => {
+                let neighbors = self.graph.neighbors(self.me);
+                for &n in neighbors {
+                    if Some(n) == skip {
+                        continue;
+                    }
+                    self.metrics.record_send(self.now);
+                    let d = self.delay.sample(self.rng);
+                    self.queue.push(
+                        self.now + d,
+                        Payload::Deliver {
+                            to: n,
+                            from: self.me,
+                            msg: msg.clone(),
+                            depth: self.chain_depth + 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Send `msg` to several neighbours at once. Under
+    /// [`Medium::Radio`] this is a single MAC-multicast transmission —
+    /// one message of communication cost, received (and processed) only
+    /// by the addressed neighbours, everyone else drops it in hardware
+    /// (§3.1). Under [`Medium::PointToPoint`] it is one message per
+    /// target. This is how a DAG host reports to its `k` parents for the
+    /// price of one radio message (§4.4 / Considine et al.).
+    pub fn multicast(&mut self, targets: &[HostId], msg: M) {
+        if targets.is_empty() {
+            return;
+        }
+        match self.medium {
+            Medium::Radio => {
+                self.metrics.record_send(self.now);
+                let d = self.delay.sample(self.rng);
+                for &to in targets {
+                    debug_assert!(self.graph.has_edge(self.me, to));
+                    self.queue.push(
+                        self.now + d,
+                        Payload::Deliver {
+                            to,
+                            from: self.me,
+                            msg: msg.clone(),
+                            depth: self.chain_depth + 1,
+                        },
+                    );
+                }
+            }
+            Medium::PointToPoint => {
+                for &to in targets {
+                    self.send(to, msg.clone());
+                }
+            }
+        }
+    }
+
+    /// Send `msg` to *any* host over the underlay, bypassing the overlay
+    /// topology. P2P overlays sit on the Internet (§3.1, Example 3.1):
+    /// once a host learns `hq`'s address from the query it can reply
+    /// directly, which is exactly what ALLREPORT's *Direct Delivery* does
+    /// (§4.4). Costs one message; takes one `δ` like any other hop.
+    ///
+    /// Not available to sensor-network protocols — radio reaches only
+    /// physical neighbours — so experiment drivers must not pair this
+    /// with [`Medium::Radio`] (enforced by debug assertion).
+    pub fn send_direct(&mut self, to: HostId, msg: M) {
+        debug_assert!(
+            self.medium == Medium::PointToPoint,
+            "direct underlay sends require a point-to-point medium"
+        );
+        self.metrics.record_send(self.now);
+        let d = self.delay.sample(self.rng);
+        self.queue.push(
+            self.now + d,
+            Payload::Deliver {
+                to,
+                from: self.me,
+                msg,
+                depth: self.chain_depth + 1,
+            },
+        );
+    }
+
+    /// Schedule `on_timer(key)` to fire on this host after `delay` ticks
+    /// (minimum 1: zero-delay wake-ups would allow Zeno loops).
+    pub fn set_timer(&mut self, delay: u64, key: u64) {
+        self.queue.push(
+            self.now + delay.max(1),
+            Payload::Timer { host: self.me, key },
+        );
+    }
+
+    /// Schedule `on_timer(key)` to fire at the *end of the current tick*,
+    /// after every message delivery of this instant has been processed.
+    ///
+    /// This is the batching idiom of the paper's Example 5.1: a host that
+    /// receives several partial aggregates at time `t` combines them all
+    /// and sends a single update at `t`. Timers order after deliveries at
+    /// the same instant, so pushing one "now" achieves exactly that.
+    ///
+    /// May only be called while handling a message (calling it from
+    /// `on_timer` could loop forever within one instant — debug-asserted).
+    pub fn set_timer_at_tick_end(&mut self, key: u64) {
+        debug_assert!(
+            !self.in_timer,
+            "set_timer_at_tick_end called from on_timer would Zeno-loop"
+        );
+        self.queue
+            .push(self.now, Payload::Timer { host: self.me, key });
+    }
+
+    /// The communication medium of this run (protocols adapt their
+    /// flushing strategy: radio cannot address a subset of neighbours).
+    pub fn medium(&self) -> Medium {
+        self.medium
+    }
+
+    /// Deterministic per-run randomness (for randomized protocols such as
+    /// RANDOMIZEDREPORT and the FM coin flips).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}

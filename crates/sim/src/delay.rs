@@ -1,0 +1,97 @@
+//! Per-message delay models under the known bound `δ` (§3.1).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How long a message takes to cross one edge, in ticks. The relaxed
+/// asynchronous model only promises an *upper bound* `δ`; these models
+/// let experiments exercise both the deterministic best case and
+/// bounded jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly `d` ticks (the paper's simulations use
+    /// lock-step hops, i.e. `Fixed(1)`).
+    Fixed(u64),
+    /// Each message independently takes a uniform number of ticks in
+    /// `[min, max]`. `max` plays the role of `δ`.
+    Uniform {
+        /// Minimum per-hop delay (≥ 1).
+        min: u64,
+        /// Maximum per-hop delay (the bound `δ`).
+        max: u64,
+    },
+}
+
+impl DelayModel {
+    /// Sample the delay for one message.
+    pub fn sample(self, rng: &mut SmallRng) -> u64 {
+        match self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { min, max } => {
+                let lo = min.max(1);
+                let hi = max.max(lo);
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+
+    /// The upper bound `δ` this model guarantees.
+    pub fn bound(self) -> u64 {
+        match self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { min, max } => max.max(min).max(1),
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Fixed(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(DelayModel::Fixed(3).sample(&mut rng), 3);
+        assert_eq!(DelayModel::Fixed(3).bound(), 3);
+    }
+
+    #[test]
+    fn fixed_zero_clamps_to_one() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(DelayModel::Fixed(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m = DelayModel::Uniform { min: 1, max: 4 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((1..=4).contains(&d));
+        }
+        assert_eq!(m.bound(), 4);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = DelayModel::Uniform { min: 1, max: 3 };
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[m.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn default_is_one_tick() {
+        assert_eq!(DelayModel::default(), DelayModel::Fixed(1));
+    }
+}

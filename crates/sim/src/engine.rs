@@ -1,0 +1,595 @@
+//! The simulation engine: deterministic event loop over a dynamic network.
+
+use crate::churn::ChurnPlan;
+use crate::ctx::Ctx;
+use crate::delay::DelayModel;
+use crate::event::{EventQueue, Payload};
+use crate::metrics::Metrics;
+use crate::node::NodeLogic;
+use crate::time::Time;
+use crate::trace::{Trace, TraceEvent};
+use pov_topology::{Graph, HostId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The physical communication medium (§3.1 examples).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Medium {
+    /// P2P overlay: one message per (sender, receiver) pair.
+    #[default]
+    PointToPoint,
+    /// Wireless sensor radio: one transmission reaches every neighbour
+    /// at the cost of a single message (§5.3).
+    Radio,
+}
+
+/// Builder for [`Simulation`].
+pub struct SimBuilder {
+    graph: Graph,
+    medium: Medium,
+    delay: DelayModel,
+    churn: ChurnPlan,
+    seed: u64,
+}
+
+impl SimBuilder {
+    /// Start building a simulation over `graph`.
+    pub fn new(graph: Graph) -> Self {
+        SimBuilder {
+            graph,
+            medium: Medium::PointToPoint,
+            delay: DelayModel::default(),
+            churn: ChurnPlan::none(),
+            seed: 0,
+        }
+    }
+
+    /// Select the communication medium (default: point-to-point).
+    pub fn medium(mut self, medium: Medium) -> Self {
+        self.medium = medium;
+        self
+    }
+
+    /// Select the per-hop delay model (default: fixed 1 tick).
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Install a churn plan (default: no churn).
+    pub fn churn(mut self, churn: ChurnPlan) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Seed for all randomness inside the run (delays, protocol RNG).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Instantiate per-host logic with `factory` and produce a runnable
+    /// [`Simulation`]. `on_start` has not run yet — call
+    /// [`Simulation::start`] (or one of the `run_*` helpers).
+    pub fn build<L: NodeLogic>(self, mut factory: impl FnMut(HostId) -> L) -> Simulation<L> {
+        let n = self.graph.num_hosts();
+        let mut alive = vec![true; n];
+        for h in self.churn.initially_dead() {
+            alive[h.index()] = false;
+        }
+        let mut queue = EventQueue::new();
+        for &(t, h) in &self.churn.failures {
+            queue.push(t, Payload::Fail(h));
+        }
+        for &(t, h) in &self.churn.joins {
+            queue.push(t, Payload::Join(h));
+        }
+        let logic = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
+        Simulation {
+            trace: Trace::new(alive.clone()),
+            graph: self.graph,
+            logic,
+            alive,
+            queue,
+            metrics: Metrics::new(n),
+            medium: self.medium,
+            delay: self.delay,
+            rng: SmallRng::seed_from_u64(self.seed),
+            last_depth: vec![0; n],
+            now: Time::ZERO,
+            started: false,
+        }
+    }
+}
+
+/// A running simulation: the network graph, per-host logic, the event
+/// queue and the collected metrics/trace.
+pub struct Simulation<L: NodeLogic> {
+    graph: Graph,
+    logic: Vec<Option<L>>,
+    alive: Vec<bool>,
+    queue: EventQueue<L::Msg>,
+    metrics: Metrics,
+    trace: Trace,
+    medium: Medium,
+    delay: DelayModel,
+    rng: SmallRng,
+    /// Deepest causal chain seen by each host; timers continue the chain
+    /// from here.
+    last_depth: Vec<u32>,
+    now: Time,
+    started: bool,
+}
+
+impl<L: NodeLogic> Simulation<L> {
+    /// Fire `on_start` for every initially-alive host (ascending id
+    /// order). Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.logic.len() {
+            if self.alive[i] {
+                self.activate(HostId(i as u32), Activation::Start);
+            }
+        }
+    }
+
+    /// Run until the event queue is exhausted or virtual time would
+    /// exceed `horizon`. Events exactly at `horizon` are processed.
+    pub fn run_until(&mut self, horizon: Time) {
+        self.start();
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.now = ev.at;
+            self.dispatch(ev.payload);
+        }
+        // Advance the clock to the horizon so callers polling `now()` see
+        // time progress even across event-free stretches.
+        self.now = self.now.max(horizon);
+    }
+
+    /// Run until no events remain. Panics if more than `max_events`
+    /// events fire — a guard against protocol livelock.
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        self.start();
+        let mut n = 0u64;
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.at;
+            self.dispatch(ev.payload);
+            n += 1;
+            assert!(
+                n <= max_events,
+                "protocol did not quiesce after {max_events} events"
+            );
+        }
+    }
+
+    fn dispatch(&mut self, payload: Payload<L::Msg>) {
+        match payload {
+            Payload::Fail(h) => {
+                if self.alive[h.index()] {
+                    self.alive[h.index()] = false;
+                    self.trace.record(TraceEvent::Fail(self.now, h));
+                }
+            }
+            Payload::Join(h) => {
+                if !self.alive[h.index()] {
+                    self.alive[h.index()] = true;
+                    self.trace.record(TraceEvent::Join(self.now, h));
+                    self.activate(h, Activation::Start);
+                }
+            }
+            Payload::Deliver {
+                to,
+                from,
+                msg,
+                depth,
+            } => {
+                // Delivery only to hosts alive *now*; messages to failed
+                // hosts vanish (the sender has already paid for them).
+                if self.alive[to.index()] {
+                    self.metrics.record_processed(to, depth);
+                    self.last_depth[to.index()] = self.last_depth[to.index()].max(depth);
+                    self.activate(to, Activation::Message { from, msg, depth });
+                }
+            }
+            Payload::Timer { host, key } => {
+                if self.alive[host.index()] {
+                    self.metrics.record_timer();
+                    self.activate(host, Activation::Timer { key });
+                }
+            }
+        }
+    }
+
+    fn activate(&mut self, h: HostId, activation: Activation<L::Msg>) {
+        let mut logic = self.logic[h.index()].take().expect("logic present");
+        let chain_depth = match &activation {
+            Activation::Message { depth, .. } => *depth,
+            _ => self.last_depth[h.index()],
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            me: h,
+            graph: &self.graph,
+            queue: &mut self.queue,
+            metrics: &mut self.metrics,
+            medium: self.medium,
+            delay: self.delay,
+            rng: &mut self.rng,
+            chain_depth,
+            in_timer: matches!(activation, Activation::Timer { .. }),
+        };
+        match activation {
+            Activation::Start => logic.on_start(&mut ctx),
+            Activation::Message { from, msg, .. } => logic.on_message(&mut ctx, from, msg),
+            Activation::Timer { key } => logic.on_timer(&mut ctx, key),
+        }
+        self.logic[h.index()] = Some(logic);
+    }
+
+    /// Immutable view of a host's logic (alive or failed — failed hosts
+    /// retain their last state for post-mortem inspection).
+    pub fn logic(&self, h: HostId) -> &L {
+        self.logic[h.index()].as_ref().expect("logic present")
+    }
+
+    /// Whether `h` is currently alive. This is the omniscient view used
+    /// by oracles and by out-of-band probing (the §5.4 capture–recapture
+    /// estimator models probes as ping/ack pairs; account for their cost
+    /// with [`Simulation::charge_messages`]).
+    pub fn is_alive(&self, h: HostId) -> bool {
+        self.alive[h.index()]
+    }
+
+    /// Number of currently alive hosts.
+    pub fn num_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Account for `n` out-of-band messages (e.g. probe traffic of
+    /// estimators implemented outside the event loop).
+    pub fn charge_messages(&mut self, n: u64) {
+        for _ in 0..n {
+            self.metrics.record_send(self.now);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Collected efficiency metrics (§6.3).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Ground-truth membership trace for the oracle.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+enum Activation<M> {
+    Start,
+    Message { from: HostId, msg: M, depth: u32 },
+    Timer { key: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pov_topology::generators::special;
+
+    /// Flood-and-count test logic: the origin broadcasts a token; every
+    /// host forwards it once; each host records when it first saw it.
+    #[derive(Debug)]
+    struct Flood {
+        origin: bool,
+        seen_at: Option<Time>,
+    }
+
+    impl NodeLogic for Flood {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if self.origin {
+                self.seen_at = Some(ctx.now());
+                ctx.broadcast(());
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, from: HostId, _msg: ()) {
+            if self.seen_at.is_none() {
+                self.seen_at = Some(ctx.now());
+                ctx.broadcast_except(Some(from), ());
+            }
+        }
+    }
+
+    fn flood_sim(graph: Graph, medium: Medium) -> Simulation<Flood> {
+        SimBuilder::new(graph).medium(medium).build(|h| Flood {
+            origin: h == HostId(0),
+            seen_at: None,
+        })
+    }
+
+    #[test]
+    fn flood_reaches_chain_in_hop_time() {
+        let mut sim = flood_sim(special::chain(6), Medium::PointToPoint);
+        sim.run_to_quiescence(1_000);
+        for i in 0..6u32 {
+            assert_eq!(
+                sim.logic(HostId(i)).seen_at,
+                Some(Time(i as u64)),
+                "host {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn flood_message_cost_point_to_point() {
+        // Chain of 4: h0 sends 1; h1 forwards to h2 (skip h0); h2 to h3;
+        // h3 forwards to nobody (only neighbor is sender). Total 3.
+        let mut sim = flood_sim(special::chain(4), Medium::PointToPoint);
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.metrics().messages_sent, 3);
+    }
+
+    #[test]
+    fn flood_message_cost_radio() {
+        // Radio: each of the 4 hosts transmits at most once; h3 has only
+        // the sender as neighbor but radio cannot exclude it, so it still
+        // transmits. Total 4.
+        let mut sim = flood_sim(special::chain(4), Medium::Radio);
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.metrics().messages_sent, 4);
+    }
+
+    #[test]
+    fn radio_duplicate_receipts_are_processed() {
+        // In a triangle under radio, every transmission reaches both other
+        // hosts; hosts process duplicates even though they forward once.
+        let mut sim = flood_sim(special::cycle(3), Medium::Radio);
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.metrics().messages_sent, 3);
+        // Each host receives from both others: 2 processed each.
+        assert_eq!(sim.metrics().total_processed(), 6);
+    }
+
+    #[test]
+    fn failed_host_blocks_flood() {
+        let churn = ChurnPlan::none().with_failure(Time(1), HostId(2));
+        let mut sim = SimBuilder::new(special::chain(5))
+            .churn(churn)
+            .build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+        sim.run_to_quiescence(1_000);
+        // h2 fails at t=1, before the flood (sent at t=1 by h1) arrives at
+        // t=2; h3, h4 never hear it.
+        assert_eq!(sim.logic(HostId(1)).seen_at, Some(Time(1)));
+        assert_eq!(sim.logic(HostId(2)).seen_at, None);
+        assert_eq!(sim.logic(HostId(3)).seen_at, None);
+        assert!(sim.trace().events.len() == 1);
+    }
+
+    #[test]
+    fn join_activates_logic() {
+        #[derive(Debug)]
+        struct Joiner {
+            started_at: Option<Time>,
+        }
+        impl NodeLogic for Joiner {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                self.started_at = Some(ctx.now());
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+        }
+        let churn = ChurnPlan::none().with_join(Time(5), HostId(1));
+        let mut sim = SimBuilder::new(special::chain(2))
+            .churn(churn)
+            .build(|_| Joiner { started_at: None });
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.logic(HostId(0)).started_at, Some(Time(0)));
+        assert_eq!(sim.logic(HostId(1)).started_at, Some(Time(5)));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Debug)]
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl NodeLogic for Timers {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(5, 5);
+                ctx.set_timer(1, 1);
+                ctx.set_timer(3, 3);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, key: u64) {
+                self.fired.push(key);
+            }
+        }
+        let mut sim = SimBuilder::new(special::chain(2)).build(|_| Timers { fired: vec![] });
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.logic(HostId(0)).fired, vec![1, 3, 5]);
+        assert_eq!(sim.metrics().timers_fired, 6);
+    }
+
+    #[test]
+    fn dead_hosts_lose_timers_and_messages() {
+        #[derive(Debug)]
+        struct T {
+            fired: bool,
+        }
+        impl NodeLogic for T {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == HostId(1) {
+                    ctx.set_timer(10, 0);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: u64) {
+                self.fired = true;
+            }
+        }
+        let churn = ChurnPlan::none().with_failure(Time(5), HostId(1));
+        let mut sim = SimBuilder::new(special::chain(2))
+            .churn(churn)
+            .build(|_| T { fired: false });
+        sim.run_to_quiescence(100);
+        assert!(!sim.logic(HostId(1)).fired);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = flood_sim(special::chain(10), Medium::PointToPoint);
+        sim.run_until(Time(3));
+        assert_eq!(sim.logic(HostId(3)).seen_at, Some(Time(3)));
+        assert_eq!(sim.logic(HostId(4)).seen_at, None);
+        // Continue to the end.
+        sim.run_until(Time(100));
+        assert_eq!(sim.logic(HostId(9)).seen_at, Some(Time(9)));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sim = flood_sim(
+                pov_topology::generators::random_average_degree(200, 4.0, 3),
+                Medium::PointToPoint,
+            );
+            sim.run_to_quiescence(100_000);
+            (
+                sim.metrics().messages_sent,
+                sim.metrics().total_processed(),
+                sim.metrics().longest_chain,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chain_depth_tracks_hops() {
+        let mut sim = flood_sim(special::chain(7), Medium::PointToPoint);
+        sim.run_to_quiescence(1_000);
+        // Longest causal chain = 6 hops to the end of the chain.
+        assert_eq!(sim.metrics().longest_chain, 6);
+    }
+
+    #[test]
+    fn multicast_accounting_per_medium() {
+        // A star centre multicasts to 3 of its 5 leaves: one message
+        // under radio, three under point-to-point; only the addressed
+        // leaves process it either way.
+        #[derive(Debug)]
+        struct M {
+            got: bool,
+        }
+        impl NodeLogic for M {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == HostId(0) {
+                    ctx.multicast(&[HostId(1), HostId(2), HostId(3)], ());
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {
+                self.got = true;
+            }
+        }
+        for (medium, cost) in [(Medium::Radio, 1u64), (Medium::PointToPoint, 3u64)] {
+            let mut sim = SimBuilder::new(special::star(6))
+                .medium(medium)
+                .build(|_| M { got: false });
+            sim.run_to_quiescence(100);
+            assert_eq!(sim.metrics().messages_sent, cost, "{medium:?}");
+            for h in 1..=3u32 {
+                assert!(sim.logic(HostId(h)).got, "{medium:?} host {h}");
+            }
+            for h in 4..=5u32 {
+                assert!(
+                    !sim.logic(HostId(h)).got,
+                    "{medium:?} host {h} (MAC filter)"
+                );
+            }
+            assert_eq!(sim.metrics().total_processed(), 3, "{medium:?}");
+        }
+    }
+
+    #[test]
+    fn tick_end_timer_fires_after_same_tick_deliveries() {
+        // Host 1 receives two messages at t=1 and schedules a tick-end
+        // flush on the first; the flush must observe both.
+        #[derive(Debug, Default)]
+        struct F {
+            received: u32,
+            flushed_with: Option<u32>,
+        }
+        impl NodeLogic for F {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == HostId(0) {
+                    ctx.send(HostId(1), ());
+                    ctx.send(HostId(1), ());
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _: HostId, _: ()) {
+                if self.received == 0 {
+                    ctx.set_timer_at_tick_end(9);
+                }
+                self.received += 1;
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, key: u64) {
+                assert_eq!(key, 9);
+                self.flushed_with = Some(self.received);
+            }
+        }
+        let mut sim = SimBuilder::new(special::chain(2)).build(|_| F::default());
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.logic(HostId(1)).flushed_with, Some(2));
+    }
+
+    #[test]
+    fn num_alive_reflects_churn() {
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(0))
+            .with_failure(Time(4), HostId(1));
+        let mut sim = SimBuilder::new(special::chain(3))
+            .churn(churn)
+            .build(|_| Flood {
+                origin: false,
+                seen_at: None,
+            });
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.num_alive(), 1);
+        assert!(!sim.is_alive(HostId(0)));
+        assert!(sim.is_alive(HostId(2)));
+    }
+}

@@ -1,0 +1,193 @@
+//! The event queue driving the simulation.
+
+use crate::Time;
+use pov_topology::HostId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub(crate) enum Payload<M> {
+    /// A host leaves the network (§3.2 dynamism model).
+    Fail(HostId),
+    /// A host joins the network.
+    Join(HostId),
+    /// A message arrives at `to`.
+    Deliver {
+        /// Receiving host.
+        to: HostId,
+        /// Sending host.
+        from: HostId,
+        /// Protocol payload.
+        msg: M,
+        /// Causal chain depth (time-cost accounting, §6.3).
+        depth: u32,
+    },
+    /// A timer set by `host` with protocol-chosen `key` fires.
+    Timer {
+        /// Host whose timer fires.
+        host: HostId,
+        /// Protocol-chosen timer key.
+        key: u64,
+    },
+}
+
+impl<M> Payload<M> {
+    /// Events at the same instant are processed in rank order:
+    /// failures first (a host that fails at `t` does not see messages
+    /// delivered at `t`), then joins, then deliveries, then timers (so a
+    /// deadline timer at `t` observes every message arriving at `t`).
+    fn rank(&self) -> u8 {
+        match self {
+            Payload::Fail(_) => 0,
+            Payload::Join(_) => 1,
+            Payload::Deliver { .. } => 2,
+            Payload::Timer { .. } => 3,
+        }
+    }
+}
+
+pub(crate) struct Event<M> {
+    pub at: Time,
+    pub seq: u64,
+    pub payload: Payload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> Event<M> {
+    fn cmp_key(&self) -> (Time, u8, u64) {
+        (self.at, self.payload.rank(), self.seq)
+    }
+}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+/// Deterministic priority queue: ties broken by (rank, insertion order).
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: Time, payload: Payload<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, payload });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(Time(5), Payload::Fail(HostId(0)));
+        q.push(Time(1), Payload::Fail(HostId(1)));
+        q.push(Time(3), Payload::Fail(HostId(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn same_time_rank_order() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(
+            Time(1),
+            Payload::Timer {
+                host: HostId(0),
+                key: 0,
+            },
+        );
+        q.push(
+            Time(1),
+            Payload::Deliver {
+                to: HostId(0),
+                from: HostId(1),
+                msg: 9,
+                depth: 0,
+            },
+        );
+        q.push(Time(1), Payload::Fail(HostId(2)));
+        let first = q.pop().unwrap();
+        assert!(matches!(first.payload, Payload::Fail(_)));
+        let second = q.pop().unwrap();
+        assert!(matches!(second.payload, Payload::Deliver { .. }));
+        let third = q.pop().unwrap();
+        assert!(matches!(third.payload, Payload::Timer { .. }));
+    }
+
+    #[test]
+    fn fifo_among_equal_events() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        for i in 0..10u8 {
+            q.push(
+                Time(2),
+                Payload::Deliver {
+                    to: HostId(0),
+                    from: HostId(1),
+                    msg: i,
+                    depth: 0,
+                },
+            );
+        }
+        let msgs: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                Payload::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(msgs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(7), Payload::Join(HostId(0)));
+        assert_eq!(q.peek_time(), Some(Time(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

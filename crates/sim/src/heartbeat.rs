@@ -1,0 +1,144 @@
+//! Heartbeat failure detection (§3.1).
+//!
+//! *"Hosts can monitor a neighbouring host for failures using heartbeats
+//! sent periodically at intervals of time `Thb`. If a host `h` does not
+//! receive a heartbeat from its neighbour `h'` within `Thb + δ` time of
+//! the last heartbeat, then `h` can deduce that there must have been a
+//! failure at `h'`."*
+//!
+//! [`HeartbeatMonitor`] is the per-host bookkeeping for that rule. The
+//! evaluated one-shot protocols do not need it (best-effort protocols do
+//! not repair, and WILDFIRE tolerates failures by design), but the
+//! continuous-query machinery (§4.2, §5.4) uses it to maintain the set of
+//! *marked* hosts `Mt`.
+
+use crate::Time;
+use pov_topology::HostId;
+use std::collections::HashMap;
+
+/// Tracks the last heartbeat received from each monitored peer and
+/// applies the `Thb + δ` suspicion rule.
+#[derive(Clone, Debug)]
+pub struct HeartbeatMonitor {
+    interval: u64,
+    delta: u64,
+    last_seen: HashMap<HostId, Time>,
+}
+
+impl HeartbeatMonitor {
+    /// Create a monitor with heartbeat interval `Thb` and delay bound `δ`
+    /// (both in ticks).
+    pub fn new(interval: u64, delta: u64) -> Self {
+        assert!(interval >= 1, "heartbeat interval must be positive");
+        HeartbeatMonitor {
+            interval,
+            delta,
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// Start monitoring `peer`, treating `now` as an implicit heartbeat
+    /// (a freshly-established connection proves liveness).
+    pub fn watch(&mut self, peer: HostId, now: Time) {
+        self.last_seen.insert(peer, now);
+    }
+
+    /// Stop monitoring `peer`.
+    pub fn unwatch(&mut self, peer: HostId) {
+        self.last_seen.remove(&peer);
+    }
+
+    /// Record a heartbeat from `peer` at `now`.
+    pub fn heartbeat(&mut self, peer: HostId, now: Time) {
+        self.last_seen.insert(peer, now);
+    }
+
+    /// Whether `peer` is suspected failed at `now`: no heartbeat within
+    /// `Thb + δ` of the last one. Unmonitored peers are not suspected.
+    pub fn suspects(&self, peer: HostId, now: Time) -> bool {
+        match self.last_seen.get(&peer) {
+            Some(&last) => now - last.min(now) > self.interval + self.delta,
+            None => false,
+        }
+    }
+
+    /// All currently suspected peers at `now`.
+    pub fn suspected(&self, now: Time) -> Vec<HostId> {
+        let mut out: Vec<HostId> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, &last)| now - last.min(now) > self.interval + self.delta)
+            .map(|(&h, _)| h)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The deadline by which the next heartbeat from `peer` must arrive
+    /// before suspicion kicks in; `None` if not monitored.
+    pub fn deadline(&self, peer: HostId) -> Option<Time> {
+        self.last_seen
+            .get(&peer)
+            .map(|&last| last + self.interval + self.delta + 1)
+    }
+
+    /// The monitoring interval `Thb`.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_peer_not_suspected() {
+        let mut m = HeartbeatMonitor::new(5, 1);
+        m.watch(HostId(1), Time(0));
+        assert!(!m.suspects(HostId(1), Time(6))); // exactly Thb + δ: still fine
+        assert!(m.suspects(HostId(1), Time(7))); // one past the bound
+    }
+
+    #[test]
+    fn heartbeat_resets_deadline() {
+        let mut m = HeartbeatMonitor::new(5, 1);
+        m.watch(HostId(1), Time(0));
+        m.heartbeat(HostId(1), Time(5));
+        assert!(!m.suspects(HostId(1), Time(10)));
+        assert!(m.suspects(HostId(1), Time(12)));
+        assert_eq!(m.deadline(HostId(1)), Some(Time(12)));
+    }
+
+    #[test]
+    fn unmonitored_never_suspected() {
+        let m = HeartbeatMonitor::new(5, 1);
+        assert!(!m.suspects(HostId(9), Time(1_000)));
+        assert_eq!(m.deadline(HostId(9)), None);
+    }
+
+    #[test]
+    fn unwatch_clears_suspicion() {
+        let mut m = HeartbeatMonitor::new(2, 1);
+        m.watch(HostId(3), Time(0));
+        assert!(m.suspects(HostId(3), Time(10)));
+        m.unwatch(HostId(3));
+        assert!(!m.suspects(HostId(3), Time(10)));
+    }
+
+    #[test]
+    fn suspected_lists_all_late_peers() {
+        let mut m = HeartbeatMonitor::new(2, 1);
+        m.watch(HostId(1), Time(0));
+        m.watch(HostId(2), Time(8));
+        m.watch(HostId(3), Time(0));
+        m.heartbeat(HostId(3), Time(9));
+        assert_eq!(m.suspected(Time(10)), vec![HostId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        HeartbeatMonitor::new(0, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Discrete-event simulator for dynamic networks, implementing the
+//! *relaxed asynchronous model* of §3.1 of *"The Price of Validity in
+//! Dynamic Networks"* (Bawa et al.): known bounded message delay `δ`,
+//! reliable in-order delivery to alive neighbours, and hosts that fail
+//! (leave) at arbitrary times (§3.2).
+//!
+//! Key pieces:
+//!
+//! * [`Simulation`] — the event loop. Protocol code implements
+//!   [`NodeLogic`]; one logic instance runs per host and interacts with
+//!   the world only through [`Ctx`] (send / broadcast / timers), which
+//!   keeps every run a pure function of its seeds.
+//! * [`Medium`] — point-to-point (P2P overlay, §3.1 Example 3.1) or
+//!   radio (sensor network: one transmission reaches all neighbours at
+//!   the cost of a single message, §5.3).
+//! * [`ChurnPlan`] — the §6.2 dynamism model: `R` uniformly random hosts
+//!   fail at a uniform rate over an interval, plus optional host joins.
+//! * [`Metrics`] — the §6.3 efficiency measures: communication cost,
+//!   per-host computation cost, time cost (longest causal message chain),
+//!   and per-tick message counts (Fig 13b).
+//! * [`Trace`] — timestamped join/fail record consumed by the oracle to
+//!   compute the Single-Site-Validity bounds `HC`/`HU`.
+//! * [`heartbeat`] — the heartbeat failure detector described in §3.1.
+//!
+//! Time is measured in ticks of `δ`: a message sent at `t` to an alive
+//! neighbour arrives at `t + d` with `1 ≤ d ≤ delay_bound` (default 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod ctx;
+mod delay;
+mod engine;
+mod event;
+pub mod heartbeat;
+mod metrics;
+mod node;
+mod time;
+mod trace;
+
+pub use churn::ChurnPlan;
+pub use ctx::Ctx;
+pub use delay::DelayModel;
+pub use engine::{Medium, SimBuilder, Simulation};
+pub use metrics::Metrics;
+pub use node::NodeLogic;
+pub use time::Time;
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,139 @@
+//! The §6.3 efficiency measures.
+//!
+//! * **Communication cost** — total messages sent between host pairs.
+//!   Under the radio medium one transmission to all neighbours counts as
+//!   a single message (§5.3, Grid experiments).
+//! * **Computation cost** — messages *processed* per host; the protocol's
+//!   computation cost is the maximum over hosts (Fig 12 plots the whole
+//!   distribution).
+//! * **Time cost** — length of the longest causal chain of messages,
+//!   starting at `hq`'s broadcast initiation.
+//! * **Per-tick sent counts** — messages sent at each instant (Fig 13b).
+
+use crate::Time;
+use pov_topology::HostId;
+use serde::{Deserialize, Serialize};
+
+/// Cost counters collected during a run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total messages sent (communication cost).
+    pub messages_sent: u64,
+    /// Messages processed per host (computation cost distribution).
+    pub processed_per_host: Vec<u64>,
+    /// Messages sent at each tick (index = tick).
+    pub sent_per_tick: Vec<u64>,
+    /// Longest causal message chain observed (time cost).
+    pub longest_chain: u32,
+    /// Timer events fired (not part of any paper metric; useful for
+    /// sanity checks).
+    pub timers_fired: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(num_hosts: usize) -> Self {
+        Metrics {
+            messages_sent: 0,
+            processed_per_host: vec![0; num_hosts],
+            sent_per_tick: Vec::new(),
+            longest_chain: 0,
+            timers_fired: 0,
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, at: Time) {
+        self.messages_sent += 1;
+        let idx = at.ticks() as usize;
+        if self.sent_per_tick.len() <= idx {
+            self.sent_per_tick.resize(idx + 1, 0);
+        }
+        self.sent_per_tick[idx] += 1;
+    }
+
+    pub(crate) fn record_processed(&mut self, host: HostId, depth: u32) {
+        self.processed_per_host[host.index()] += 1;
+        self.longest_chain = self.longest_chain.max(depth);
+    }
+
+    pub(crate) fn record_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    /// The protocol's computation cost: max messages processed at any
+    /// single host (§6.3).
+    pub fn computation_cost(&self) -> u64 {
+        self.processed_per_host.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total messages processed across all hosts.
+    pub fn total_processed(&self) -> u64 {
+        self.processed_per_host.iter().sum()
+    }
+
+    /// Histogram for Fig 12: `hist[c]` = number of hosts that processed
+    /// exactly `c` messages.
+    pub fn computation_histogram(&self) -> Vec<u64> {
+        let max = self.computation_cost() as usize;
+        let mut hist = vec![0u64; max + 1];
+        for &c in &self.processed_per_host {
+            hist[c as usize] += 1;
+        }
+        hist
+    }
+
+    /// The last tick at which any message was sent (protocol quiescence;
+    /// Fig 13b shows WILDFIRE quiescing by `2Dδ`).
+    pub fn last_active_tick(&self) -> Option<u64> {
+        self.sent_per_tick
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| i as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_accounting() {
+        let mut m = Metrics::new(3);
+        m.record_send(Time(0));
+        m.record_send(Time(2));
+        m.record_send(Time(2));
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.sent_per_tick, vec![1, 0, 2]);
+        assert_eq!(m.last_active_tick(), Some(2));
+    }
+
+    #[test]
+    fn processed_accounting() {
+        let mut m = Metrics::new(3);
+        m.record_processed(HostId(1), 4);
+        m.record_processed(HostId(1), 2);
+        m.record_processed(HostId(2), 7);
+        assert_eq!(m.processed_per_host, vec![0, 2, 1]);
+        assert_eq!(m.computation_cost(), 2);
+        assert_eq!(m.total_processed(), 3);
+        assert_eq!(m.longest_chain, 7);
+    }
+
+    #[test]
+    fn histogram() {
+        let mut m = Metrics::new(4);
+        m.record_processed(HostId(0), 1);
+        m.record_processed(HostId(0), 1);
+        m.record_processed(HostId(1), 1);
+        let hist = m.computation_histogram();
+        // host0: 2 msgs, host1: 1 msg, hosts 2,3: 0 msgs.
+        assert_eq!(hist, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::new(0);
+        assert_eq!(m.computation_cost(), 0);
+        assert_eq!(m.last_active_tick(), None);
+        assert_eq!(m.computation_histogram(), vec![0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Virtual time in units of the universal delay bound `δ` (§3.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time. One tick is one `δ` — the known universal
+/// upper bound on per-hop message delay in the relaxed asynchronous model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero: the instant the query is issued at `hq` (§4.1).
+    pub const ZERO: Time = Time(0);
+
+    /// The tick count as `u64`.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + 5;
+        assert_eq!(t.ticks(), 5);
+        assert_eq!(t - Time(2), 3);
+        assert_eq!(Time(1).saturating_sub(Time(9)), Time::ZERO);
+        let mut u = Time(1);
+        u += 2;
+        assert_eq!(u, Time(3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert_eq!(Time::ZERO, Time(0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Ground-truth event trace.
+//!
+//! The oracle of §6.2 *"observes all events in G"* and uses them to
+//! compute the Single-Site-Validity bounds. The simulator records every
+//! membership change here; the `pov-oracle` crate replays it.
+
+use crate::Time;
+use pov_topology::HostId;
+use serde::{Deserialize, Serialize};
+
+/// One membership change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Host left the network (failed) at the given time.
+    Fail(Time, HostId),
+    /// Host joined the network at the given time.
+    Join(Time, HostId),
+}
+
+impl TraceEvent {
+    /// The instant of the event.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Fail(t, _) | TraceEvent::Join(t, _) => t,
+        }
+    }
+
+    /// The host involved.
+    pub fn host(&self) -> HostId {
+        match *self {
+            TraceEvent::Fail(_, h) | TraceEvent::Join(_, h) => h,
+        }
+    }
+}
+
+/// Full ground truth of a run: which hosts were alive initially and every
+/// later membership change, in time order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Alive flags at time 0, indexed by host.
+    pub initially_alive: Vec<bool>,
+    /// Membership changes in the order they occurred.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn new(initially_alive: Vec<bool>) -> Self {
+        Trace {
+            initially_alive,
+            events: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Alive flags at time `t` (inclusive of events at `t`).
+    pub fn alive_at(&self, t: Time) -> Vec<bool> {
+        let mut alive = self.initially_alive.clone();
+        for ev in &self.events {
+            if ev.time() > t {
+                break;
+            }
+            match *ev {
+                TraceEvent::Fail(_, h) => alive[h.index()] = false,
+                TraceEvent::Join(_, h) => alive[h.index()] = true,
+            }
+        }
+        alive
+    }
+
+    /// Hosts alive at *every* instant of `[start, end]` — the building
+    /// block of `HI` and of stable-path computations.
+    pub fn alive_throughout(&self, start: Time, end: Time) -> Vec<bool> {
+        let mut alive = self.alive_at(start);
+        for ev in &self.events {
+            if ev.time() <= start {
+                continue;
+            }
+            if ev.time() > end {
+                break;
+            }
+            match *ev {
+                TraceEvent::Fail(_, h) => alive[h.index()] = false,
+                // A host that joined mid-interval was not alive throughout.
+                TraceEvent::Join(_, h) => alive[h.index()] = false,
+            }
+        }
+        alive
+    }
+
+    /// Hosts alive at *some* instant of `[start, end]` — the `HU` bound.
+    ///
+    /// A host that fails exactly at `start` *was* alive at that instant,
+    /// so the baseline applies only events strictly before `start`.
+    pub fn alive_sometime(&self, start: Time, end: Time) -> Vec<bool> {
+        let mut alive = self.initially_alive.clone();
+        for ev in &self.events {
+            if ev.time() >= start {
+                break;
+            }
+            match *ev {
+                TraceEvent::Fail(_, h) => alive[h.index()] = false,
+                TraceEvent::Join(_, h) => alive[h.index()] = true,
+            }
+        }
+        for ev in &self.events {
+            if ev.time() < start {
+                continue;
+            }
+            if ev.time() > end {
+                break;
+            }
+            if let TraceEvent::Join(_, h) = *ev {
+                alive[h.index()] = true;
+            }
+            // Failures do not clear the flag: the host *was* alive.
+        }
+        alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        // 4 hosts; host 3 starts dead and joins at t=5; host 1 fails at t=3.
+        let mut tr = Trace::new(vec![true, true, true, false]);
+        tr.record(TraceEvent::Fail(Time(3), HostId(1)));
+        tr.record(TraceEvent::Join(Time(5), HostId(3)));
+        tr
+    }
+
+    #[test]
+    fn alive_at_points_in_time() {
+        let tr = sample_trace();
+        assert_eq!(tr.alive_at(Time(0)), vec![true, true, true, false]);
+        assert_eq!(tr.alive_at(Time(3)), vec![true, false, true, false]);
+        assert_eq!(tr.alive_at(Time(9)), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn alive_throughout_interval() {
+        let tr = sample_trace();
+        // Over [0,10]: host 0 and 2 never change; 1 fails; 3 joins late.
+        assert_eq!(
+            tr.alive_throughout(Time(0), Time(10)),
+            vec![true, false, true, false]
+        );
+        // Over [4,10]: host 1 already dead at start; 3 joins inside.
+        assert_eq!(
+            tr.alive_throughout(Time(4), Time(10)),
+            vec![true, false, true, false]
+        );
+        // Over [6,10]: host 3 alive the whole window.
+        assert_eq!(
+            tr.alive_throughout(Time(6), Time(10)),
+            vec![true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn alive_sometime_interval() {
+        let tr = sample_trace();
+        // HU over [0,10]: everyone was alive at some point.
+        assert_eq!(
+            tr.alive_sometime(Time(0), Time(10)),
+            vec![true, true, true, true]
+        );
+        // Over [4,4]: host 1 dead, host 3 not yet joined.
+        assert_eq!(
+            tr.alive_sometime(Time(4), Time(4)),
+            vec![true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = TraceEvent::Fail(Time(2), HostId(7));
+        assert_eq!(ev.time(), Time(2));
+        assert_eq!(ev.host(), HostId(7));
+    }
+}

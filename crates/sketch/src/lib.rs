@@ -1,0 +1,34 @@
+//! Flajolet–Martin (FM) duplicate-insensitive count and sum sketches
+//! (§5.2 of *"The Price of Validity in Dynamic Networks"*).
+//!
+//! WILDFIRE's convergecast re-delivers partial aggregates along many
+//! paths, so its combine operator must be *duplicate-insensitive*
+//! (idempotent, commutative, associative). `min`/`max` already are;
+//! `count`/`sum` are not. The paper adapts the probabilistic counting
+//! scheme of Flajolet & Martin \[13\]:
+//!
+//! * each host pretends to hold a distinct element and sets one
+//!   geometrically-distributed bit in each of `c` bit-vectors
+//!   ([`FmSketch::insert_one`]);
+//! * for `sum`, a host with value `m` pretends to hold `m` distinct
+//!   elements ([`FmSketch::insert_elements`]);
+//! * vectors are combined by bitwise OR ([`FmSketch::merge`]) — a
+//!   join-semilattice, so any delivery order/multiplicity yields the same
+//!   result;
+//! * the querying host reads off `ẑ` = the average index of the lowest
+//!   unset bit and reports `2^ẑ / 0.78` ([`FmSketch::estimate`]).
+//!
+//! Lemma 5.1 (Alon–Matias–Szegedy): for every `c > 2` the estimate `m̂`
+//! of the true `m` satisfies `Pr(1/c ≤ m̂/m ≤ c) ≥ 1 − 2/c`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fm;
+pub mod histogram;
+mod kmv;
+pub mod stats;
+
+pub use fm::{FmSketch, PHI, REGISTER_BITS};
+pub use histogram::{Buckets, HistogramSketch};
+pub use kmv::KmvSketch;

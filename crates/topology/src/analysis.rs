@@ -1,0 +1,289 @@
+//! Graph analysis: BFS distances, diameter, components, alive-subgraph
+//! reachability.
+//!
+//! The paper's validity bounds hinge on hop distances: WILDFIRE and
+//! ALLREPORT run for `2·D̂·δ` where `D̂` overestimates the *stable
+//! diameter* (§4.1), and the oracle's `HC` is the set of hosts with a
+//! stable path to the querying host. All of those reduce to BFS over
+//! (sub)graphs, implemented here.
+
+use crate::{Graph, HostId};
+use std::collections::VecDeque;
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS hop distances from `source` to every host; `UNREACHABLE` where no
+/// path exists.
+pub fn bfs_distances(g: &Graph, source: HostId) -> Vec<u32> {
+    bfs_distances_filtered(g, source, |_| true)
+}
+
+/// BFS hop distances from `source` restricted to hosts for which
+/// `alive(h)` is true. If `alive(source)` is false every host is
+/// unreachable.
+///
+/// This is the primitive behind the oracle's `HC` computation: running it
+/// over the subgraph of hosts alive during the whole query interval yields
+/// exactly the set of hosts with a *stable path* to the source (§4.1).
+pub fn bfs_distances_filtered(
+    g: &Graph,
+    source: HostId,
+    alive: impl Fn(HostId) -> bool,
+) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_hosts()];
+    if !alive(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE && alive(v) {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source`: the largest finite BFS distance from it.
+pub fn eccentricity(g: &Graph, source: HostId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower-bound estimate of the diameter by repeated *double sweep*:
+/// start from a host, BFS to the farthest host, BFS again from there, and
+/// repeat from `probes` pseudo-random starting hosts. Exact on trees and
+/// empirically tight on the small-world topologies used in §6 (\[2,33\]
+/// report such graphs have diameter growing very slowly with `|H|`).
+pub fn diameter_estimate(g: &Graph, probes: u32, seed: u64) -> u32 {
+    let n = g.num_hosts();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0;
+    let mut state = seed | 1;
+    for _ in 0..probes.max(1) {
+        // xorshift over host ids; determinism matters more than quality here.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let start = HostId((state % n as u64) as u32);
+        let d1 = bfs_distances(g, start);
+        let far = farthest(&d1).unwrap_or(start);
+        let d2 = bfs_distances(g, far);
+        let ecc = d2
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0);
+        best = best.max(ecc);
+    }
+    best
+}
+
+fn farthest(dist: &[u32]) -> Option<HostId> {
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| HostId(i as u32))
+}
+
+/// Exact diameter by all-pairs BFS. `O(|H|·(|H|+|E|))`; only for small
+/// graphs (tests, adversarial instances).
+pub fn diameter_exact(g: &Graph) -> u32 {
+    g.hosts().map(|h| eccentricity(g, h)).max().unwrap_or(0)
+}
+
+/// Whether the whole graph is one connected component.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_hosts() == 0 {
+        return true;
+    }
+    bfs_distances(g, HostId(0))
+        .iter()
+        .all(|&d| d != UNREACHABLE)
+}
+
+/// Connected components; each component is a sorted list of hosts.
+pub fn connected_components(g: &Graph) -> Vec<Vec<HostId>> {
+    let mut comp = vec![usize::MAX; g.num_hosts()];
+    let mut components = Vec::new();
+    for h in g.hosts() {
+        if comp[h.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[h.index()] = id;
+        queue.push_back(h);
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            for &v in g.neighbors(u) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// Connect a graph that may have several components by wiring each
+/// secondary component to the largest one with a single edge (between the
+/// lowest-id hosts). Returns the number of edges added.
+///
+/// The §6 experiments assume `hq` can initially reach everyone; random
+/// generators occasionally leave stragglers, which this repairs without
+/// materially changing the degree distribution.
+pub fn connect_components(g: &Graph) -> (Graph, usize) {
+    let comps = connected_components(g);
+    if comps.len() <= 1 {
+        return (g.clone(), 0);
+    }
+    let largest = comps
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.len())
+        .map(|(i, _)| i)
+        .expect("at least one component");
+    let anchor = comps[largest][0];
+    let mut b = crate::GraphBuilder::with_hosts(g.num_hosts());
+    for (a, bb) in g.edges() {
+        b.add_edge(a, bb);
+    }
+    let mut added = 0;
+    for (i, c) in comps.iter().enumerate() {
+        if i != largest {
+            b.add_edge(anchor, c[0]);
+            added += 1;
+        }
+    }
+    (b.build(), added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_hosts(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(HostId(i as u32), HostId(i as u32 + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, HostId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_component() {
+        let mut b = GraphBuilder::with_hosts(4);
+        b.add_edge(HostId(0), HostId(1));
+        b.add_edge(HostId(2), HostId(3));
+        let g = b.build();
+        let d = bfs_distances(&g, HostId(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn filtered_bfs_respects_dead_hosts() {
+        // 0-1-2-3 with host 1 dead: 2,3 unreachable from 0.
+        let g = path(4);
+        let d = bfs_distances_filtered(&g, HostId(0), |h| h != HostId(1));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], UNREACHABLE);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn filtered_bfs_dead_source() {
+        let g = path(3);
+        let d = bfs_distances_filtered(&g, HostId(0), |_| false);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = path(10);
+        assert_eq!(diameter_exact(&g), 9);
+        // Double sweep is exact on trees.
+        assert_eq!(diameter_estimate(&g, 4, 3), 9);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let n = 10;
+        let mut b = GraphBuilder::with_hosts(n);
+        for i in 0..n {
+            b.add_edge(HostId(i as u32), HostId(((i + 1) % n) as u32));
+        }
+        let g = b.build();
+        assert_eq!(diameter_exact(&g), 5);
+        assert!(diameter_estimate(&g, 8, 11) <= 5);
+        assert!(diameter_estimate(&g, 8, 11) >= 4);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&path(6)));
+        let mut b = GraphBuilder::with_hosts(3);
+        b.add_edge(HostId(0), HostId(1));
+        let g = b.build();
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![HostId(0), HostId(1)]);
+        assert_eq!(comps[1], vec![HostId(2)]);
+    }
+
+    #[test]
+    fn connect_components_repairs_graph() {
+        let mut b = GraphBuilder::with_hosts(5);
+        b.add_edge(HostId(0), HostId(1));
+        b.add_edge(HostId(2), HostId(3));
+        let g = b.build();
+        let (fixed, added) = connect_components(&g);
+        assert_eq!(added, 2);
+        assert!(is_connected(&fixed));
+        assert_eq!(fixed.num_edges(), 4);
+    }
+
+    #[test]
+    fn connect_components_noop_when_connected() {
+        let g = path(4);
+        let (fixed, added) = connect_components(&g);
+        assert_eq!(added, 0);
+        assert_eq!(fixed.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::with_hosts(0);
+        assert!(is_connected(&g));
+        assert_eq!(diameter_estimate(&g, 3, 1), 0);
+        assert_eq!(connected_components(&g).len(), 0);
+    }
+}

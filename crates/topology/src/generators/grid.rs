@@ -1,0 +1,108 @@
+//! Sensor-grid topology (§6.1 "Grid": 10K hosts in a 100×100 grid, each
+//! host has the hosts in the enclosing 2-unit square as neighbours, i.e.
+//! the Moore 8-neighbourhood).
+
+use crate::{Graph, GraphBuilder, HostId};
+
+/// `rows × cols` grid with Moore (8-neighbour) connectivity. Host at
+/// `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
+    let id = |r: usize, c: usize| HostId((r * cols + c) as u32);
+    let mut b = GraphBuilder::with_hosts(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            // Right, down-left, down, down-right: each undirected edge once.
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                if c > 0 {
+                    b.add_edge(id(r, c), id(r + 1, c - 1));
+                }
+                b.add_edge(id(r, c), id(r + 1, c));
+                if c + 1 < cols {
+                    b.add_edge(id(r, c), id(r + 1, c + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Square `side × side` grid (the paper's configuration is
+/// `grid_square(100)`).
+pub fn grid_square(side: usize) -> Graph {
+    grid(side, side)
+}
+
+/// Row/column coordinates of a host in a grid with `cols` columns.
+pub fn grid_coords(h: HostId, cols: usize) -> (usize, usize) {
+    (h.index() / cols, h.index() % cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let g = grid_square(100);
+        assert_eq!(g.num_hosts(), 10_000);
+        // Moore-neighbourhood edge count: horizontal + vertical + 2 diagonal
+        // families.
+        let expected = 99 * 100 * 2 + 99 * 99 * 2;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn interior_host_has_eight_neighbors() {
+        let g = grid_square(5);
+        // host (2,2) = id 12 is interior.
+        assert_eq!(g.degree(HostId(12)), 8);
+    }
+
+    #[test]
+    fn corner_host_has_three_neighbors() {
+        let g = grid_square(5);
+        assert_eq!(g.degree(HostId(0)), 3);
+        assert_eq!(g.degree(HostId(24)), 3);
+    }
+
+    #[test]
+    fn edge_host_has_five_neighbors() {
+        let g = grid_square(5);
+        // host (0,2) = id 2 on the top edge.
+        assert_eq!(g.degree(HostId(2)), 5);
+    }
+
+    #[test]
+    fn grid_is_connected_with_chebyshev_diameter() {
+        let g = grid_square(20);
+        assert!(analysis::is_connected(&g));
+        // Moore moves allow diagonal steps: diameter = side - 1.
+        assert_eq!(analysis::diameter_exact(&g), 19);
+    }
+
+    #[test]
+    fn rectangular_grid() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_hosts(), 12);
+        assert!(analysis::is_connected(&g));
+        assert_eq!(grid_coords(HostId(7), 4), (1, 3));
+    }
+
+    #[test]
+    fn single_host_grid() {
+        let g = grid(1, 1);
+        assert_eq!(g.num_hosts(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_grid() {
+        grid(0, 5);
+    }
+}

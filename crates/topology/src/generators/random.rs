@@ -1,0 +1,110 @@
+//! Uniform random graphs (the §6.1 "Random" topology).
+
+use crate::analysis::connect_components;
+use crate::{Graph, GraphBuilder, HostId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `G(n, p)` with `p` chosen so the expected average degree is
+/// `avg_degree`, then patched to a single connected component (§6.1:
+/// *"constructed by placing an edge between pairs of hosts with uniform
+/// probability such that average degree is 5"*).
+///
+/// Uses geometric edge skipping so generation is `O(|E|)` rather than
+/// `O(n²)`, which matters at the paper's 40K-host scale.
+pub fn random_average_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two hosts");
+    let p = (avg_degree / (n as f64 - 1.0)).clamp(0.0, 1.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_hosts(n);
+
+    if p >= 1.0 {
+        for a in 0..n as u32 {
+            for bb in (a + 1)..n as u32 {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+        }
+        return b.build();
+    }
+    if p > 0.0 {
+        // Iterate over the implicit index of pairs (a, b), a < b, skipping
+        // ahead by geometric jumps (Batagelj & Brandes style).
+        let log_1p = (1.0 - p).ln();
+        let mut a: i64 = 1;
+        let mut bb: i64 = -1;
+        let n = n as i64;
+        while a < n {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            bb += 1 + ((1.0 - r).ln() / log_1p) as i64;
+            while bb >= a && a < n {
+                bb -= a;
+                a += 1;
+            }
+            if a < n {
+                b.add_edge(HostId(bb as u32), HostId(a as u32));
+            }
+        }
+    }
+    let g = b.build();
+    let (g, _) = connect_components(&g);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let g = random_average_degree(10_000, 5.0, 1);
+        let avg = g.average_degree();
+        assert!((4.5..5.5).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_average_degree(500, 5.0, 7);
+        let b = random_average_degree(500, 5.0, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for h in a.hosts() {
+            assert_eq!(a.neighbors(h), b.neighbors(h));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_average_degree(500, 5.0, 7);
+        let b = random_average_degree(500, 5.0, 8);
+        let same = a.hosts().all(|h| a.neighbors(h) == b.neighbors(h));
+        assert!(!same);
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..5 {
+            let g = random_average_degree(300, 2.0, seed);
+            assert!(analysis::is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn small_world_diameter() {
+        // §3.2: information networks exhibit small diameters.
+        let g = random_average_degree(5_000, 5.0, 3);
+        let d = analysis::diameter_estimate(&g, 4, 5);
+        assert!(d <= 15, "diameter {d} too large for a random graph");
+    }
+
+    #[test]
+    fn dense_limit_is_complete() {
+        let g = random_average_degree(6, 5.0, 0);
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn rejects_tiny_networks() {
+        random_average_degree(1, 5.0, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Adversarial constructions from the paper's proofs.
+//!
+//! * [`chain`] — the host chain used in the proof of Theorem 4.1
+//!   (impossibility of Snapshot Validity): a query initiated at one end of
+//!   a `k+1` chain cannot observe value changes at the far end in time.
+//! * [`one_connected`] — the construction of Theorem 4.2 (impossibility
+//!   of Interval Validity): a host `h` whose only connection to `hq` runs
+//!   through a cut vertex `h'`.
+//! * [`cycle_with_spur`] — the instance of Theorem 4.4 on which
+//!   SPANNINGTREE returns `|H| ≤ |HC|/e` after a single failure: `2n+2`
+//!   hosts in a cycle with one extra host attached at the antipode.
+//! * [`star`], [`complete`] — utility extremes for tests.
+
+use crate::{Graph, GraphBuilder, HostId};
+
+/// A chain `h0 - h1 - ... - h_{n-1}`.
+pub fn chain(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_hosts(n);
+    for i in 1..n {
+        b.add_edge(HostId(i as u32 - 1), HostId(i as u32));
+    }
+    b.build()
+}
+
+/// A cycle over `n` hosts.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs >= 3 hosts");
+    let mut b = GraphBuilder::with_hosts(n);
+    for i in 0..n {
+        b.add_edge(HostId(i as u32), HostId(((i + 1) % n) as u32));
+    }
+    b.build()
+}
+
+/// Theorem 4.2 construction: a chain `hq=h0 - h' = h1 - h = h2`, where
+/// `h1` is the cut vertex whose failure disconnects `h` from `hq`, padded
+/// with `extra` additional hosts hanging off `hq` so the graph is not
+/// degenerate. Returns `(graph, hq, cut_vertex, stranded_host)`.
+pub fn one_connected(extra: usize) -> (Graph, HostId, HostId, HostId) {
+    let n = 3 + extra;
+    let mut b = GraphBuilder::with_hosts(n);
+    b.add_edge(HostId(0), HostId(1));
+    b.add_edge(HostId(1), HostId(2));
+    for i in 0..extra {
+        b.add_edge(HostId(0), HostId(3 + i as u32));
+    }
+    (b.build(), HostId(0), HostId(1), HostId(2))
+}
+
+/// Theorem 4.4 construction: `2n+2` hosts `h0..h_{2n+1}` arranged in a
+/// cycle, plus host `h_{2n+2}` attached to the cycle at `h_{n+1}` with a
+/// single edge. The query host is `h0`; failing its cycle neighbour `h1`
+/// right after broadcast makes SPANNINGTREE lose the longer chain.
+///
+/// Returns `(graph, hq, first_victim)` where `first_victim = h1`.
+pub fn cycle_with_spur(n: usize) -> (Graph, HostId, HostId) {
+    assert!(n >= 1, "need n >= 1");
+    let cycle_len = 2 * n + 2;
+    let mut b = GraphBuilder::with_hosts(cycle_len + 1);
+    for i in 0..cycle_len {
+        b.add_edge(HostId(i as u32), HostId(((i + 1) % cycle_len) as u32));
+    }
+    b.add_edge(HostId((n + 1) as u32), HostId(cycle_len as u32));
+    (b.build(), HostId(0), HostId(1))
+}
+
+/// A star: host 0 connected to all others.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_hosts(n);
+    for i in 1..n {
+        b.add_edge(HostId(0), HostId(i as u32));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_hosts(n);
+    for a in 0..n as u32 {
+        for bb in (a + 1)..n as u32 {
+            b.add_edge(HostId(a), HostId(bb));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(analysis::diameter_exact(&g), 4);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(8);
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.hosts().all(|h| g.degree(h) == 2));
+    }
+
+    #[test]
+    fn one_connected_cut_vertex_disconnects() {
+        let (g, hq, cut, stranded) = one_connected(3);
+        assert!(analysis::is_connected(&g));
+        let d = analysis::bfs_distances_filtered(&g, hq, |h| h != cut);
+        assert_eq!(d[stranded.index()], analysis::UNREACHABLE);
+    }
+
+    #[test]
+    fn cycle_with_spur_theorem_4_4_shape() {
+        let n = 5;
+        let (g, hq, victim) = cycle_with_spur(n);
+        assert_eq!(g.num_hosts(), 2 * n + 3);
+        assert_eq!(g.num_edges(), 2 * n + 3);
+        assert_eq!(g.degree(hq), 2);
+        assert_eq!(g.degree(victim), 2);
+        // The spur host has degree 1 and hangs off the antipode h_{n+1}.
+        assert_eq!(g.degree(HostId(2 * n as u32 + 2)), 1);
+        assert_eq!(g.degree(HostId(n as u32 + 1)), 3);
+        // Even after the victim fails the network stays connected (the
+        // other arc of the cycle survives) - that is the crux of Thm 4.4:
+        // HC is still almost everything, yet SPANNINGTREE reports half.
+        let d = analysis::bfs_distances_filtered(&g, hq, |h| h != victim);
+        let unreachable = d.iter().filter(|&&x| x == analysis::UNREACHABLE).count();
+        assert_eq!(unreachable, 1); // only the failed host itself
+    }
+
+    #[test]
+    fn star_and_complete() {
+        let s = star(10);
+        assert_eq!(s.degree(HostId(0)), 9);
+        assert_eq!(analysis::diameter_exact(&s), 2);
+        let k = complete(6);
+        assert_eq!(k.num_edges(), 15);
+        assert_eq!(analysis::diameter_exact(&k), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Undirected simple graph over hosts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a host in the network.
+///
+/// The paper uses `h` for both the host identity and its attribute value
+/// (§3, footnote 2); here `HostId` is only the identity — attribute values
+/// live in the workload layer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// The id as a `usize` index, for array-backed host tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+/// An undirected simple graph `G = (H, E)` (§3.1).
+///
+/// Hosts are identified by dense ids `0..n`. Adjacency lists are kept
+/// sorted and deduplicated so iteration order (and therefore every
+/// simulation built on top) is deterministic.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<HostId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// An empty graph with `n` isolated hosts.
+    pub fn with_hosts(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of hosts `|H|`.
+    #[inline]
+    pub fn num_hosts(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Average degree `2|E| / |H|`.
+    pub fn average_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.adjacency.len() as f64
+    }
+
+    /// Neighbours `N(h)` of a host, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, h: HostId) -> &[HostId] {
+        &self.adjacency[h.index()]
+    }
+
+    /// Degree of a host.
+    #[inline]
+    pub fn degree(&self, h: HostId) -> usize {
+        self.adjacency[h.index()].len()
+    }
+
+    /// Whether `(a, b)` is an edge. `O(log deg(a))`.
+    pub fn has_edge(&self, a: HostId, b: HostId) -> bool {
+        self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all hosts.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.adjacency.len() as u32).map(HostId)
+    }
+
+    /// Iterator over all undirected edges, each reported once with
+    /// `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (HostId, HostId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(a, nbrs)| {
+            let a = HostId(a as u32);
+            nbrs.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Degree histogram: `hist[d]` = number of hosts with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max_deg = self.adjacency.iter().map(Vec::len).max().unwrap_or(0);
+        let mut hist = vec![0usize; max_deg + 1];
+        for nbrs in &self.adjacency {
+            hist[nbrs.len()] += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("hosts", &self.num_hosts())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`]; tolerates duplicate edge insertions
+/// and self-loops (both ignored), which keeps random generators simple.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    adjacency: Vec<Vec<HostId>>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` hosts.
+    pub fn with_hosts(n: usize) -> Self {
+        GraphBuilder {
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Add the undirected edge `(a, b)`. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: HostId, b: HostId) {
+        if a == b {
+            return;
+        }
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+    }
+
+    /// Current degree of `h` counting duplicates (an upper bound on the
+    /// final degree).
+    pub fn raw_degree(&self, h: HostId) -> usize {
+        self.adjacency[h.index()].len()
+    }
+
+    /// Finalize: sort adjacency lists, drop duplicate edges.
+    pub fn build(mut self) -> Graph {
+        let mut num_edges = 0;
+        for nbrs in &mut self.adjacency {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            num_edges += nbrs.len();
+        }
+        Graph {
+            adjacency: self.adjacency,
+            num_edges: num_edges / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::with_hosts(3);
+        b.add_edge(HostId(0), HostId(1));
+        b.add_edge(HostId(1), HostId(2));
+        b.add_edge(HostId(2), HostId(0));
+        b.build()
+    }
+
+    #[test]
+    fn counts_hosts_and_edges() {
+        let g = triangle();
+        assert_eq!(g.num_hosts(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_are_ignored() {
+        let mut b = GraphBuilder::with_hosts(2);
+        b.add_edge(HostId(0), HostId(1));
+        b.add_edge(HostId(1), HostId(0));
+        b.add_edge(HostId(0), HostId(0));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(HostId(0)), 1);
+        assert_eq!(g.degree(HostId(1)), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::with_hosts(4);
+        b.add_edge(HostId(0), HostId(3));
+        b.add_edge(HostId(0), HostId(1));
+        b.add_edge(HostId(0), HostId(2));
+        let g = b.build();
+        assert_eq!(g.neighbors(HostId(0)), &[HostId(1), HostId(2), HostId(3)]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle();
+        for (a, b) in g.edges() {
+            assert!(g.has_edge(a, b));
+            assert!(g.has_edge(b, a));
+        }
+        assert!(!g.has_edge(HostId(0), HostId(0)));
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_host_count() {
+        let g = triangle();
+        let hist = g.degree_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), g.num_hosts());
+        assert_eq!(hist[2], 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::with_hosts(0);
+        assert_eq!(g.num_hosts(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let g = triangle();
+        let c = g.clone();
+        assert_eq!(c.num_hosts(), g.num_hosts());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for h in g.hosts() {
+            assert_eq!(c.neighbors(h), g.neighbors(h));
+        }
+    }
+}

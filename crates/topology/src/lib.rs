@@ -1,0 +1,39 @@
+//! Network topology models and generators for the reproduction of
+//! *"The Price of Validity in Dynamic Networks"* (Bawa, Gionis,
+//! Garcia-Molina, Motwani; SIGMOD 2004 / JCSS 73(2007)).
+//!
+//! The paper models the network as an undirected graph `G = (H, E)` over a
+//! set of hosts `H` with symmetric neighbour relations (§3.1). This crate
+//! provides:
+//!
+//! * [`Graph`] — a compact undirected simple graph keyed by [`HostId`];
+//! * [`generators`] — the four evaluation topologies of §6.1 (**Gnutella**,
+//!   **Random**, **Power-law**, **Grid**) plus the adversarial
+//!   constructions used in the proofs of Theorems 4.1, 4.2 and 4.4 and a
+//!   DHT-style identifier ring used by the §5.4 size estimators;
+//! * [`analysis`] — BFS distances, diameter estimation, connected
+//!   components and alive-subgraph reachability (the building block of the
+//!   oracle's `HC` computation);
+//! * [`ring`] — a consistent-hashing identifier ring substrate for the
+//!   protocol-specific size estimator of §5.4.
+//!
+//! # Example
+//!
+//! ```
+//! use pov_topology::{generators, analysis};
+//!
+//! let g = generators::random_average_degree(1_000, 5.0, 42);
+//! assert_eq!(g.num_hosts(), 1_000);
+//! let d = analysis::diameter_estimate(&g, 8, 7);
+//! assert!(d > 1 && d < 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod generators;
+mod graph;
+pub mod ring;
+
+pub use graph::{Graph, GraphBuilder, HostId};

@@ -1,0 +1,218 @@
+//! Identifier-ring overlay (Chord/Viceroy-style) for the protocol-specific
+//! size estimator of §5.4.
+//!
+//! Some P2P protocols \[23,34,36\] assign hosts random identifiers on a unit
+//! ring; each host manages the segment between its own identifier and its
+//! immediate clockwise predecessor. §5.4 observes that if `Xs` is the sum
+//! of segment lengths managed by a sample of `s` hosts, then `s / Xs` is an
+//! unbiased estimator of `|H|`. [`IdentifierRing`] provides the substrate:
+//! random ids, segment lengths, joins and leaves.
+
+use crate::HostId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A unit-length identifier ring with hosts placed at random positions.
+#[derive(Clone, Debug)]
+pub struct IdentifierRing {
+    /// position → host, sorted by position (the ring order).
+    positions: BTreeMap<u64, HostId>,
+    /// host → position (inverse map; `u64::MAX` sentinel = absent).
+    of_host: Vec<Option<u64>>,
+    rng: SmallRng,
+}
+
+/// Resolution of the ring: positions are u64 fractions of the unit circle.
+const RING: f64 = u64::MAX as f64;
+
+impl IdentifierRing {
+    /// Create a ring with hosts `0..n` placed at random positions.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut ring = IdentifierRing {
+            positions: BTreeMap::new(),
+            of_host: vec![None; n],
+            rng: SmallRng::seed_from_u64(seed),
+        };
+        for h in 0..n {
+            ring.join(HostId(h as u32));
+        }
+        ring
+    }
+
+    /// Number of hosts currently on the ring.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Place a host at a fresh random position. No-op if already present.
+    pub fn join(&mut self, h: HostId) {
+        if h.index() >= self.of_host.len() {
+            self.of_host.resize(h.index() + 1, None);
+        }
+        if self.of_host[h.index()].is_some() {
+            return;
+        }
+        loop {
+            let pos: u64 = self.rng.gen();
+            if let std::collections::btree_map::Entry::Vacant(e) = self.positions.entry(pos) {
+                e.insert(h);
+                self.of_host[h.index()] = Some(pos);
+                return;
+            }
+        }
+    }
+
+    /// Remove a host from the ring (host failure). No-op if absent.
+    pub fn leave(&mut self, h: HostId) {
+        if let Some(pos) = self.of_host.get(h.index()).copied().flatten() {
+            self.positions.remove(&pos);
+            self.of_host[h.index()] = None;
+        }
+    }
+
+    /// Whether `h` is currently on the ring.
+    pub fn contains(&self, h: HostId) -> bool {
+        self.of_host.get(h.index()).copied().flatten().is_some()
+    }
+
+    /// The length (fraction of the unit circle) of the segment managed by
+    /// `h`: the arc from its immediate counter-clockwise predecessor to
+    /// itself. Returns `None` if `h` is not on the ring.
+    pub fn segment_length(&self, h: HostId) -> Option<f64> {
+        let pos = self.of_host.get(h.index()).copied().flatten()?;
+        if self.positions.len() == 1 {
+            return Some(1.0);
+        }
+        let pred = self
+            .positions
+            .range(..pos)
+            .next_back()
+            .or_else(|| self.positions.iter().next_back())
+            .map(|(&p, _)| p)
+            .expect("ring has >= 2 hosts");
+        let arc = pos.wrapping_sub(pred);
+        Some(arc as f64 / RING)
+    }
+
+    /// Sample `s` distinct hosts uniformly at random from the ring.
+    /// Returns fewer if the ring holds fewer than `s` hosts.
+    pub fn sample(&mut self, s: usize) -> Vec<HostId> {
+        let hosts: Vec<HostId> = self.positions.values().copied().collect();
+        let mut picked = Vec::with_capacity(s.min(hosts.len()));
+        let mut idx: Vec<usize> = (0..hosts.len()).collect();
+        for i in 0..s.min(hosts.len()) {
+            let j = self.rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+            picked.push(hosts[idx[i]]);
+        }
+        picked
+    }
+
+    /// The §5.4 unbiased size estimate from a host sample: `s / Xs` where
+    /// `Xs` is the total segment length managed by the sample.
+    pub fn size_estimate(&self, sample: &[HostId]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &h in sample {
+            total += self.segment_length(h)?;
+            count += 1;
+        }
+        if count == 0 || total <= 0.0 {
+            None
+        } else {
+            Some(count as f64 / total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_sum_to_one() {
+        let ring = IdentifierRing::new(100, 42);
+        let total: f64 = (0..100)
+            .map(|h| ring.segment_length(HostId(h)).unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn singleton_owns_whole_ring() {
+        let ring = IdentifierRing::new(1, 0);
+        assert_eq!(ring.segment_length(HostId(0)), Some(1.0));
+    }
+
+    #[test]
+    fn join_and_leave() {
+        let mut ring = IdentifierRing::new(10, 1);
+        assert_eq!(ring.len(), 10);
+        ring.leave(HostId(3));
+        assert_eq!(ring.len(), 9);
+        assert!(!ring.contains(HostId(3)));
+        assert_eq!(ring.segment_length(HostId(3)), None);
+        ring.join(HostId(3));
+        assert_eq!(ring.len(), 10);
+        // Segments still partition the circle after churn.
+        let total: f64 = (0..10).filter_map(|h| ring.segment_length(HostId(h))).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_join_is_noop() {
+        let mut ring = IdentifierRing::new(5, 2);
+        ring.join(HostId(2));
+        assert_eq!(ring.len(), 5);
+    }
+
+    #[test]
+    fn full_sample_estimate_is_exact() {
+        // With the entire population sampled, Xs = 1 so the estimate is
+        // exactly |H|.
+        let ring = IdentifierRing::new(64, 9);
+        let all: Vec<HostId> = (0..64).map(HostId).collect();
+        let est = ring.size_estimate(&all).unwrap();
+        assert!((est - 64.0).abs() < 1e-6, "estimate {est}");
+    }
+
+    #[test]
+    fn sampled_estimate_is_in_the_ballpark() {
+        let mut ring = IdentifierRing::new(10_000, 13);
+        // Average over independent samples: the estimator is unbiased, so
+        // the mean should land near the true size.
+        let mut acc = 0.0;
+        let trials = 40;
+        for _ in 0..trials {
+            let sample = ring.sample(200);
+            acc += ring.size_estimate(&sample).unwrap();
+        }
+        let mean = acc / trials as f64;
+        assert!(
+            (5_000.0..20_000.0).contains(&mean),
+            "mean estimate {mean} too far from 10000"
+        );
+    }
+
+    #[test]
+    fn sample_is_distinct() {
+        let mut ring = IdentifierRing::new(50, 3);
+        let s = ring.sample(50);
+        let mut ids: Vec<u32> = s.iter().map(|h| h.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn sample_larger_than_population() {
+        let mut ring = IdentifierRing::new(5, 3);
+        assert_eq!(ring.sample(10).len(), 5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for graphs, generators and analysis.
+
+use pov_topology::generators::{self, TopologyKind};
+use pov_topology::{analysis, GraphBuilder, HostId};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` hosts.
+fn edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..(3 * n as usize))
+}
+
+proptest! {
+    #[test]
+    fn builder_produces_simple_graphs(n in 2u32..40, es in edges(40)) {
+        let mut b = GraphBuilder::with_hosts(n as usize);
+        for (a, bb) in es {
+            if a < n && bb < n {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+        }
+        let g = b.build();
+        // No self-loops, sorted unique neighbours, symmetric edges.
+        for h in g.hosts() {
+            let nbrs = g.neighbors(h);
+            prop_assert!(!nbrs.contains(&h));
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            for &m in nbrs {
+                prop_assert!(g.has_edge(m, h));
+            }
+        }
+        // Handshake lemma.
+        let degree_sum: usize = g.hosts().map(|h| g.degree(h)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn bfs_satisfies_edge_lipschitz(n in 2u32..30, es in edges(30)) {
+        let mut b = GraphBuilder::with_hosts(n as usize);
+        for (a, bb) in es {
+            if a < n && bb < n {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+        }
+        let g = b.build();
+        let d = analysis::bfs_distances(&g, HostId(0));
+        prop_assert_eq!(d[0], 0);
+        // Along every edge distances differ by at most 1 (when finite).
+        for (a, bb) in g.edges() {
+            let (da, db) = (d[a.index()], d[bb.index()]);
+            if da != analysis::UNREACHABLE && db != analysis::UNREACHABLE {
+                prop_assert!(da.abs_diff(db) <= 1);
+            } else {
+                // One endpoint reachable forces the other reachable.
+                prop_assert_eq!(da, db);
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_hosts(n in 1u32..40, es in edges(40)) {
+        let mut b = GraphBuilder::with_hosts(n as usize);
+        for (a, bb) in es {
+            if a < n && bb < n {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+        }
+        let g = b.build();
+        let comps = analysis::connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_hosts());
+        let mut all: Vec<HostId> = comps.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), g.num_hosts());
+    }
+
+    #[test]
+    fn connect_components_connects(n in 2u32..40, es in edges(40)) {
+        let mut b = GraphBuilder::with_hosts(n as usize);
+        for (a, bb) in es {
+            if a < n && bb < n {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+        }
+        let g = b.build();
+        let (fixed, added) = analysis::connect_components(&g);
+        prop_assert!(analysis::is_connected(&fixed));
+        prop_assert_eq!(fixed.num_edges(), g.num_edges() + added);
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_true_diameter(n in 2u32..25, es in edges(25)) {
+        let mut b = GraphBuilder::with_hosts(n as usize);
+        b.add_edge(HostId(0), HostId(1)); // ensure at least one edge
+        for (a, bb) in es {
+            if a < n && bb < n {
+                b.add_edge(HostId(a), HostId(bb));
+            }
+        }
+        let g = b.build();
+        let exact = analysis::diameter_exact(&g);
+        let est = analysis::diameter_estimate(&g, 4, 7);
+        prop_assert!(est <= exact, "estimate {est} > exact {exact}");
+    }
+
+    #[test]
+    fn generators_meet_contract(seed in 0u64..50, n in 60usize..200) {
+        for kind in TopologyKind::ALL {
+            let g = kind.build(n, seed);
+            prop_assert!(analysis::is_connected(&g), "{}", kind.name());
+            // Grid rounds |H| down to the nearest perfect square.
+            let floor = if kind == TopologyKind::Grid {
+                let side = (n as f64).sqrt().floor() as usize;
+                side * side
+            } else {
+                n
+            };
+            prop_assert_eq!(g.num_hosts(), floor, "{}", kind.name());
+            prop_assert!(g.num_edges() >= g.num_hosts() - 1);
+        }
+    }
+
+    #[test]
+    fn grid_degrees_bounded_by_moore(side in 2usize..15) {
+        let g = generators::grid_square(side);
+        for h in g.hosts() {
+            let d = g.degree(h);
+            prop_assert!((3..=8).contains(&d), "degree {d}");
+        }
+    }
+
+    #[test]
+    fn cycle_with_spur_always_survives_victim(n in 1usize..20) {
+        let (g, hq, victim) = generators::special::cycle_with_spur(n);
+        let d = analysis::bfs_distances_filtered(&g, hq, |h| h != victim);
+        let unreachable = d
+            .iter()
+            .filter(|&&x| x == analysis::UNREACHABLE)
+            .count();
+        prop_assert_eq!(unreachable, 1);
+    }
+
+    #[test]
+    fn ring_segments_partition_circle(n in 1usize..200, seed in 0u64..100) {
+        let ring = pov_topology::ring::IdentifierRing::new(n, seed);
+        let total: f64 = (0..n as u32)
+            .filter_map(|h| ring.segment_length(HostId(h)))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use pov_core::pov_topology::{Graph, GraphBuilder, HostId};
+
+/// The Fig 5 / Example 5.1 four-host P2P network:
+/// `w(h0) — x(h1)`, `w — y(h2)`, `x — z(h3)`, `y — z(h3)`.
+pub fn example_5_1_graph() -> Graph {
+    let mut b = GraphBuilder::with_hosts(4);
+    b.add_edge(HostId(0), HostId(1));
+    b.add_edge(HostId(0), HostId(2));
+    b.add_edge(HostId(1), HostId(3));
+    b.add_edge(HostId(2), HostId(3));
+    b.build()
+}
+
+/// The Fig 5 attribute values: `A_w = 5, A_x = 15, A_y = 1, A_z = 25`.
+pub fn example_5_1_values() -> Vec<u64> {
+    vec![5, 15, 1, 25]
+}
+
+/// The Example 1.1 sensor network: 16 sensors in a 4×4 grid (Moore
+/// connectivity, matching Fig 1's dense sensor field).
+pub fn example_1_1_graph() -> Graph {
+    pov_core::pov_topology::generators::grid_square(4)
+}
