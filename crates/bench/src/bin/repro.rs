@@ -18,8 +18,29 @@ const ALL: &[&str] = &[
     "ablation", "ext",
 ];
 
+const USAGE: &str = "\
+repro — regenerate the tables and figures of the paper's §6
+
+USAGE:
+    repro [--paper] [EXPERIMENT]...
+
+OPTIONS:
+    --paper      run at the paper's full §6 sizes (default: quick scale)
+    -h, --help   print this help
+
+ARGUMENTS:
+    EXPERIMENT   subset to run (default: all); `repro list` prints them";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if let Some(bad) = args.iter().find(|a| a.starts_with('-') && *a != "--paper") {
+        eprintln!("unknown option '{bad}'\n\n{USAGE}");
+        std::process::exit(2);
+    }
     let scale = if args.iter().any(|a| a == "--paper") {
         Scale::Paper
     } else {
@@ -33,6 +54,11 @@ fn main() {
     if wanted.contains(&"list") {
         println!("experiments: {}", ALL.join(" "));
         return;
+    }
+    // Reject typos before any experiment spends work.
+    if let Some(bad) = wanted.iter().find(|w| !ALL.contains(w)) {
+        eprintln!("unknown experiment '{bad}' (try: repro list)");
+        std::process::exit(2);
     }
     if wanted.is_empty() {
         wanted = ALL.to_vec();

@@ -254,7 +254,23 @@ mod tests {
         // HC keeps tracking the (large) current population. This is why
         // the definition judges over a recent window.
         let n = 300;
-        let g = random_average_degree(n, 6.0, 7);
+        // hq needs stable links into the joining cohort (150..300), or the
+        // windowed HC collapses to {hq} as well once the original
+        // population has turned over. Guarantee that structurally rather
+        // than relying on the generator seed: anchor hq to every 10th
+        // early joiner, so it reaches the cohort's giant component no
+        // matter where the random edges landed.
+        let g = {
+            let base = random_average_degree(n, 6.0, 7);
+            let mut b = pov_topology::GraphBuilder::with_hosts(n);
+            for (a, bb) in base.edges() {
+                b.add_edge(a, bb);
+            }
+            for anchor in (150..250).step_by(10) {
+                b.add_edge(HostId(0), HostId(anchor));
+            }
+            b.build()
+        };
         // Hosts 1..150 leave at a uniform rate; hosts 150..300 start
         // dead and join at a uniform rate. Population stays ~150 strong.
         let mut churn = ChurnPlan::none();

@@ -68,3 +68,17 @@ pub mod prelude {
     pub use pov_topology::generators::TopologyKind;
     pub use pov_topology::{Graph, HostId};
 }
+
+#[cfg(test)]
+mod smoke {
+    use crate::prelude::*;
+
+    #[test]
+    fn crate_root_smoke() {
+        // The crate-level quick start at reduced scale: 100-host overlay,
+        // 10 failures mid-query, WILDFIRE max stays exactly valid.
+        let net = Network::build(TopologyKind::Random, 100, 42);
+        let answer = net.query(Aggregate::Max).churn(10).run(Protocol::Wildfire);
+        assert!(answer.verdict.is_valid());
+    }
+}

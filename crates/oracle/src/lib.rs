@@ -26,3 +26,29 @@ mod verdict;
 pub use bounds::{host_sets, HostSets};
 pub use semantics::{interval_bounds, interval_sets, interval_valid, snapshot_valid};
 pub use verdict::{aggregate_bounds, Verdict};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+    use pov_sim::{ChurnPlan, Ctx, NodeLogic, SimBuilder, Time};
+    use pov_topology::{generators::special, HostId};
+
+    struct Idle;
+    impl NodeLogic for Idle {
+        type Msg = ();
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+    }
+
+    #[test]
+    fn crate_root_smoke() {
+        let g = special::chain(4);
+        let mut sim = SimBuilder::new(g.clone())
+            .churn(ChurnPlan::none().with_failure(Time(1), HostId(1)))
+            .build(|_| Idle);
+        sim.run_until(Time(10));
+        let sets = host_sets(&g, sim.trace(), HostId(0), Time(0), Time(10));
+        // Host 1 died mid-interval: hosts 2 and 3 lose their stable path.
+        assert_eq!(sets.hc_len(), 1);
+        assert_eq!(sets.hu_len(), 4);
+    }
+}

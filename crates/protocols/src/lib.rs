@@ -28,3 +28,36 @@ pub mod wildfire;
 
 pub use common::{Aggregate, Operator, Partial, QuerySpec};
 pub use runner::{Outcome, ProtocolKind, RunConfig};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+    use crate::wildfire::WildfireOpts;
+    use pov_sim::{ChurnPlan, Medium};
+    use pov_topology::{generators::special, HostId};
+
+    #[test]
+    fn crate_root_smoke() {
+        // A 10-host WILDFIRE max round over a cycle, no churn: the exact
+        // maximum must come back (Theorem 5.1).
+        let g = special::cycle(10);
+        let values: Vec<u64> = (1..=10).collect();
+        let cfg = RunConfig {
+            aggregate: Aggregate::Max,
+            d_hat: 5,
+            c: 8,
+            medium: Medium::PointToPoint,
+            churn: ChurnPlan::none(),
+            seed: 42,
+            hq: HostId(0),
+        };
+        let outcome = runner::run(
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+            &g,
+            &values,
+            &cfg,
+        );
+        assert_eq!(outcome.value, Some(10.0));
+        assert!(outcome.metrics.messages_sent > 0);
+    }
+}

@@ -47,3 +47,43 @@ pub use metrics::Metrics;
 pub use node::NodeLogic;
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+    use pov_topology::generators::special;
+    use pov_topology::HostId;
+
+    /// Ten hosts on a cycle forward one token each; one host fails.
+    struct Forward {
+        seen: bool,
+    }
+
+    impl NodeLogic for Forward {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if ctx.me() == HostId(0) {
+                self.seen = true;
+                ctx.broadcast(());
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, from: HostId, _: ()) {
+            if !self.seen {
+                self.seen = true;
+                ctx.broadcast_except(Some(from), ());
+            }
+        }
+    }
+
+    #[test]
+    fn crate_root_smoke() {
+        let churn = ChurnPlan::none().with_failure(Time(2), HostId(5));
+        let mut sim = SimBuilder::new(special::cycle(10))
+            .churn(churn)
+            .build(|_| Forward { seen: false });
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.num_alive(), 9);
+        assert!(sim.metrics().messages_sent > 0);
+        assert_eq!(sim.trace().events.len(), 1);
+    }
+}

@@ -32,3 +32,22 @@ pub mod stats;
 pub use fm::{FmSketch, PHI, REGISTER_BITS};
 pub use histogram::{Buckets, HistogramSketch};
 pub use kmv::KmvSketch;
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crate_root_smoke() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut a = FmSketch::new(8);
+        a.insert_elements(100, &mut rng);
+        let mut b = FmSketch::new(8);
+        b.insert_elements(50, &mut rng);
+        let merged = a.clone().merged(&b);
+        assert!(merged.estimate() >= a.estimate());
+        assert!(!merged.is_empty());
+    }
+}

@@ -37,3 +37,20 @@ mod graph;
 pub mod ring;
 
 pub use graph::{Graph, GraphBuilder, HostId};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+
+    #[test]
+    fn crate_root_smoke() {
+        let mut b = GraphBuilder::with_hosts(4);
+        b.add_edge(HostId(0), HostId(1));
+        b.add_edge(HostId(1), HostId(2));
+        b.add_edge(HostId(2), HostId(3));
+        let g = b.build();
+        assert_eq!(g.num_hosts(), 4);
+        assert_eq!(g.neighbors(HostId(1)), &[HostId(0), HostId(2)]);
+        assert_eq!(generators::grid_square(3).num_hosts(), 9);
+    }
+}

@@ -61,8 +61,7 @@ fn main() {
     // overlay keeps the rotated population connected; preferential-
     // attachment graphs would also lose connectivity when the early hubs
     // leave, a separate effect.)
-    let turnover_graph =
-        pov_core::pov_topology::generators::random_average_degree(n, 8.0, 99);
+    let turnover_graph = pov_core::pov_topology::generators::random_average_degree(n, 8.0, 99);
     let horizon = window * windows as u64;
     let third = n as u32 / 3;
     let mut turnover = ChurnPlan::none();

@@ -1,0 +1,312 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment cannot reach crates.io, so the five property-test
+//! suites in this workspace run on this miniature re-implementation. It
+//! keeps the API the suites use — the [`proptest!`] macro (including
+//! `#![proptest_config(..)]`), [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! integer-range strategies, tuples, [`Just`], `prop::collection::vec` and
+//! `prop::array::uniform3`, and the `prop_assert*` macros — and runs each
+//! test over deterministic pseudo-random cases (seeded from the test name,
+//! so failures reproduce). It does **not** shrink counterexamples; swap the
+//! real proptest back in for minimal failing inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prop;
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest default is 256; keep the suite fast while still
+        // exploring a meaningful slice of the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case failed; mirrors `proptest::test_runner::TestCaseError`.
+/// The stub only ever constructs it from an explicit `return Err(..)` in a
+/// test body (none of the suites do today).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// Deterministic per-test RNG. Public only for use by the [`proptest!`]
+/// macro expansion.
+#[doc(hidden)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seeded from the test name, so every run of a given test sees the
+    /// same case sequence.
+    #[doc(hidden)]
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name; fixed offset basis keeps runs reproducible.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A recipe for generating values of `Self::Value`; mirrors
+/// `proptest::strategy::Strategy` (sampling only — no shrink trees).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Run each property as named `#[test]` functions over random cases.
+///
+/// Supports the subset of the real macro's grammar the suites use:
+/// an optional leading `#![proptest_config(expr)]`, then test functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    // Mirror real proptest: the body runs in a
+                    // `Result`-returning scope so `return Ok(())` works as
+                    // an early case-accept.
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!("proptest case {case} rejected: {e:?}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-flavoured name (no shrinking, so a plain
+/// panic is the whole failure report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pair {
+        n: u32,
+        xs: Vec<u64>,
+    }
+
+    fn pair(max_n: u32) -> impl Strategy<Value = Pair> {
+        (2..max_n)
+            .prop_flat_map(|n| (Just(n), prop::collection::vec(0u64..100, n as usize)))
+            .prop_map(|(n, xs)| Pair { n, xs })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 1usize..12, b in 0u64..200, c in 3u32..=7) {
+            prop_assert!((1..12).contains(&a));
+            prop_assert!(b < 200);
+            prop_assert!((3..=7).contains(&c));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(p in pair(20)) {
+            prop_assert_eq!(p.n as usize, p.xs.len());
+            prop_assert!(p.xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn collections_and_arrays(
+            v in prop::collection::vec((0u32..5, 0u32..5), 1..10),
+            a in prop::array::uniform3(0u64..1_000),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(a.iter().all(|&x| x < 1_000));
+            prop_assume!(v.len() > 1);
+            prop_assert_ne!(v.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The `prop::` namespace: collection and array strategies.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Lengths that [`vec`] accepts: a fixed size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniformly between `lo` (inclusive) and `hi` (exclusive).
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange::Range(*r.start(), r.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => {
+                    assert!(lo < hi, "cannot sample empty size range");
+                    rng.gen_range(lo..hi)
+                }
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array`).
+pub mod array {
+    use super::*;
+
+    macro_rules! uniform_array {
+        ($(#[$doc:meta] $fname:ident => $n:literal),+ $(,)?) => {$(
+            #[$doc]
+            pub fn $fname<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        )+};
+    }
+
+    uniform_array! {
+        /// Strategy for `[T; 2]` with every slot drawn from `element`.
+        uniform2 => 2,
+        /// Strategy for `[T; 3]` with every slot drawn from `element`.
+        uniform3 => 3,
+        /// Strategy for `[T; 4]` with every slot drawn from `element`.
+        uniform4 => 4,
+        /// Strategy for `[T; 5]` with every slot drawn from `element`.
+        uniform5 => 5,
+    }
+
+    /// Output of the `uniformN` constructors.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its wire and report
+//! types as forward-looking markers but never serializes anything (there is
+//! no `serde_json`/`bincode` in the tree), and the build environment cannot
+//! reach crates.io. So this crate provides the two trait names and no-op
+//! derive macros under the same paths the real crate exports; replacing it
+//! with real serde later is a Cargo.toml-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn derives_compile_on_all_shapes() {
+        #![allow(dead_code)]
+        #[derive(super::Serialize, super::Deserialize)]
+        struct Unit;
+        #[derive(super::Serialize, super::Deserialize)]
+        struct Tuple(u32, #[serde(skip)] u64);
+        #[derive(super::Serialize, super::Deserialize)]
+        #[serde(rename_all = "snake_case")]
+        enum Kind {
+            A,
+            B { x: f64 },
+        }
+        let _ = (Unit, Tuple(1, 2), Kind::A, Kind::B { x: 0.0 });
+    }
+}
