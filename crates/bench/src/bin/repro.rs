@@ -1,16 +1,24 @@
-//! `repro` — regenerate every table and figure of the paper's §6.
+//! `repro` — regenerate every table and figure of the paper's §6, and
+//! run declarative scenario batches.
 //!
 //! ```sh
-//! repro                  # all experiments at quick scale
-//! repro --paper          # all experiments at the paper's full sizes
-//! repro fig6 fig13b      # a subset
-//! repro list             # what exists
+//! repro                      # all experiments at quick scale
+//! repro --paper              # all experiments at the paper's full sizes
+//! repro fig6 fig13b          # a subset
+//! repro --json out.json      # also emit every experiment's rows as JSON
+//! repro list                 # what exists
+//!
+//! repro scenario scenarios/smoke.scn             # one scenario batch
+//! repro scenario a.scn b.scn --threads 8         # parallel batch runner
+//! repro scenario a.scn --json report.json        # machine-readable report
 //! ```
 
 use pov_bench::Scale;
 use pov_core::experiments::{
     ablation, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
 };
+use pov_core::report::Table;
+use pov_scenario::{run_batch, table_to_json, Json, Scenario};
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -22,14 +30,84 @@ const USAGE: &str = "\
 repro — regenerate the tables and figures of the paper's §6
 
 USAGE:
-    repro [--paper] [EXPERIMENT]...
+    repro [--paper] [--json PATH] [EXPERIMENT]...
+    repro scenario FILE... [--threads N] [--json PATH]
 
 OPTIONS:
-    --paper      run at the paper's full §6 sizes (default: quick scale)
-    -h, --help   print this help
+    --paper        run experiments at the paper's full §6 sizes (default: quick scale)
+    --threads N    worker threads for the scenario batch runner (default: 1)
+    --json PATH    write results as JSON to PATH (experiment rows, or scenario reports)
+    -h, --help     print this help
 
 ARGUMENTS:
-    EXPERIMENT   subset to run (default: all); `repro list` prints them";
+    EXPERIMENT     subset to run (default: all); `repro list` prints them
+    FILE           scenario spec (.scn) — see the README's \"Scenario files\" section";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Split `args` into flag values and positional arguments.
+struct Opts {
+    paper: bool,
+    threads: Option<usize>,
+    json: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        paper: false,
+        threads: None,
+        json: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => opts.paper = true,
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("'--threads' expects a value (e.g. --threads 8)"));
+                opts.threads = Some(parse_threads(v));
+            }
+            "--json" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("'--json' expects a file path (e.g. --json out.json)"));
+                opts.json = Some(v.clone());
+            }
+            other if other.starts_with('-') => {
+                fail(&format!("unknown option '{other}'"));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+fn parse_threads(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(0) => fail("'--threads 0' makes no progress; use at least 1"),
+        Ok(n) if n > 512 => fail(&format!(
+            "'--threads {n}' is past any plausible core count; use 1..=512"
+        )),
+        Ok(n) => n,
+        Err(_) => fail(&format!(
+            "'--threads' expects a positive integer, got '{v}'"
+        )),
+    }
+}
+
+fn write_json(path: &str, doc: &Json) {
+    if let Err(e) = std::fs::write(path, doc.render()) {
+        eprintln!("cannot write '{path}': {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[wrote {path}]");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,28 +115,105 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if let Some(bad) = args.iter().find(|a| a.starts_with('-') && *a != "--paper") {
-        eprintln!("unknown option '{bad}'\n\n{USAGE}");
-        std::process::exit(2);
+    if args.first().map(String::as_str) == Some("scenario") {
+        scenario_main(&args[1..]);
+    } else {
+        experiments_main(&args);
     }
-    let scale = if args.iter().any(|a| a == "--paper") {
+}
+
+// ---------------------------------------------------------------- scenarios
+
+fn scenario_main(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.paper {
+        fail("'--paper' applies to the figure experiments, not `repro scenario`");
+    }
+    if opts.positional.is_empty() {
+        fail("`repro scenario` needs at least one .scn file");
+    }
+    let threads = opts.threads.unwrap_or(1);
+    let mut reports = Vec::new();
+    for path in &opts.positional {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read '{path}': {e}");
+                std::process::exit(1);
+            }
+        };
+        let scn: Scenario = match text.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let start = Instant::now();
+        let report = run_batch(&scn, threads);
+        println!("{}", summary_table(&report));
+        eprintln!(
+            "[{} done: {} runs on {} thread(s) in {:.1?}]\n",
+            report.scenario,
+            report.runs,
+            threads,
+            start.elapsed()
+        );
+        reports.push(report);
+    }
+    if let Some(path) = &opts.json {
+        let doc = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
+        write_json(path, &doc);
+    }
+}
+
+fn summary_table(report: &pov_scenario::Report) -> Table {
+    let title = format!(
+        "scenario '{}' — {} on {} (n = {}, D̂ = {}, churn = {}): {} runs, {:.0}% declared, {:.0}% valid",
+        report.scenario,
+        report.protocol,
+        report.topology,
+        report.n,
+        report.d_hat,
+        report.churn_model,
+        report.runs,
+        report.declared_fraction * 100.0,
+        report.valid_fraction * 100.0,
+    );
+    let mut t = Table::new(title, &["metric", "mean", "stddev", "min", "max", "count"]);
+    for &(name, agg) in &report.metrics {
+        t.push(vec![
+            name.to_string(),
+            format!("{:.2}", agg.mean),
+            format!("{:.2}", agg.stddev),
+            format!("{:.2}", agg.min),
+            format!("{:.2}", agg.max),
+            agg.count.to_string(),
+        ]);
+    }
+    t
+}
+
+// -------------------------------------------------------------- experiments
+
+fn experiments_main(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.threads.is_some() {
+        fail("'--threads' only applies to `repro scenario` (experiments run one trial at a time)");
+    }
+    let scale = if opts.paper {
         Scale::Paper
     } else {
         Scale::Quick
     };
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut wanted: Vec<&str> = opts.positional.iter().map(String::as_str).collect();
     if wanted.contains(&"list") {
         println!("experiments: {}", ALL.join(" "));
         return;
     }
     // Reject typos before any experiment spends work.
     if let Some(bad) = wanted.iter().find(|w| !ALL.contains(w)) {
-        eprintln!("unknown experiment '{bad}' (try: repro list)");
-        std::process::exit(2);
+        fail(&format!("unknown experiment '{bad}' (try: repro list)"));
     }
     if wanted.is_empty() {
         wanted = ALL.to_vec();
@@ -68,87 +223,118 @@ fn main() {
         "# The Price of Validity — reproduction harness ({:?} scale)\n",
         scale
     );
+    let mut emitted: Vec<(String, Vec<Table>)> = Vec::new();
     for name in wanted {
         let start = Instant::now();
-        match name {
-            "fig6" => {
-                let cfg = scale.fig06();
-                println!("{}", fig06::table(&fig06::run(&cfg)));
-            }
-            "fig7" => {
-                let cfg = scale.fig07();
-                println!("{}", validity::table(&cfg, &validity::run(&cfg)));
-            }
-            "fig8" => {
-                let cfg = scale.fig08();
-                println!("{}", validity::table(&cfg, &validity::run(&cfg)));
-            }
-            "fig9" => {
-                let cfg = scale.fig09();
-                println!("{}", validity::table(&cfg, &validity::run(&cfg)));
-            }
-            "fig10" => {
-                let cfg = scale.fig10();
-                let rows = fig10::run(&cfg);
-                println!("{}", fig10::table(&rows));
-                println!("WILDFIRE/SPANNINGTREE message ratios:");
-                for (topo, n, ratio) in fig10::price_ratios(&rows) {
-                    println!("  {topo:<10} |H|={n:<6} {ratio:.2}x");
-                }
-                println!();
-            }
-            "fig11" => {
-                let cfg = scale.fig11();
-                println!("{}", fig11::table(&fig11::run(&cfg)));
-            }
-            "fig12" => {
-                let cfg = scale.fig12();
-                let rows = fig12::run(&cfg);
-                println!("{}", fig12::table(&rows));
-                println!("max computation-cost ratios (WILDFIRE/SPANNINGTREE):");
-                for (topo, ratio) in fig12::max_ratios(&rows) {
-                    println!("  {topo:<10} {ratio:.1}x");
-                }
-                println!();
-            }
-            "fig13a" => {
-                let cfg = scale.fig13();
-                println!("{}", fig13::time_table(&fig13::run_time_cost(&cfg)));
-            }
-            "fig13b" => {
-                let cfg = scale.fig13();
-                let profiles = fig13::run_profile(&cfg);
-                println!("{}", fig13::profile_table(&profiles));
-                for p in &profiles {
-                    let series: Vec<String> =
-                        p.sent_per_tick.iter().map(|c| c.to_string()).collect();
-                    println!("  {} per-tick: [{}]", p.topology, series.join(", "));
-                }
-                println!();
-            }
-            "price" => {
-                let cfg = scale.price();
-                println!("{}", price::table(&price::run(&cfg)));
-            }
-            "ablation" => {
-                let cfg = scale.ablation();
-                println!("{}", ablation::table(&ablation::run(&cfg)));
-            }
-            "ext" => {
-                let cfg = match scale {
-                    Scale::Paper => ext_accuracy::Config::paper(),
-                    Scale::Quick => ext_accuracy::Config {
-                        n: 20_000,
-                        ..ext_accuracy::Config::paper()
-                    },
-                };
-                println!("{}", ext_accuracy::table(&cfg, &ext_accuracy::run(&cfg)));
-            }
-            other => {
-                eprintln!("unknown experiment '{other}' (try: repro list)");
-                std::process::exit(2);
-            }
-        }
+        let tables = run_experiment(name, scale);
+        emitted.push((name.to_string(), tables));
         eprintln!("[{name} done in {:.1?}]\n", start.elapsed());
     }
+    if let Some(path) = &opts.json {
+        let doc = Json::obj().with("scale", format!("{scale:?}")).with(
+            "experiments",
+            Json::Arr(
+                emitted
+                    .iter()
+                    .map(|(name, tables)| {
+                        Json::obj().with("experiment", name.as_str()).with(
+                            "tables",
+                            Json::Arr(tables.iter().map(table_to_json).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+        write_json(path, &doc);
+    }
+}
+
+/// Run one experiment: print its tables (then any supplementary lines,
+/// matching the original report order) and return the tables for `--json`.
+fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
+    let tables = match name {
+        "fig6" => {
+            let cfg = scale.fig06();
+            vec![fig06::table(&fig06::run(&cfg))]
+        }
+        "fig7" => {
+            let cfg = scale.fig07();
+            vec![validity::table(&cfg, &validity::run(&cfg))]
+        }
+        "fig8" => {
+            let cfg = scale.fig08();
+            vec![validity::table(&cfg, &validity::run(&cfg))]
+        }
+        "fig9" => {
+            let cfg = scale.fig09();
+            vec![validity::table(&cfg, &validity::run(&cfg))]
+        }
+        "fig10" => {
+            let cfg = scale.fig10();
+            let rows = fig10::run(&cfg);
+            let t = fig10::table(&rows);
+            println!("{t}");
+            println!("WILDFIRE/SPANNINGTREE message ratios:");
+            for (topo, n, ratio) in fig10::price_ratios(&rows) {
+                println!("  {topo:<10} |H|={n:<6} {ratio:.2}x");
+            }
+            println!();
+            return vec![t];
+        }
+        "fig11" => {
+            let cfg = scale.fig11();
+            vec![fig11::table(&fig11::run(&cfg))]
+        }
+        "fig12" => {
+            let cfg = scale.fig12();
+            let rows = fig12::run(&cfg);
+            let t = fig12::table(&rows);
+            println!("{t}");
+            println!("max computation-cost ratios (WILDFIRE/SPANNINGTREE):");
+            for (topo, ratio) in fig12::max_ratios(&rows) {
+                println!("  {topo:<10} {ratio:.1}x");
+            }
+            println!();
+            return vec![t];
+        }
+        "fig13a" => {
+            let cfg = scale.fig13();
+            vec![fig13::time_table(&fig13::run_time_cost(&cfg))]
+        }
+        "fig13b" => {
+            let cfg = scale.fig13();
+            let profiles = fig13::run_profile(&cfg);
+            let t = fig13::profile_table(&profiles);
+            println!("{t}");
+            for p in &profiles {
+                let series: Vec<String> = p.sent_per_tick.iter().map(|c| c.to_string()).collect();
+                println!("  {} per-tick: [{}]", p.topology, series.join(", "));
+            }
+            println!();
+            return vec![t];
+        }
+        "price" => {
+            let cfg = scale.price();
+            vec![price::table(&price::run(&cfg))]
+        }
+        "ablation" => {
+            let cfg = scale.ablation();
+            vec![ablation::table(&ablation::run(&cfg))]
+        }
+        "ext" => {
+            let cfg = match scale {
+                Scale::Paper => ext_accuracy::Config::paper(),
+                Scale::Quick => ext_accuracy::Config {
+                    n: 20_000,
+                    ..ext_accuracy::Config::paper()
+                },
+            };
+            vec![ext_accuracy::table(&cfg, &ext_accuracy::run(&cfg))]
+        }
+        other => fail(&format!("unknown experiment '{other}' (try: repro list)")),
+    };
+    for t in &tables {
+        println!("{t}");
+    }
+    tables
 }

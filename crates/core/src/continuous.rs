@@ -94,7 +94,9 @@ pub fn run_continuous(
             d_hat: cfg.d_hat,
             c: cfg.c,
             medium: Medium::PointToPoint,
+            delay: pov_sim::DelayModel::default(),
             churn: local.clone(),
+            partition: None,
             seed: cfg.seed.wrapping_add(w as u64),
             hq: cfg.hq,
         };

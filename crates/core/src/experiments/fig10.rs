@@ -80,7 +80,9 @@ fn measure(
         d_hat,
         c,
         medium: Medium::PointToPoint,
+        delay: pov_sim::DelayModel::default(),
         churn: pov_sim::ChurnPlan::none(),
+        partition: None,
         seed,
         hq: HostId(0),
     };

@@ -96,7 +96,9 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 d_hat: d + 2,
                 c: cfg.c,
                 medium,
+                delay: pov_sim::DelayModel::default(),
                 churn: pov_sim::ChurnPlan::none(),
+                partition: None,
                 seed: cfg.seed,
                 hq: HostId(0),
             };

@@ -116,7 +116,9 @@ pub fn run_time_cost(cfg: &Config) -> Vec<TimeRow> {
                 d_hat,
                 c: cfg.c,
                 medium: Medium::PointToPoint,
+                delay: pov_sim::DelayModel::default(),
                 churn: pov_sim::ChurnPlan::none(),
+                partition: None,
                 seed: cfg.seed,
                 hq: HostId(0),
             };
@@ -151,7 +153,9 @@ pub fn run_profile(cfg: &Config) -> Vec<ProfileRow> {
             d_hat: 2 * d, // a deliberate overestimate, as in Fig 13(b)
             c: cfg.c,
             medium: Medium::PointToPoint,
+            delay: pov_sim::DelayModel::default(),
             churn: pov_sim::ChurnPlan::none(),
+            partition: None,
             seed: cfg.seed,
             hq: HostId(0),
         };

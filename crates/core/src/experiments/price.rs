@@ -102,7 +102,9 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 d_hat,
                 c: cfg.c,
                 medium,
+                delay: pov_sim::DelayModel::default(),
                 churn: ChurnPlan::none(),
+                partition: None,
                 seed: cfg.seed,
                 hq: HostId(0),
             };

@@ -178,7 +178,9 @@ pub fn run(cfg: &Config) -> Vec<RowR> {
                     d_hat,
                     c: cfg.c,
                     medium: Medium::PointToPoint,
+                    delay: pov_sim::DelayModel::default(),
                     churn: churn.clone(),
+                    partition: None,
                     seed: churn_seed ^ 0x5a5a,
                     hq,
                 };

@@ -2,11 +2,12 @@
 //! answer. The experiment drivers use the lower-level crates directly;
 //! this is the API a downstream user starts from.
 
+use crate::judged::judged_run;
 use crate::workload;
-use pov_oracle::{host_sets, Verdict};
+use pov_oracle::Verdict;
 use pov_protocols::allreport::ReportRouting;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_protocols::{Aggregate, ProtocolKind, RunConfig};
 use pov_sim::{ChurnPlan, Medium, Metrics, Time};
 use pov_topology::generators::TopologyKind;
 use pov_topology::{analysis, Graph, HostId};
@@ -181,26 +182,20 @@ impl<'a> QueryBuilder<'a> {
             d_hat: self.net.d_hat,
             c: self.c,
             medium: self.medium,
+            delay: pov_sim::DelayModel::default(),
             churn,
+            partition: None,
             seed: self.seed,
             hq: self.hq,
         };
-        let outcome = runner::run(protocol.kind(), &self.net.graph, &self.net.values, &cfg);
-        let end = outcome.declared_at.unwrap_or(Time(deadline));
-        let sets = host_sets(&self.net.graph, &outcome.trace, self.hq, Time::ZERO, end);
-        let verdict = Verdict::judge(
-            self.aggregate,
-            &sets,
-            &self.net.values,
-            outcome.value.unwrap_or(f64::NAN),
-        );
+        let out = judged_run(protocol.kind(), &self.net.graph, &self.net.values, &cfg);
         Answer {
-            value: outcome.value,
-            declared_at: outcome.declared_at,
-            verdict,
-            hc_size: sets.hc_len(),
-            hu_size: sets.hu_len(),
-            metrics: outcome.metrics,
+            value: out.value,
+            declared_at: out.declared_at,
+            verdict: out.verdict,
+            hc_size: out.hc_size,
+            hu_size: out.hu_size,
+            metrics: out.metrics,
         }
     }
 }

@@ -1,0 +1,154 @@
+//! Run one protocol and have the ORACLE judge it — the shared entry
+//! point under the [`crate::facade`] and the scenario batch runner.
+//!
+//! [`judged_run`] is the single-run primitive: execute a
+//! [`ProtocolKind`] over a graph with a [`RunConfig`], replay the
+//! membership trace through the §6.2 ORACLE, and return the declared
+//! value together with its Single-Site-Validity verdict and the §6.3
+//! cost metrics. Everything the scenario subsystem aggregates comes out
+//! of this one call.
+
+use pov_oracle::{aggregate_bounds, host_sets, Verdict};
+use pov_protocols::{runner, ProtocolKind, RunConfig};
+use pov_sim::{Metrics, Time};
+use pov_topology::Graph;
+
+/// A declared value, the ORACLE's judgement of it, and the run's costs.
+#[derive(Clone, Debug)]
+pub struct JudgedOutcome {
+    /// The value `hq` declared (`None` if `hq` died first).
+    pub value: Option<f64>,
+    /// When it was declared.
+    pub declared_at: Option<Time>,
+    /// The ORACLE's Single-Site-Validity judgement over the query
+    /// interval `[0, declared_at]` (or the full deadline when nothing
+    /// was declared).
+    pub verdict: Verdict,
+    /// `|HC|` — hosts continuously reachable from `hq` over the interval.
+    pub hc_size: usize,
+    /// `|HU|` — hosts alive at some instant of the interval.
+    pub hu_size: usize,
+    /// The valid envelope `[q(HC), q(HU)]` for interval-bounded
+    /// aggregates (count/sum; `None` for min/max/avg, whose validity is
+    /// witness-based).
+    pub bounds: Option<(f64, f64)>,
+    /// §6.3 cost metrics.
+    pub metrics: Metrics,
+}
+
+impl JudgedOutcome {
+    /// Time cost in ticks (declaration instant at `hq`).
+    pub fn time_cost(&self) -> Option<u64> {
+        self.declared_at.map(Time::ticks)
+    }
+
+    /// Multiplicative deviation of the declared value from the valid
+    /// envelope: `max(q(HC)/v, v/q(HU), 1)`. `1.0` means the value sat
+    /// inside the bounds; WILDFIRE's Approximate SSV (Thm 5.3) keeps
+    /// this within FM noise while best-effort protocols blow up. `None`
+    /// when the aggregate has no interval bounds, nothing was declared,
+    /// or `v <= 0`.
+    pub fn deviation(&self) -> Option<f64> {
+        let (lo, hi) = self.bounds?;
+        let v = self.value?;
+        if v <= 0.0 {
+            return None;
+        }
+        Some((lo / v).max(v / hi.max(1e-12)).max(1.0))
+    }
+}
+
+/// Run `kind` over `graph` (host `h` holding `values[h]`) under `cfg`,
+/// then judge the outcome against the ORACLE bounds.
+pub fn judged_run(
+    kind: ProtocolKind,
+    graph: &Graph,
+    values: &[u64],
+    cfg: &RunConfig,
+) -> JudgedOutcome {
+    let outcome = runner::run(kind, graph, values, cfg);
+    // The query interval ends at declaration, or at the full deadline
+    // `2·D̂·δ` in ticks when nothing was declared.
+    let deadline = Time(2 * cfg.d_hat as u64 * cfg.delay.bound());
+    let end = outcome.declared_at.unwrap_or(deadline);
+    let sets = host_sets(graph, &outcome.trace, cfg.hq, Time::ZERO, end);
+    let verdict = Verdict::judge(
+        cfg.aggregate,
+        &sets,
+        values,
+        outcome.value.unwrap_or(f64::NAN),
+    );
+    JudgedOutcome {
+        value: outcome.value,
+        declared_at: outcome.declared_at,
+        verdict,
+        hc_size: sets.hc_len(),
+        hu_size: sets.hu_len(),
+        bounds: aggregate_bounds(cfg.aggregate, &sets, values),
+        metrics: outcome.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pov_protocols::wildfire::WildfireOpts;
+    use pov_protocols::Aggregate;
+    use pov_sim::{ChurnPlan, PartitionPlan};
+    use pov_topology::generators::special;
+    use pov_topology::HostId;
+
+    #[test]
+    fn judged_wildfire_max_is_valid() {
+        let g = special::cycle(20);
+        let values: Vec<u64> = (1..=20).collect();
+        let cfg = RunConfig::new(Aggregate::Max, 11);
+        let out = judged_run(
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+            &g,
+            &values,
+            &cfg,
+        );
+        assert_eq!(out.value, Some(20.0));
+        assert!(out.verdict.is_valid());
+        assert_eq!(out.hc_size, 20);
+        assert_eq!(out.hu_size, 20);
+        assert!(out.metrics.messages_sent > 0);
+        assert!(out.time_cost().is_some());
+    }
+
+    #[test]
+    fn churn_shrinks_hc_through_judged_run() {
+        let g = special::cycle(12);
+        let cfg = RunConfig {
+            churn: ChurnPlan::none()
+                .with_failure(Time(1), HostId(5))
+                .with_failure(Time(1), HostId(8)),
+            ..RunConfig::new(Aggregate::Count, 7)
+        };
+        let out = judged_run(ProtocolKind::SpanningTree, &g, &[1; 12], &cfg);
+        // Two failures on a cycle strand the arc between them.
+        assert!(out.hc_size < 10, "hc = {}", out.hc_size);
+        assert_eq!(out.hu_size, 12);
+    }
+
+    #[test]
+    fn partition_runs_through_judged_run() {
+        // Sever half a cycle for the whole query: WILDFIRE cannot hear
+        // the far side even though every host stays alive, so the count
+        // undershoots HC — the partition regime violates validity in a
+        // way failure-only churn never makes WILDFIRE do.
+        let g = special::cycle(16);
+        let sides = (0..16u8).map(|i| u8::from(i >= 8)).collect();
+        let cfg = RunConfig {
+            partition: Some(PartitionPlan::new(sides).window(Time(0), Time(1_000))),
+            ..RunConfig::new(Aggregate::Count, 9)
+        };
+        let out = judged_run(ProtocolKind::SpanningTree, &g, &[1; 16], &cfg);
+        let v = out.value.expect("hq alive");
+        assert!(v < 16.0, "partition must hide hosts, got {v}");
+        // All 16 hosts remain alive: HU (and HC — paths exist in the
+        // static graph) still count them.
+        assert_eq!(out.hu_size, 16);
+    }
+}

@@ -30,6 +30,8 @@
 //! * [`workload`] — Zipf attribute values on `[10, 500]` (§6.1);
 //! * [`experiments`] — one driver per figure of §6 (see DESIGN.md's
 //!   per-experiment index);
+//! * [`judged`] — the run-one-protocol-and-judge-it primitive shared by
+//!   the façade and the `pov_scenario` batch runner;
 //! * [`continuous`] — sliding-window Continuous Single-Site Validity
 //!   (§4.2);
 //! * [`capture_recapture`] — the Jolly–Seber network-size estimator
@@ -45,6 +47,7 @@ pub mod capture_recapture;
 pub mod continuous;
 pub mod experiments;
 mod facade;
+pub mod judged;
 pub mod report;
 pub mod ring_estimator;
 pub mod workload;
@@ -61,6 +64,7 @@ pub use pov_topology;
 /// One-line imports for examples and tests.
 pub mod prelude {
     pub use crate::facade::{Answer, Network, Protocol, QueryBuilder};
+    pub use crate::judged::{judged_run, JudgedOutcome};
     pub use crate::workload;
     pub use pov_oracle::{host_sets, Verdict};
     pub use pov_protocols::{Aggregate, ProtocolKind, RunConfig};

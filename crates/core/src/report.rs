@@ -26,6 +26,21 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -47,7 +47,9 @@ mod smoke {
             d_hat: 5,
             c: 8,
             medium: Medium::PointToPoint,
+            delay: pov_sim::DelayModel::default(),
             churn: ChurnPlan::none(),
+            partition: None,
             seed: 42,
             hq: HostId(0),
         };

@@ -11,7 +11,10 @@ use crate::dag::DagNode;
 use crate::gossip::GossipNode;
 use crate::spanning_tree::SpanningTreeNode;
 use crate::wildfire::{WildfireNode, WildfireOpts};
-use pov_sim::{ChurnPlan, Medium, Metrics, NodeLogic, SimBuilder, Simulation, Time, Trace};
+use pov_sim::{
+    ChurnPlan, DelayModel, Medium, Metrics, NodeLogic, PartitionPlan, SimBuilder, Simulation, Time,
+    Trace,
+};
 use pov_topology::{Graph, HostId};
 
 /// Which protocol to run.
@@ -65,8 +68,16 @@ pub struct RunConfig {
     pub c: usize,
     /// Communication medium.
     pub medium: Medium,
+    /// Per-hop delay model. `D̂` stays denominated in *hops*; the query
+    /// deadline in ticks scales by the model's bound `δ` (the paper's
+    /// `2·D̂·δ`), so protocols keep their guarantees under jittered or
+    /// multi-tick delays.
+    pub delay: DelayModel,
     /// Failure/join schedule.
     pub churn: ChurnPlan,
+    /// Optional temporary partition: messages crossing the cut while it
+    /// is active are lost in transit (hosts stay alive).
+    pub partition: Option<PartitionPlan>,
     /// Root seed for the run.
     pub seed: u64,
     /// The querying host.
@@ -82,7 +93,9 @@ impl RunConfig {
             d_hat,
             c: 8,
             medium: Medium::PointToPoint,
+            delay: DelayModel::Fixed(1),
             churn: ChurnPlan::none(),
+            partition: None,
             seed: 0,
             hq: HostId(0),
         }
@@ -91,8 +104,24 @@ impl RunConfig {
     fn spec(&self) -> QuerySpec {
         QuerySpec {
             aggregate: self.aggregate,
-            d_hat: self.d_hat,
+            // Protocol timer arithmetic runs in ticks; one hop costs up
+            // to `δ = delay.bound()` of them, so the tick-denominated
+            // diameter overestimate is `D̂·δ`.
+            d_hat: self.d_hat * self.delay.bound() as u32,
             c: self.c,
+        }
+    }
+
+    /// The simulation this config describes, over `graph`.
+    fn sim_builder(&self, graph: &Graph) -> SimBuilder {
+        let b = SimBuilder::new(graph.clone())
+            .medium(self.medium)
+            .delay(self.delay)
+            .churn(self.churn.clone())
+            .seed(self.seed);
+        match &self.partition {
+            Some(p) => b.partition(p.clone()),
+            None => b,
         }
     }
 }
@@ -156,12 +185,7 @@ pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], cfg: &RunConfig) -
     let horizon = Time(spec.deadline() + 2);
     let hq = cfg.hq;
     let vals = values.to_vec();
-    let builder = || {
-        SimBuilder::new(graph.clone())
-            .medium(cfg.medium)
-            .churn(cfg.churn.clone())
-            .seed(cfg.seed)
-    };
+    let builder = || cfg.sim_builder(graph);
     match kind {
         ProtocolKind::AllReport(routing) => {
             let sim = builder().build(move |h| {
@@ -218,7 +242,8 @@ pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], cfg: &RunConfig) -
             let aggregate = cfg.aggregate;
             let sim = builder()
                 .build(move |h| GossipNode::new(vals[h.index()], aggregate, rounds, h == hq));
-            finish(sim, Time(rounds as u64 + 2), GossipNode::result, hq)
+            let horizon = Time(rounds as u64 * cfg.delay.bound() + 2);
+            finish(sim, horizon, GossipNode::result, hq)
         }
     }
 }
@@ -258,17 +283,13 @@ pub fn run_wildfire_operator(
     let spec = cfg.spec();
     let hq = cfg.hq;
     let vals = values.to_vec();
-    let mut sim = SimBuilder::new(graph.clone())
-        .medium(cfg.medium)
-        .churn(cfg.churn.clone())
-        .seed(cfg.seed)
-        .build(move |h| {
-            if h == hq {
-                WildfireNode::query_host_with_operator(vals[h.index()], spec, opts, operator)
-            } else {
-                WildfireNode::host_with_operator(vals[h.index()], opts, operator)
-            }
-        });
+    let mut sim = cfg.sim_builder(graph).build(move |h| {
+        if h == hq {
+            WildfireNode::query_host_with_operator(vals[h.index()], spec, opts, operator)
+        } else {
+            WildfireNode::host_with_operator(vals[h.index()], opts, operator)
+        }
+    });
     sim.run_until(Time(spec.deadline() + 2));
     let logic = sim.logic(hq);
     let result = logic.result();
@@ -381,6 +402,41 @@ mod tests {
         // The histogram-average sits between the two modes.
         let avg = hist.average().expect("non-empty");
         assert!((25.0..80.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn delay_bound_scales_declaration_and_stays_correct() {
+        // With a 2-tick hop bound, WILDFIRE's deadline stretches to
+        // 2·D̂·δ ticks and the exact max still comes back right.
+        let g = special::cycle(12);
+        let values: Vec<u64> = (0..12).map(|i| 10 + i * 7).collect();
+        let base = RunConfig::new(Aggregate::Max, 6);
+        let slow = RunConfig {
+            delay: DelayModel::Fixed(2),
+            ..base.clone()
+        };
+        let fast = runner_declares(&g, &values, &base);
+        let lagged = runner_declares(&g, &values, &slow);
+        assert_eq!(fast.0, Some(87.0));
+        assert_eq!(lagged.0, Some(87.0));
+        assert_eq!(lagged.1, fast.1 * 2, "deadline scales by the bound");
+
+        // Jittered delays within the bound keep max exact too.
+        let jitter = RunConfig {
+            delay: DelayModel::Uniform { min: 1, max: 2 },
+            ..base
+        };
+        assert_eq!(runner_declares(&g, &values, &jitter).0, Some(87.0));
+    }
+
+    fn runner_declares(g: &Graph, values: &[u64], cfg: &RunConfig) -> (Option<f64>, u64) {
+        let out = run(
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+            g,
+            values,
+            cfg,
+        );
+        (out.value, out.time_cost().expect("declared"))
     }
 
     #[test]

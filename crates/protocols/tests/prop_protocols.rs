@@ -58,7 +58,9 @@ fn config(sc: &Scenario, aggregate: Aggregate, seed: u64) -> RunConfig {
         d_hat: sc.d_hat,
         c: 8,
         medium: Medium::PointToPoint,
+        delay: pov_sim::DelayModel::default(),
         churn: sc.churn.clone(),
+        partition: None,
         seed,
         hq: HostId(0),
     }

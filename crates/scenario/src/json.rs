@@ -1,0 +1,273 @@
+//! A deterministic JSON writer.
+//!
+//! The whole point of the scenario reports is byte-comparability — the
+//! acceptance gate diffs the `--threads 1` and `--threads 8` outputs,
+//! and CI archives them so the perf/accuracy trajectory is diffable
+//! across PRs. So this writer is deliberately boring: keys keep
+//! insertion order, floats use Rust's shortest-roundtrip formatting,
+//! non-finite floats become `null`, and indentation is fixed at two
+//! spaces. (The vendored `serde` stand-in is a no-op, so hand-rolling
+//! the few value types we need is also the only offline option.)
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept separate from floats so counts never print
+    /// a trailing `.0` or lose precision above 2^53... within i64).
+    Int(i64),
+    /// A float; NaN/±∞ serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::with`] chaining.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair (builder style). Panics on non-objects.
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("Json::with on a non-object"),
+        }
+        self
+    }
+
+    /// Render with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Shortest-roundtrip formatting; force a decimal point
+                    // so a reader always sees this field as a float.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        // Counts in this workspace are far below 2^63.
+        Json::Int(i as i64)
+    }
+}
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i64::from(i))
+    }
+}
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Serialize a rendered [`Table`](pov_core::report::Table) — title,
+/// headers, and rows — the shared shape for `repro --json`.
+pub fn table_to_json(t: &pov_core::report::Table) -> Json {
+    Json::obj()
+        .with("title", t.title())
+        .with("headers", t.headers().to_vec())
+        .with(
+            "rows",
+            Json::Arr(t.rows().iter().map(|row| Json::from(row.clone())).collect()),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj()
+            .with("name", "demo")
+            .with("n", 400u64)
+            .with("mean", 2.5)
+            .with("whole", 3.0)
+            .with("ok", true)
+            .with("missing", Json::Null)
+            .with("xs", vec![1i64, 2, 3]);
+        let s = j.render();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"demo\",\n  \"n\": 400,\n  \"mean\": 2.5,\n  \"whole\": 3.0,\n  \"ok\": true,\n  \"missing\": null,\n  \"xs\": [\n    1,\n    2,\n    3\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_always_look_like_floats() {
+        assert_eq!(Json::Num(3.0).render(), "3.0\n");
+        assert_eq!(Json::Num(0.1).render(), "0.1\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+        assert_eq!(Json::Num(1500.0).render(), "1500.0\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\n\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\n\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn empty_collections_are_compact() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::obj().render(), "{}\n");
+    }
+
+    #[test]
+    fn option_and_from_impls() {
+        assert_eq!(Json::from(None::<u64>), Json::Null);
+        assert_eq!(Json::from(Some(4u64)), Json::Int(4));
+        assert_eq!(Json::from(2u32), Json::Int(2));
+    }
+
+    #[test]
+    fn table_round_trips_shape() {
+        let mut t = pov_core::report::Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let j = table_to_json(&t);
+        let s = j.render();
+        assert!(s.contains("\"title\": \"demo\""));
+        assert!(s.contains("\"headers\""));
+        assert!(s.contains("\"rows\""));
+    }
+}

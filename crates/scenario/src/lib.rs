@@ -1,0 +1,68 @@
+//! Declarative scenarios for the Price-of-Validity simulator.
+//!
+//! The paper evaluates under exactly one dynamism model — `R` hosts
+//! removed at a uniform rate (§6.2). This crate opens the regime space
+//! and makes batch evaluation a first-class, machine-readable artifact:
+//!
+//! * [`Scenario`] — a complete experiment description (topology, query,
+//!   medium, delay, protocol, churn regime, seed set, repetitions),
+//!   loadable from plain-text `.scn` files (see `scenarios/` at the
+//!   workspace root and the README's "Scenario files" section) through
+//!   a small self-contained [`parse`] layer — the offline environment
+//!   has no crates.io, so the grammar is hand-rolled like the
+//!   `vendor/` stand-ins;
+//! * [`ChurnSpec`] — regimes beyond the paper: flash-crowd join bursts,
+//!   correlated cluster failures, partitions that heal, an adaptive
+//!   adversary nuking the root's neighbourhood;
+//! * [`run_batch`] — a `std::thread::scope` executor fanning the
+//!   `seeds × repetitions` matrix across workers, with per-cell
+//!   [`rand::rngs::SmallRng`] streams and order-independent
+//!   aggregation: reports are **byte-identical** for any thread count
+//!   (property-tested);
+//! * [`Json`] — a deterministic JSON writer for [`Report`]s and `repro
+//!   --json`, so the accuracy/cost trajectory is diffable across PRs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod parse;
+pub mod run;
+pub mod spec;
+
+pub use json::{table_to_json, Json};
+pub use parse::ParseError;
+pub use run::{run_batch, Agg, Report, RunRecord};
+pub use spec::{ChurnSpec, ProtocolSpec, Scenario};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+
+    #[test]
+    fn crate_root_smoke() {
+        let scn: Scenario = r#"
+[scenario]
+name = "smoke"
+[topology]
+kind = "random"
+n = 60
+[query]
+aggregate = "count"
+[protocol]
+kind = "wildfire"
+[churn]
+model = "uniform"
+fraction = 0.1
+[run]
+seeds = [1, 2]
+repetitions = 2
+"#
+        .parse()
+        .expect("valid scenario");
+        let a = run_batch(&scn, 1);
+        let b = run_batch(&scn, 4);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert_eq!(a.runs, 4);
+    }
+}

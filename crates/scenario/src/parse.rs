@@ -1,0 +1,414 @@
+//! A small, self-contained parser for `.scn` scenario files.
+//!
+//! The grammar is the INI/TOML subset the scenario specs need — nothing
+//! more, so it can live here without a crates.io dependency (the build
+//! environment is offline, like the `vendor/` stand-ins):
+//!
+//! ```text
+//! # full-line comment
+//! [section]                 # one level only, no nesting or dotted keys
+//! key = "quoted string"     # \" \\ \n \t escapes
+//! key = 42                  # i64; 1_000_000 separators allowed
+//! key = 2.5                 # f64
+//! key = true                # or false
+//! key = [1, 2, 3]           # homogeneous list of scalars
+//! ```
+//!
+//! Every error carries the 1-based line number it was found on, because
+//! scenario files are hand-written and "bad value" without a location is
+//! hostile.
+
+use std::fmt;
+
+/// A parsed scalar or list value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A `[..]` list of scalars.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Human name of the variant, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::List(_) => "list",
+        }
+    }
+}
+
+/// A parse or validation failure, located at a source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 for document-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn at(line: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.msg)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One `key = value` entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The key (left of `=`).
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One `[section]` with its entries.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Section name without brackets.
+    pub name: String,
+    /// 1-based source line of the header.
+    pub line: usize,
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Section {
+    /// Look up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A parsed scenario document: sections in file order.
+#[derive(Clone, Debug, Default)]
+pub struct Doc {
+    /// Sections in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Doc {
+    /// Parse a document. Keys before any `[section]` header, duplicate
+    /// sections and duplicate keys within a section are all errors.
+    pub fn parse(text: &str) -> Result<Doc, ParseError> {
+        let mut doc = Doc::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| ParseError::at(lineno, "unterminated section header"))?
+                    .trim();
+                if name.is_empty() {
+                    return Err(ParseError::at(lineno, "empty section name"));
+                }
+                if doc.sections.iter().any(|s| s.name == name) {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("duplicate section [{name}]"),
+                    ));
+                }
+                doc.sections.push(Section {
+                    name: name.to_string(),
+                    line: lineno,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            let (key, rest) = line.split_once('=').ok_or_else(|| {
+                ParseError::at(
+                    lineno,
+                    format!("expected `key = value` or `[section]`, got '{line}'"),
+                )
+            })?;
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(ParseError::at(lineno, "empty key before '='"));
+            }
+            let section = doc
+                .sections
+                .last_mut()
+                .ok_or_else(|| ParseError::at(lineno, "key before any [section] header"))?;
+            if section.get(key).is_some() {
+                return Err(ParseError::at(lineno, format!("duplicate key '{key}'")));
+            }
+            let value = parse_value(rest.trim(), lineno)?;
+            section.entries.push(Entry {
+                key: key.to_string(),
+                value,
+                line: lineno,
+            });
+        }
+        Ok(doc)
+    }
+
+    /// Look up a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+/// Strip a `#`-comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ParseError> {
+    if text.is_empty() {
+        return Err(ParseError::at(lineno, "missing value after '='"));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        return parse_string(body, lineno);
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| ParseError::at(lineno, "unterminated list (missing ']')"))?;
+        let mut items = Vec::new();
+        for part in split_list(body, lineno)? {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(ParseError::at(lineno, "empty list element"));
+            }
+            let item = parse_value(part, lineno)?;
+            if matches!(item, Value::List(_)) {
+                return Err(ParseError::at(lineno, "nested lists are not supported"));
+            }
+            if let Some(first) = items.first() {
+                let (a, b): (&Value, &Value) = (first, &item);
+                if std::mem::discriminant(a) != std::mem::discriminant(b) {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("mixed list: {} after {}", item.type_name(), a.type_name()),
+                    ));
+                }
+            }
+            items.push(item);
+        }
+        return Ok(Value::List(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    if let Ok(i) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = cleaned.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Value::Float(f));
+        }
+    }
+    Err(ParseError::at(
+        lineno,
+        format!("cannot parse value '{text}' (strings must be double-quoted)"),
+    ))
+}
+
+/// Parse the body of a quoted string (after the opening `"`); rejects
+/// trailing garbage after the closing quote.
+fn parse_string(body: &str, lineno: usize) -> Result<Value, ParseError> {
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => {
+                let rest: String = chars.collect();
+                if !rest.trim().is_empty() {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("unexpected trailing '{}' after string", rest.trim()),
+                    ));
+                }
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("unknown escape '\\{other}'"),
+                    ))
+                }
+                None => return Err(ParseError::at(lineno, "dangling '\\' in string")),
+            },
+            _ => out.push(ch),
+        }
+    }
+    Err(ParseError::at(lineno, "unterminated string"))
+}
+
+/// Split a list body on top-level commas, respecting quoted strings.
+fn split_list(body: &str, lineno: usize) -> Result<Vec<&str>, ParseError> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(ParseError::at(lineno, "unterminated string in list"));
+    }
+    // An empty tail is a trailing comma (`[1, 2,]`) — allowed, nothing
+    // to push. A `[,]` still fails later: its first part is empty.
+    let tail = &body[start..];
+    if !tail.trim().is_empty() {
+        parts.push(tail);
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let doc = Doc::parse(
+            r#"
+# a scenario
+[scenario]
+name = "flash crowd"   # inline comment
+ratio = 0.25
+n = 1_000
+enabled = true
+
+[run]
+seeds = [1, 2, 3,]
+labels = ["a", "b # not a comment"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.sections.len(), 2);
+        let s = doc.section("scenario").unwrap();
+        assert_eq!(
+            s.get("name").unwrap().value,
+            Value::Str("flash crowd".into())
+        );
+        assert_eq!(s.get("ratio").unwrap().value, Value::Float(0.25));
+        assert_eq!(s.get("n").unwrap().value, Value::Int(1000));
+        assert_eq!(s.get("enabled").unwrap().value, Value::Bool(true));
+        let r = doc.section("run").unwrap();
+        assert_eq!(
+            r.get("seeds").unwrap().value,
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            r.get("labels").unwrap().value,
+            Value::List(vec![
+                Value::Str("a".into()),
+                Value::Str("b # not a comment".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let doc = Doc::parse("[s]\nv = \"a\\\"b\\\\c\\n\"").unwrap();
+        assert_eq!(
+            doc.section("s").unwrap().get("v").unwrap().value,
+            Value::Str("a\"b\\c\n".into())
+        );
+    }
+
+    #[test]
+    fn empty_list() {
+        let doc = Doc::parse("[s]\nv = []").unwrap();
+        assert_eq!(
+            doc.section("s").unwrap().get("v").unwrap().value,
+            Value::List(vec![])
+        );
+    }
+
+    fn err(text: &str) -> ParseError {
+        Doc::parse(text).expect_err("should fail")
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(err("[s]\nbad line").line, 2);
+        assert_eq!(err("key = 1").line, 1);
+        assert_eq!(err("[s]\nv = \"open").line, 2);
+        assert_eq!(err("[s]\n[s]").line, 2);
+        assert_eq!(err("[s]\nk = 1\nk = 2").line, 3);
+        assert_eq!(err("[s]\nv = [1, \"x\"]").line, 2);
+        assert_eq!(err("[s]\nv = what").line, 2);
+        assert_eq!(err("[s]\nv =").line, 2);
+        assert_eq!(err("[s\nv = 1").line, 1);
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(err("[s]\nv = what").msg.contains("double-quoted"));
+        assert!(err("[s]\n[s]").msg.contains("duplicate section"));
+        assert!(err("k = 1").msg.contains("before any [section]"));
+        assert!(err("[s]\nv = [1, 2.5]").msg.contains("mixed list"));
+    }
+
+    #[test]
+    fn negative_and_underscored_numbers() {
+        let doc = Doc::parse("[s]\na = -4\nb = 1_000_000\nc = -0.5").unwrap();
+        let s = doc.section("s").unwrap();
+        assert_eq!(s.get("a").unwrap().value, Value::Int(-4));
+        assert_eq!(s.get("b").unwrap().value, Value::Int(1_000_000));
+        assert_eq!(s.get("c").unwrap().value, Value::Float(-0.5));
+    }
+}

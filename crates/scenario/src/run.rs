@@ -1,0 +1,602 @@
+//! The batch executor: fan a scenario's `seeds × repetitions` matrix
+//! across worker threads and aggregate order-independently.
+//!
+//! Determinism is the contract here. Each cell of the matrix derives its
+//! own [`SmallRng`] stream from `(seed, repetition)` alone — never from
+//! thread identity or scheduling — and every record lands in a
+//! pre-allocated slot indexed by its matrix position. Aggregation then
+//! reads the slots in index order, so the report (and its JSON
+//! rendering) is byte-identical for any `--threads` value. The
+//! `prop_scenario` suite asserts exactly that.
+
+use crate::json::Json;
+use crate::spec::{ChurnSpec, Scenario};
+use pov_core::judged::judged_run;
+use pov_core::pov_protocols::RunConfig;
+use pov_core::pov_sim::{ChurnPlan, PartitionPlan, Time};
+use pov_core::pov_topology::{analysis, Graph, HostId};
+use pov_core::workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What one cell of the seed × repetition matrix produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Root seed of this cell.
+    pub seed: u64,
+    /// Repetition index under that seed.
+    pub rep: usize,
+    /// Declared value (`None` if `hq` never declared).
+    pub value: Option<f64>,
+    /// Whether the ORACLE judged the declared value Single-Site Valid.
+    pub valid: bool,
+    /// Multiplicative deviation from the valid envelope (`1.0` = inside;
+    /// `None` for unbounded aggregates or undeclared runs).
+    pub deviation: Option<f64>,
+    /// `|HC|` over the judged interval.
+    pub hc: usize,
+    /// `|HU|` over the judged interval.
+    pub hu: usize,
+    /// Communication cost (messages sent).
+    pub messages: u64,
+    /// Computation cost (max messages processed at one host).
+    pub computation: u64,
+    /// Declaration instant in ticks.
+    pub time_cost: Option<u64>,
+}
+
+/// Mean / population standard deviation / min / max of one metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Agg {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of samples aggregated (runs that produced this metric).
+    pub count: usize,
+}
+
+impl Agg {
+    /// Aggregate a sample set (empty → all-zero with `count = 0`).
+    pub fn of(xs: &[f64]) -> Agg {
+        if xs.is_empty() {
+            return Agg {
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Agg {
+            mean,
+            stddev: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            count: xs.len(),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("mean", self.mean)
+            .with("stddev", self.stddev)
+            .with("min", self.min)
+            .with("max", self.max)
+            .with("count", self.count)
+    }
+}
+
+/// The aggregated result of one scenario batch.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol display name.
+    pub protocol: String,
+    /// Topology display name.
+    pub topology: String,
+    /// Churn model name.
+    pub churn_model: String,
+    /// Actual host count of the built graph.
+    pub n: usize,
+    /// The `D̂` used for the query deadline.
+    pub d_hat: u32,
+    /// Total runs (seeds × repetitions).
+    pub runs: usize,
+    /// Fraction of runs in which `hq` declared a value.
+    pub declared_fraction: f64,
+    /// Fraction of runs judged Single-Site Valid.
+    pub valid_fraction: f64,
+    /// Named metric aggregates, in fixed order.
+    pub metrics: Vec<(&'static str, Agg)>,
+    /// Per-cell records in matrix order.
+    pub records: Vec<RunRecord>,
+}
+
+impl Report {
+    /// One metric's aggregate by name.
+    pub fn metric(&self, name: &str) -> Option<Agg> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, a)| a)
+    }
+
+    /// The JSON document emitted by `repro scenario --json` (and diffed
+    /// byte-for-byte by the determinism gate).
+    pub fn to_json(&self) -> Json {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("seed", r.seed)
+                    .with("rep", r.rep)
+                    .with("value", r.value)
+                    .with("valid", r.valid)
+                    .with("deviation", r.deviation)
+                    .with("hc", r.hc)
+                    .with("hu", r.hu)
+                    .with("messages", r.messages)
+                    .with("computation", r.computation)
+                    .with("time_cost", r.time_cost)
+            })
+            .collect();
+        let mut metrics = Json::obj();
+        for &(name, agg) in &self.metrics {
+            metrics = metrics.with(name, agg.to_json());
+        }
+        Json::obj()
+            .with("scenario", self.scenario.as_str())
+            .with("protocol", self.protocol.as_str())
+            .with("topology", self.topology.as_str())
+            .with("churn_model", self.churn_model.as_str())
+            .with("n", self.n)
+            .with("d_hat", self.d_hat)
+            .with("runs", self.runs)
+            .with("declared_fraction", self.declared_fraction)
+            .with("valid_fraction", self.valid_fraction)
+            .with("metrics", metrics)
+            .with("records", Json::Arr(records))
+    }
+}
+
+/// The scenario's graph, values and derived deadline, built once and
+/// shared (read-only) by every worker thread.
+struct Prepared {
+    graph: Graph,
+    values: Vec<u64>,
+    d_hat: u32,
+}
+
+fn prepare(scn: &Scenario) -> Prepared {
+    let graph = scn.topology.build(scn.n, scn.topology_seed);
+    let values = workload::paper_values(graph.num_hosts(), scn.topology_seed ^ 0x5eed_0001);
+    let d = analysis::diameter_estimate(&graph, 4, scn.topology_seed | 1);
+    Prepared {
+        graph,
+        values,
+        d_hat: d + scn.d_hat_slack,
+    }
+}
+
+/// Derive the churn plan (and optional partition) for one cell from the
+/// scenario's regime. `deadline` is `2·D̂·δ`; window fractions scale to
+/// it.
+fn materialize_churn(
+    scn: &Scenario,
+    graph: &Graph,
+    deadline: u64,
+    churn_seed: u64,
+) -> (ChurnPlan, Option<PartitionPlan>) {
+    let hq = HostId(scn.hq);
+    let n = graph.num_hosts();
+    let tick = |frac: f64| Time((frac * deadline as f64).round() as u64);
+    match &scn.churn {
+        ChurnSpec::None => (ChurnPlan::none(), None),
+        ChurnSpec::Uniform { fraction, window } => (
+            ChurnPlan::uniform_failures(
+                n,
+                (fraction * n as f64).round() as usize,
+                tick(window.0),
+                tick(window.1),
+                hq,
+                churn_seed,
+            ),
+            None,
+        ),
+        ChurnSpec::FlashCrowd { fraction, window } => (
+            ChurnPlan::flash_crowd(
+                n,
+                (fraction * n as f64).round() as usize,
+                tick(window.0),
+                tick(window.1),
+                hq,
+                churn_seed,
+            ),
+            None,
+        ),
+        ChurnSpec::Correlated {
+            clusters,
+            cluster_size,
+            window,
+        } => (
+            ChurnPlan::correlated_failures(
+                graph,
+                *clusters,
+                *cluster_size,
+                tick(window.0),
+                tick(window.1),
+                hq,
+                churn_seed,
+            ),
+            None,
+        ),
+        ChurnSpec::Partition {
+            fraction,
+            from,
+            heal,
+        } => {
+            // Pivot the cut away from hq so the querying side is the
+            // majority; a random non-hq pivot keeps per-seed variety.
+            let mut rng = SmallRng::seed_from_u64(churn_seed);
+            let pivot = loop {
+                let h = HostId(rng.gen_range(0..n as u32));
+                if h != hq {
+                    break h;
+                }
+            };
+            let mut plan = PartitionPlan::split_bfs(graph, pivot, *fraction);
+            // If hq landed on the severed side, flip the cut's meaning by
+            // re-splitting from hq itself — the minority must be remote.
+            if plan.sides()[hq.index()] == 1 {
+                plan = PartitionPlan::split_bfs(graph, hq, 1.0 - fraction);
+                let flipped: Vec<u8> = plan.sides().iter().map(|&s| 1 - s).collect();
+                plan = PartitionPlan::new(flipped);
+            }
+            let plan = plan.window(tick(*from), tick(*heal).max(tick(*from) + 1));
+            (ChurnPlan::none(), Some(plan))
+        }
+        ChurnSpec::AdversarialRoot { radius, at } => (
+            ChurnPlan::root_neighbourhood_failures(graph, hq, *radius, tick(*at)),
+            None,
+        ),
+    }
+}
+
+fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> RunRecord {
+    // Per-cell RNG stream: a function of (seed, rep) only.
+    let mut stream = SmallRng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(rep as u64),
+    );
+    let churn_seed: u64 = stream.gen();
+    let sim_seed: u64 = stream.gen();
+    // Churn/partition windows are fractions of the deadline in *ticks*:
+    // `2·D̂·δ`, with δ the delay model's bound.
+    let deadline = 2 * prep.d_hat as u64 * scn.delay.bound();
+    let (churn, partition) = materialize_churn(scn, &prep.graph, deadline, churn_seed);
+    let cfg = RunConfig {
+        aggregate: scn.aggregate,
+        d_hat: prep.d_hat,
+        c: scn.c,
+        medium: scn.medium,
+        delay: scn.delay,
+        churn,
+        partition,
+        seed: sim_seed,
+        hq: HostId(scn.hq),
+    };
+    let out = judged_run(scn.protocol.kind(), &prep.graph, &prep.values, &cfg);
+    RunRecord {
+        seed,
+        rep,
+        value: out.value,
+        valid: out.verdict.is_valid(),
+        deviation: out.deviation(),
+        hc: out.hc_size,
+        hu: out.hu_size,
+        messages: out.metrics.messages_sent,
+        computation: out.metrics.computation_cost(),
+        time_cost: out.time_cost(),
+    }
+}
+
+/// Execute the whole batch on `threads` workers and aggregate.
+///
+/// # Panics
+/// Panics if `threads == 0` or the scenario's `hq` exceeds the host
+/// count the topology actually produced (grids round down to squares).
+pub fn run_batch(scn: &Scenario, threads: usize) -> Report {
+    assert!(threads >= 1, "need at least one worker thread");
+    let prep = prepare(scn);
+    assert!(
+        (scn.hq as usize) < prep.graph.num_hosts(),
+        "querying host {} out of range: topology produced {} hosts",
+        scn.hq,
+        prep.graph.num_hosts()
+    );
+    let jobs: Vec<(u64, usize)> = scn
+        .seeds
+        .iter()
+        .flat_map(|&s| (0..scn.repetitions).map(move |r| (s, r)))
+        .collect();
+    // The parser rejects empty seed lists / zero repetitions, but the
+    // Scenario fields are public — fail loudly for hand-built specs.
+    assert!(
+        !jobs.is_empty(),
+        "scenario '{}' has an empty seeds × repetitions matrix",
+        scn.name
+    );
+    let mut records: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+
+    let chunk = jobs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let prep = &prep;
+        for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(records.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (&(seed, rep), slot) in job_chunk.iter().zip(slot_chunk) {
+                    *slot = Some(run_cell(scn, prep, seed, rep));
+                }
+            });
+        }
+    });
+
+    let records: Vec<RunRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect();
+    aggregate(scn, &prep, records)
+}
+
+fn aggregate(scn: &Scenario, prep: &Prepared, records: Vec<RunRecord>) -> Report {
+    let runs = records.len();
+    let declared = records.iter().filter(|r| r.value.is_some()).count();
+    let valid = records.iter().filter(|r| r.valid).count();
+    let of = |f: &dyn Fn(&RunRecord) -> Option<f64>| {
+        Agg::of(&records.iter().filter_map(f).collect::<Vec<f64>>())
+    };
+    let metrics: Vec<(&'static str, Agg)> = vec![
+        ("value", of(&|r| r.value)),
+        ("deviation", of(&|r| r.deviation)),
+        ("messages", of(&|r| Some(r.messages as f64))),
+        ("computation", of(&|r| Some(r.computation as f64))),
+        ("time_cost", of(&|r| r.time_cost.map(|t| t as f64))),
+        ("hc", of(&|r| Some(r.hc as f64))),
+        ("hu", of(&|r| Some(r.hu as f64))),
+    ];
+    Report {
+        scenario: scn.name.clone(),
+        protocol: scn.protocol.name().to_string(),
+        topology: scn.topology.name().to_string(),
+        churn_model: scn.churn.model_name().to_string(),
+        n: prep.graph.num_hosts(),
+        d_hat: prep.d_hat,
+        runs,
+        declared_fraction: declared as f64 / runs as f64,
+        valid_fraction: valid as f64 / runs as f64,
+        metrics,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolSpec;
+    use pov_core::pov_protocols::Aggregate;
+    use pov_core::pov_sim::{DelayModel, Medium};
+    use pov_core::pov_topology::generators::TopologyKind;
+
+    pub(crate) fn tiny(churn: ChurnSpec) -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            description: String::new(),
+            topology: TopologyKind::Random,
+            n: 80,
+            topology_seed: 3,
+            aggregate: Aggregate::Count,
+            c: 8,
+            hq: 0,
+            d_hat_slack: 2,
+            medium: Medium::PointToPoint,
+            delay: DelayModel::Fixed(1),
+            protocol: ProtocolSpec::Wildfire,
+            churn,
+            seeds: vec![1, 2, 3],
+            repetitions: 2,
+        }
+    }
+
+    #[test]
+    fn batch_covers_matrix_in_order() {
+        // Max is exactly valid under WILDFIRE (Thm 5.1) — the clean case.
+        let mut scn = tiny(ChurnSpec::None);
+        scn.aggregate = Aggregate::Max;
+        let report = run_batch(&scn, 2);
+        assert_eq!(report.runs, 6);
+        let cells: Vec<(u64, usize)> = report.records.iter().map(|r| (r.seed, r.rep)).collect();
+        assert_eq!(cells, vec![(1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)]);
+        // Static network: everything declares, everything is valid.
+        assert_eq!(report.declared_fraction, 1.0);
+        assert_eq!(report.valid_fraction, 1.0);
+        let v = report.metric("value").unwrap();
+        assert!(v.count == 6 && v.min > 0.0);
+    }
+
+    #[test]
+    fn sketched_count_deviation_stays_within_fm_noise() {
+        // Strict validity is the wrong yardstick for sketched counts
+        // (FM noise pushes the point estimate off the envelope even on a
+        // static network); the deviation metric captures Thm 5.3's
+        // Approximate SSV instead.
+        let scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.1,
+            window: (0.0, 1.0),
+        });
+        let report = run_batch(&scn, 2);
+        let dev = report.metric("deviation").unwrap();
+        assert_eq!(dev.count, 6, "every run measures a deviation");
+        assert!(dev.mean < 2.0, "WILDFIRE deviation blew up: {}", dev.mean);
+        assert!(dev.min >= 1.0, "deviation is clamped at 1.0");
+    }
+
+    #[test]
+    fn thread_counts_agree_byte_for_byte() {
+        let scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.1,
+            window: (0.0, 1.0),
+        });
+        let sequential = run_batch(&scn, 1).to_json().render();
+        for threads in [2, 3, 5, 8, 13] {
+            let parallel = run_batch(&scn, threads).to_json().render();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reps_differ_but_reruns_match() {
+        let scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.2,
+            window: (0.0, 1.0),
+        });
+        let a = run_batch(&scn, 4);
+        let b = run_batch(&scn, 4);
+        assert_eq!(a.records, b.records, "identical batches");
+        // Different (seed, rep) cells see different churn draws.
+        assert_ne!(
+            (a.records[0].hc, a.records[0].messages),
+            (a.records[1].hc, a.records[1].messages),
+            "rep 0 and rep 1 of seed 1 should differ"
+        );
+    }
+
+    #[test]
+    fn every_churn_regime_runs() {
+        for churn in [
+            ChurnSpec::Uniform {
+                fraction: 0.15,
+                window: (0.0, 0.8),
+            },
+            ChurnSpec::FlashCrowd {
+                fraction: 0.2,
+                window: (0.1, 0.6),
+            },
+            ChurnSpec::Correlated {
+                clusters: 2,
+                cluster_size: 5,
+                window: (0.0, 0.5),
+            },
+            ChurnSpec::Partition {
+                fraction: 0.3,
+                from: 0.1,
+                heal: 0.7,
+            },
+            ChurnSpec::AdversarialRoot { radius: 1, at: 0.2 },
+        ] {
+            let name = churn.model_name();
+            let mut scn = tiny(churn);
+            scn.seeds = vec![1, 2];
+            scn.repetitions = 1;
+            let report = run_batch(&scn, 2);
+            assert_eq!(report.runs, 2, "{name}");
+            assert_eq!(report.churn_model, name);
+            // hq never dies in any regime, so every run declares.
+            assert_eq!(report.declared_fraction, 1.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_grows_hu_beyond_initial_population() {
+        let scn = Scenario {
+            seeds: vec![5],
+            repetitions: 1,
+            ..tiny(ChurnSpec::FlashCrowd {
+                fraction: 0.3,
+                window: (0.0, 0.5),
+            })
+        };
+        let report = run_batch(&scn, 1);
+        let r = &report.records[0];
+        // Joiners start dead: HC (stable hosts) is well below n, while HU
+        // counts everyone who was up at some instant.
+        assert!(r.hc < report.n, "hc {} vs n {}", r.hc, report.n);
+        assert!(r.hu > r.hc, "hu {} should exceed hc {}", r.hu, r.hc);
+    }
+
+    #[test]
+    fn adversarial_root_starves_the_query() {
+        let mut scn = tiny(ChurnSpec::AdversarialRoot { radius: 2, at: 0.1 });
+        scn.seeds = vec![7];
+        scn.repetitions = 1;
+        let report = run_batch(&scn, 1);
+        let r = &report.records[0];
+        // The blast zone dies just after the flood leaves hq: the
+        // declared count collapses far below the population.
+        let v = r.value.expect("hq survives");
+        assert!(
+            v < report.n as f64 * 0.8,
+            "adversary should hide hosts (got {v} of {})",
+            report.n
+        );
+    }
+
+    #[test]
+    fn partition_is_majority_side_for_hq() {
+        let scn = tiny(ChurnSpec::Partition {
+            fraction: 0.4,
+            from: 0.0,
+            heal: 1.0,
+        });
+        let report = run_batch(&scn, 3);
+        for r in &report.records {
+            // hq always declares (it is never cut off from itself) and
+            // the unhealed full-window cut hides the minority side.
+            assert!(r.value.is_some());
+        }
+    }
+
+    #[test]
+    fn delay_model_reaches_the_simulation() {
+        // A 2-tick fixed hop delay must double the declaration instant
+        // relative to the default — if the spec's delay were silently
+        // dropped, both batches would report identical time costs.
+        let mut one = tiny(ChurnSpec::None);
+        one.aggregate = Aggregate::Max;
+        let mut two = one.clone();
+        two.delay = DelayModel::Fixed(2);
+        let t1 = run_batch(&one, 2).metric("time_cost").unwrap().mean;
+        let t2 = run_batch(&two, 2).metric("time_cost").unwrap().mean;
+        assert_eq!(t2, t1 * 2.0, "2-tick δ must double the time cost");
+        // And the exact max survives the slower network.
+        let v = run_batch(&two, 2).metric("value").unwrap();
+        assert_eq!(v.min, v.max, "max is exact under any delay bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected() {
+        run_batch(&tiny(ChurnSpec::None), 0);
+    }
+
+    #[test]
+    fn agg_statistics() {
+        let a = Agg::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.mean, 2.5);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 4.0);
+        assert_eq!(a.count, 4);
+        assert!((a.stddev - 1.118).abs() < 1e-3);
+        let empty = Agg::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+}

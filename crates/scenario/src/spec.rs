@@ -1,0 +1,760 @@
+//! The declarative [`Scenario`] spec and its mapping from parsed `.scn`
+//! documents.
+//!
+//! A scenario pins down *everything* a batch run needs — topology,
+//! query, medium, delay, protocol, dynamism regime, seed set and
+//! repetition count — so that `repro scenario file.scn` is a pure
+//! function of the file. Validation is strict: unknown sections or keys
+//! are errors (with line numbers), because a typoed key silently
+//! falling back to a default is the classic way benchmark configs rot.
+
+use crate::parse::{Doc, Entry, ParseError, Section, Value};
+use pov_core::pov_protocols::allreport::ReportRouting;
+use pov_core::pov_protocols::wildfire::WildfireOpts;
+use pov_core::pov_protocols::{Aggregate, ProtocolKind};
+use pov_core::pov_sim::{DelayModel, Medium};
+use pov_core::pov_topology::generators::TopologyKind;
+
+/// Which protocol a scenario runs (name-addressable mirror of
+/// [`ProtocolKind`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProtocolSpec {
+    /// WILDFIRE with both §5.3 optimizations.
+    Wildfire,
+    /// SPANNINGTREE.
+    SpanningTree,
+    /// DIRECTEDACYCLICGRAPH with `k` parents.
+    Dag {
+        /// Maximum parents per host.
+        k: usize,
+    },
+    /// ALLREPORT with direct report delivery.
+    AllReport,
+    /// RANDOMIZEDREPORT with report probability `p`.
+    RandomizedReport {
+        /// Per-host report probability.
+        p: f64,
+    },
+    /// Push-sum gossip for `rounds` rounds.
+    Gossip {
+        /// Number of gossip rounds.
+        rounds: u32,
+    },
+}
+
+impl ProtocolSpec {
+    /// The runnable [`ProtocolKind`].
+    pub fn kind(self) -> ProtocolKind {
+        match self {
+            ProtocolSpec::Wildfire => ProtocolKind::Wildfire(WildfireOpts::default()),
+            ProtocolSpec::SpanningTree => ProtocolKind::SpanningTree,
+            ProtocolSpec::Dag { k } => ProtocolKind::Dag { k },
+            ProtocolSpec::AllReport => ProtocolKind::AllReport(ReportRouting::Direct),
+            ProtocolSpec::RandomizedReport { p } => ProtocolKind::RandomizedReport { p },
+            ProtocolSpec::Gossip { rounds } => ProtocolKind::Gossip { rounds },
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+/// The dynamism regime of a scenario. Window positions are expressed as
+/// fractions of the query deadline `2·D̂·δ`, so the same scenario file is
+/// meaningful across topologies whose diameters differ.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnSpec {
+    /// Static network.
+    None,
+    /// The paper's §6.2 model: `fraction·|H|` uniformly random hosts fail
+    /// at a uniform rate over the window.
+    Uniform {
+        /// Fraction of hosts that fail (0..1).
+        fraction: f64,
+        /// Failure window as fractions of the deadline.
+        window: (f64, f64),
+    },
+    /// Flash crowd: `fraction·|H|` hosts start dead and join at a uniform
+    /// rate over the window.
+    FlashCrowd {
+        /// Fraction of hosts that join (0..1).
+        fraction: f64,
+        /// Join window as fractions of the deadline.
+        window: (f64, f64),
+    },
+    /// Correlated cluster failures: `clusters` BFS-neighbourhoods of
+    /// `cluster_size` hosts fail together, spread across the window.
+    Correlated {
+        /// Number of blast zones.
+        clusters: usize,
+        /// Hosts per blast zone.
+        cluster_size: usize,
+        /// Failure window as fractions of the deadline.
+        window: (f64, f64),
+    },
+    /// Network partition with heal: the `fraction` of hosts BFS-nearest
+    /// a random pivot are cut off during `[from, heal)` (hosts stay
+    /// alive), then the network reconnects.
+    Partition {
+        /// Fraction of hosts on the severed side (0..1).
+        fraction: f64,
+        /// Cut start as a fraction of the deadline.
+        from: f64,
+        /// Heal instant as a fraction of the deadline.
+        heal: f64,
+    },
+    /// Adaptive adversary: every host within `radius` hops of `hq`
+    /// (except `hq`) is killed at `at` (fraction of the deadline).
+    AdversarialRoot {
+        /// Blast radius in hops.
+        radius: u32,
+        /// Kill instant as a fraction of the deadline.
+        at: f64,
+    },
+}
+
+impl ChurnSpec {
+    /// Model name as written in scenario files.
+    pub fn model_name(&self) -> &'static str {
+        match self {
+            ChurnSpec::None => "none",
+            ChurnSpec::Uniform { .. } => "uniform",
+            ChurnSpec::FlashCrowd { .. } => "flash-crowd",
+            ChurnSpec::Correlated { .. } => "correlated",
+            ChurnSpec::Partition { .. } => "partition",
+            ChurnSpec::AdversarialRoot { .. } => "adversarial-root",
+        }
+    }
+}
+
+/// A fully specified, runnable scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (reported in JSON).
+    pub name: String,
+    /// Free-text description.
+    pub description: String,
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Host count (grid rounds down to a square).
+    pub n: usize,
+    /// Seed for topology construction and attribute values.
+    pub topology_seed: u64,
+    /// The aggregate under query.
+    pub aggregate: Aggregate,
+    /// FM repetitions `c` for sketched aggregates.
+    pub c: usize,
+    /// The querying host.
+    pub hq: u32,
+    /// Slack added to the measured diameter to form `D̂`.
+    pub d_hat_slack: u32,
+    /// Communication medium.
+    pub medium: Medium,
+    /// Per-hop delay model.
+    pub delay: DelayModel,
+    /// Protocol under test.
+    pub protocol: ProtocolSpec,
+    /// Dynamism regime.
+    pub churn: ChurnSpec,
+    /// Root seeds; the batch runs `seeds × repetitions`.
+    pub seeds: Vec<u64>,
+    /// Repetitions per seed.
+    pub repetitions: usize,
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = ParseError;
+
+    /// Parse and validate a scenario from `.scn` text.
+    fn from_str(text: &str) -> Result<Scenario, ParseError> {
+        let doc = Doc::parse(text)?;
+        Scenario::from_doc(&doc)
+    }
+}
+
+impl Scenario {
+    /// Total number of runs in the batch.
+    pub fn num_runs(&self) -> usize {
+        self.seeds.len() * self.repetitions
+    }
+
+    fn from_doc(doc: &Doc) -> Result<Scenario, ParseError> {
+        const KNOWN: &[&str] = &[
+            "scenario", "topology", "query", "medium", "protocol", "churn", "run",
+        ];
+        for s in &doc.sections {
+            if !KNOWN.contains(&s.name.as_str()) {
+                return Err(ParseError::at(
+                    s.line,
+                    format!(
+                        "unknown section [{}] (expected one of: {})",
+                        s.name,
+                        KNOWN.join(", ")
+                    ),
+                ));
+            }
+        }
+        let scn = Keys::over(doc, "scenario")?;
+        let name = scn.require_str("name")?;
+        let description = scn.opt_str("description")?.unwrap_or_default();
+        scn.finish()?;
+
+        let topo = Keys::over(doc, "topology")?;
+        let topology = match topo.require_str("kind")?.as_str() {
+            "gnutella" => TopologyKind::Gnutella,
+            "random" => TopologyKind::Random,
+            "powerlaw" | "power-law" => TopologyKind::PowerLaw,
+            "grid" => TopologyKind::Grid,
+            other => {
+                return Err(topo.err(
+                    "kind",
+                    format!("unknown topology '{other}' (gnutella|random|powerlaw|grid)"),
+                ))
+            }
+        };
+        let n = topo.require_usize("n")?;
+        if n < 2 {
+            return Err(topo.err("n", "need at least 2 hosts"));
+        }
+        let topology_seed = topo.opt_u64("seed")?.unwrap_or(1);
+        topo.finish()?;
+
+        let query = Keys::over(doc, "query")?;
+        let aggregate = match query.require_str("aggregate")?.as_str() {
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "min" => Aggregate::Min,
+            "max" => Aggregate::Max,
+            "avg" | "average" => Aggregate::Average,
+            other => {
+                return Err(query.err(
+                    "aggregate",
+                    format!("unknown aggregate '{other}' (count|sum|min|max|avg)"),
+                ))
+            }
+        };
+        let c = query.opt_usize("c")?.unwrap_or(8);
+        if c == 0 {
+            return Err(query.err("c", "FM repetitions c must be >= 1"));
+        }
+        let hq = match query.opt_u64("hq")? {
+            Some(v) => u32::try_from(v)
+                .map_err(|_| query.err("hq", format!("host id {v} exceeds u32::MAX")))?,
+            None => 0,
+        };
+        // Grids round n down to a perfect square, so validate against the
+        // host count the topology will actually produce.
+        let effective_n = match topology {
+            TopologyKind::Grid => {
+                let side = (n as f64).sqrt().floor() as usize;
+                side * side
+            }
+            _ => n,
+        };
+        if (hq as usize) >= effective_n {
+            return Err(query.err(
+                "hq",
+                format!(
+                    "querying host {hq} out of range ({} builds {effective_n} hosts from n = {n})",
+                    topology.name()
+                ),
+            ));
+        }
+        let d_hat_slack = query.opt_u64("d_hat_slack")?.unwrap_or(2) as u32;
+        query.finish()?;
+
+        let med = Keys::over(doc, "medium")?;
+        let medium = match med.opt_str("kind")?.as_deref().unwrap_or("p2p") {
+            "p2p" | "point-to-point" => Medium::PointToPoint,
+            "radio" => Medium::Radio,
+            other => return Err(med.err("kind", format!("unknown medium '{other}' (p2p|radio)"))),
+        };
+        let delay = match med.opt_str("delay")?.as_deref().unwrap_or("fixed") {
+            "fixed" => DelayModel::Fixed(med.opt_u64("ticks")?.unwrap_or(1)),
+            "uniform" => {
+                let min = med.opt_u64("min")?.unwrap_or(1);
+                let max = med.require_u64("max")?;
+                if max < min {
+                    return Err(med.err("max", format!("delay max {max} < min {min}")));
+                }
+                DelayModel::Uniform { min, max }
+            }
+            other => {
+                return Err(med.err(
+                    "delay",
+                    format!("unknown delay model '{other}' (fixed|uniform)"),
+                ))
+            }
+        };
+        med.finish()?;
+
+        let proto = Keys::over(doc, "protocol")?;
+        let protocol = match proto.require_str("kind")?.as_str() {
+            "wildfire" => ProtocolSpec::Wildfire,
+            "spanning-tree" | "spanningtree" => ProtocolSpec::SpanningTree,
+            "dag" => ProtocolSpec::Dag {
+                k: proto.opt_usize("k")?.unwrap_or(2),
+            },
+            "allreport" => ProtocolSpec::AllReport,
+            "randomized-report" => {
+                let p = proto.require_f64("p")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(proto.err("p", format!("report probability {p} outside [0, 1]")));
+                }
+                ProtocolSpec::RandomizedReport { p }
+            }
+            "gossip" => ProtocolSpec::Gossip {
+                rounds: proto.require_u64("rounds")? as u32,
+            },
+            other => {
+                return Err(proto.err(
+                    "kind",
+                    format!(
+                        "unknown protocol '{other}' \
+                         (wildfire|spanning-tree|dag|allreport|randomized-report|gossip)"
+                    ),
+                ))
+            }
+        };
+        proto.finish()?;
+
+        let churn = match doc.section("churn") {
+            None => ChurnSpec::None,
+            Some(_) => {
+                let ch = Keys::over(doc, "churn")?;
+                let window = |ch: &Keys<'_>| -> Result<(f64, f64), ParseError> {
+                    let from = ch.opt_f64("from")?.unwrap_or(0.0);
+                    let until = ch.opt_f64("until")?.unwrap_or(1.0);
+                    if !(0.0..=1.0).contains(&from) || !(0.0..=1.0).contains(&until) || from > until
+                    {
+                        return Err(ch.err(
+                            "from",
+                            format!(
+                                "window [{from}, {until}] must satisfy 0 <= from <= until <= 1"
+                            ),
+                        ));
+                    }
+                    Ok((from, until))
+                };
+                let fraction = |ch: &Keys<'_>| -> Result<f64, ParseError> {
+                    let f = ch.require_f64("fraction")?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(ch.err("fraction", format!("fraction {f} outside [0, 1]")));
+                    }
+                    Ok(f)
+                };
+                let spec = match ch.require_str("model")?.as_str() {
+                    "none" => ChurnSpec::None,
+                    "uniform" => ChurnSpec::Uniform {
+                        fraction: fraction(&ch)?,
+                        window: window(&ch)?,
+                    },
+                    "flash-crowd" => ChurnSpec::FlashCrowd {
+                        fraction: fraction(&ch)?,
+                        window: window(&ch)?,
+                    },
+                    "correlated" => ChurnSpec::Correlated {
+                        clusters: ch.require_usize("clusters")?,
+                        cluster_size: ch.require_usize("cluster_size")?,
+                        window: window(&ch)?,
+                    },
+                    "partition" => {
+                        let from = ch.opt_f64("from")?.unwrap_or(0.0);
+                        let heal = ch.opt_f64("heal")?.unwrap_or(1.0);
+                        if !(0.0..=1.0).contains(&from)
+                            || !(0.0..=1.0).contains(&heal)
+                            || from >= heal
+                        {
+                            return Err(ch.err(
+                                "from",
+                                format!(
+                                    "partition [{from}, {heal}) must satisfy 0 <= from < heal <= 1"
+                                ),
+                            ));
+                        }
+                        ChurnSpec::Partition {
+                            fraction: fraction(&ch)?,
+                            from,
+                            heal,
+                        }
+                    }
+                    "adversarial-root" => ChurnSpec::AdversarialRoot {
+                        radius: ch.opt_u64("radius")?.unwrap_or(1) as u32,
+                        at: {
+                            let at = ch.opt_f64("at")?.unwrap_or(0.25);
+                            if !(0.0..=1.0).contains(&at) {
+                                return Err(ch.err("at", format!("at {at} outside [0, 1]")));
+                            }
+                            at
+                        },
+                    },
+                    other => {
+                        return Err(ch.err(
+                            "model",
+                            format!(
+                                "unknown churn model '{other}' \
+                                 (none|uniform|flash-crowd|correlated|partition|adversarial-root)"
+                            ),
+                        ))
+                    }
+                };
+                ch.finish()?;
+                spec
+            }
+        };
+
+        let run = Keys::over(doc, "run")?;
+        let seeds = run.require_u64_list("seeds")?;
+        if seeds.is_empty() {
+            return Err(run.err("seeds", "need at least one seed"));
+        }
+        let repetitions = run.opt_usize("repetitions")?.unwrap_or(1);
+        if repetitions == 0 {
+            return Err(run.err("repetitions", "repetitions must be >= 1"));
+        }
+        run.finish()?;
+
+        Ok(Scenario {
+            name,
+            description,
+            topology,
+            n,
+            topology_seed,
+            aggregate,
+            c,
+            hq,
+            d_hat_slack,
+            medium,
+            delay,
+            protocol,
+            churn,
+            seeds,
+            repetitions,
+        })
+    }
+}
+
+/// Typed, consumption-tracked access to one section's keys: every key a
+/// reader touches is marked, and [`Keys::finish`] rejects leftovers so
+/// typos cannot silently fall back to defaults.
+struct Keys<'a> {
+    section: Option<&'a Section>,
+    name: &'a str,
+    line: usize,
+    used: std::cell::RefCell<Vec<&'a str>>,
+}
+
+impl<'a> Keys<'a> {
+    fn over(doc: &'a Doc, name: &'a str) -> Result<Keys<'a>, ParseError> {
+        let section = doc.section(name);
+        match (name, &section) {
+            // [medium] and [churn] are optional; the rest must exist.
+            ("medium" | "churn", _) | (_, Some(_)) => Ok(Keys {
+                line: section.map_or(0, |s| s.line),
+                section,
+                name,
+                used: std::cell::RefCell::new(Vec::new()),
+            }),
+            _ => Err(ParseError::at(
+                0,
+                format!("missing required section [{name}]"),
+            )),
+        }
+    }
+
+    fn entry(&self, key: &'a str) -> Option<&'a Entry> {
+        let e = self.section.and_then(|s| s.get(key));
+        if e.is_some() {
+            self.used.borrow_mut().push(key);
+        }
+        e
+    }
+
+    fn err(&self, key: &str, msg: impl Into<String>) -> ParseError {
+        let line = self
+            .section
+            .and_then(|s| s.get(key))
+            .map_or(self.line, |e| e.line);
+        ParseError::at(line, format!("[{}] {}: {}", self.name, key, msg.into()))
+    }
+
+    fn require_str(&self, key: &'a str) -> Result<String, ParseError> {
+        self.opt_str(key)?
+            .ok_or_else(|| self.missing(key, "string"))
+    }
+
+    fn opt_str(&self, key: &'a str) -> Result<Option<String>, ParseError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                Value::Str(s) => Ok(Some(s.clone())),
+                v => Err(self.err(key, format!("expected a string, got {}", v.type_name()))),
+            },
+        }
+    }
+
+    fn require_u64(&self, key: &'a str) -> Result<u64, ParseError> {
+        self.opt_u64(key)?
+            .ok_or_else(|| self.missing(key, "integer"))
+    }
+
+    fn opt_u64(&self, key: &'a str) -> Result<Option<u64>, ParseError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match e.value {
+                Value::Int(i) if i >= 0 => Ok(Some(i as u64)),
+                Value::Int(i) => Err(self.err(key, format!("must be non-negative, got {i}"))),
+                ref v => Err(self.err(key, format!("expected an integer, got {}", v.type_name()))),
+            },
+        }
+    }
+
+    fn require_usize(&self, key: &'a str) -> Result<usize, ParseError> {
+        Ok(self.require_u64(key)? as usize)
+    }
+
+    fn opt_usize(&self, key: &'a str) -> Result<Option<usize>, ParseError> {
+        Ok(self.opt_u64(key)?.map(|v| v as usize))
+    }
+
+    fn require_f64(&self, key: &'a str) -> Result<f64, ParseError> {
+        self.opt_f64(key)?
+            .ok_or_else(|| self.missing(key, "number"))
+    }
+
+    fn opt_f64(&self, key: &'a str) -> Result<Option<f64>, ParseError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match e.value {
+                Value::Float(f) => Ok(Some(f)),
+                Value::Int(i) => Ok(Some(i as f64)),
+                ref v => Err(self.err(key, format!("expected a number, got {}", v.type_name()))),
+            },
+        }
+    }
+
+    fn require_u64_list(&self, key: &'a str) -> Result<Vec<u64>, ParseError> {
+        match self.entry(key) {
+            None => Err(self.missing(key, "list of integers")),
+            Some(e) => match &e.value {
+                Value::List(items) => items
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+                        Value::Int(i) => {
+                            Err(self.err(key, format!("list elements must be >= 0, got {i}")))
+                        }
+                        v => Err(self.err(
+                            key,
+                            format!("expected integer elements, got {}", v.type_name()),
+                        )),
+                    })
+                    .collect(),
+                v => Err(self.err(key, format!("expected a list, got {}", v.type_name()))),
+            },
+        }
+    }
+
+    fn missing(&self, key: &str, what: &str) -> ParseError {
+        ParseError::at(
+            self.line,
+            format!("[{}] missing required key '{key}' ({what})", self.name),
+        )
+    }
+
+    /// Reject keys nobody consumed.
+    fn finish(&self) -> Result<(), ParseError> {
+        if let Some(section) = self.section {
+            let used = self.used.borrow();
+            for e in &section.entries {
+                if !used.contains(&e.key.as_str()) {
+                    return Err(ParseError::at(
+                        e.line,
+                        format!("unknown key '{}' in [{}]", e.key, self.name),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    const GOOD: &str = r#"
+[scenario]
+name = "demo"
+description = "a demo"
+
+[topology]
+kind = "grid"
+n = 400
+seed = 7
+
+[query]
+aggregate = "count"
+c = 16
+hq = 0
+
+[medium]
+kind = "radio"
+delay = "uniform"
+min = 1
+max = 2
+
+[protocol]
+kind = "wildfire"
+
+[churn]
+model = "partition"
+fraction = 0.4
+from = 0.1
+heal = 0.6
+
+[run]
+seeds = [1, 2, 3]
+repetitions = 2
+"#;
+
+    #[test]
+    fn parses_complete_scenario() {
+        let s = Scenario::from_str(GOOD).expect("valid");
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.topology, TopologyKind::Grid);
+        assert_eq!(s.n, 400);
+        assert_eq!(s.topology_seed, 7);
+        assert_eq!(s.aggregate, Aggregate::Count);
+        assert_eq!(s.c, 16);
+        assert_eq!(s.medium, Medium::Radio);
+        assert_eq!(s.delay, DelayModel::Uniform { min: 1, max: 2 });
+        assert_eq!(s.protocol, ProtocolSpec::Wildfire);
+        assert_eq!(
+            s.churn,
+            ChurnSpec::Partition {
+                fraction: 0.4,
+                from: 0.1,
+                heal: 0.6
+            }
+        );
+        assert_eq!(s.seeds, vec![1, 2, 3]);
+        assert_eq!(s.num_runs(), 6);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let s = Scenario::from_str(
+            r#"
+[scenario]
+name = "min"
+[topology]
+kind = "random"
+n = 100
+[query]
+aggregate = "max"
+[protocol]
+kind = "spanning-tree"
+[run]
+seeds = [9]
+"#,
+        )
+        .expect("valid");
+        assert_eq!(s.c, 8);
+        assert_eq!(s.hq, 0);
+        assert_eq!(s.d_hat_slack, 2);
+        assert_eq!(s.medium, Medium::PointToPoint);
+        assert_eq!(s.delay, DelayModel::Fixed(1));
+        assert_eq!(s.churn, ChurnSpec::None);
+        assert_eq!(s.repetitions, 1);
+        assert_eq!(s.topology_seed, 1);
+    }
+
+    fn fails_with(mutation: &str, needle: &str) {
+        // Replace the matching line of GOOD (by key) or append.
+        let key = mutation.split('=').next().unwrap().trim();
+        let text: String = GOOD
+            .lines()
+            .map(|l| {
+                if l.split('=').next().map(str::trim) == Some(key) {
+                    mutation.to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = Scenario::from_str(&text).expect_err("should fail");
+        assert!(
+            err.msg.contains(needle),
+            "error '{}' should mention '{needle}'",
+            err.msg
+        );
+        assert!(err.line > 0, "error should carry a line number");
+    }
+
+    #[test]
+    fn rejects_bad_values_with_context() {
+        fails_with("kind = \"torus\"", "unknown");
+        fails_with("aggregate = \"median\"", "unknown aggregate");
+        fails_with("hq = 400", "out of range");
+        fails_with("fraction = 1.5", "outside [0, 1]");
+        fails_with("from = 0.9", "from < heal");
+        fails_with("seeds = []", "at least one seed");
+        fails_with("repetitions = 0", ">= 1");
+    }
+
+    #[test]
+    fn grid_hq_validated_against_rounded_host_count() {
+        // n = 1000 on a grid builds 31×31 = 961 hosts; hq = 980 looks
+        // in-range against n but is out of range for the real graph.
+        let text = GOOD
+            .replace("n = 400", "n = 1_000")
+            .replace("hq = 0", "hq = 980");
+        let err = Scenario::from_str(&text).expect_err("hq past grid rounding");
+        assert!(err.msg.contains("961"), "{}", err.msg);
+        // The same hq is fine once it fits the rounded count.
+        let text = GOOD
+            .replace("n = 400", "n = 1_000")
+            .replace("hq = 0", "hq = 960");
+        assert!(Scenario::from_str(&text).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        let err = Scenario::from_str(&format!("{GOOD}\nbogus = 1")).expect_err("unknown key");
+        assert!(err.msg.contains("unknown key 'bogus'"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[extra]\nx = 1")).expect_err("section");
+        assert!(err.msg.contains("unknown section [extra]"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        let err = Scenario::from_str("[scenario]\nname = \"x\"").expect_err("missing");
+        assert!(err.msg.contains("missing required section"), "{}", err.msg);
+    }
+
+    #[test]
+    fn protocol_parameters() {
+        for (kind, extra, want) in [
+            ("dag", "k = 3", ProtocolSpec::Dag { k: 3 }),
+            (
+                "randomized-report",
+                "p = 0.5",
+                ProtocolSpec::RandomizedReport { p: 0.5 },
+            ),
+            ("gossip", "rounds = 40", ProtocolSpec::Gossip { rounds: 40 }),
+        ] {
+            let s = Scenario::from_str(&format!(
+                "[scenario]\nname = \"p\"\n[topology]\nkind = \"random\"\nn = 50\n\
+                 [query]\naggregate = \"count\"\n[protocol]\nkind = \"{kind}\"\n{extra}\n\
+                 [run]\nseeds = [1]"
+            ))
+            .expect("valid");
+            assert_eq!(s.protocol, want);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the batch executor's determinism contract: for
+//! any scenario, seed set and thread count, the parallel report — down
+//! to its JSON bytes — equals the sequential one.
+
+use pov_core::pov_protocols::Aggregate;
+use pov_core::pov_sim::{DelayModel, Medium};
+use pov_core::pov_topology::generators::TopologyKind;
+use pov_scenario::{run_batch, ChurnSpec, ProtocolSpec, Scenario};
+use proptest::prelude::*;
+
+fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) -> Scenario {
+    let churn = match churn_pick % 5 {
+        0 => ChurnSpec::None,
+        1 => ChurnSpec::Uniform {
+            fraction: 0.15,
+            window: (0.0, 1.0),
+        },
+        2 => ChurnSpec::FlashCrowd {
+            fraction: 0.2,
+            window: (0.0, 0.5),
+        },
+        3 => ChurnSpec::Partition {
+            fraction: 0.3,
+            from: 0.1,
+            heal: 0.7,
+        },
+        _ => ChurnSpec::AdversarialRoot { radius: 1, at: 0.3 },
+    };
+    let protocol = match proto_pick % 3 {
+        0 => ProtocolSpec::Wildfire,
+        1 => ProtocolSpec::SpanningTree,
+        _ => ProtocolSpec::Dag { k: 2 },
+    };
+    Scenario {
+        name: "prop".into(),
+        description: String::new(),
+        topology: TopologyKind::Random,
+        n: 50,
+        topology_seed,
+        aggregate: Aggregate::Count,
+        c: 8,
+        hq: 0,
+        d_hat_slack: 2,
+        medium: Medium::PointToPoint,
+        delay: DelayModel::Fixed(1),
+        protocol,
+        churn,
+        seeds: vec![base_seed, base_seed ^ 0xabcd, base_seed.wrapping_add(7)],
+        repetitions: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance gate: any thread count, byte-identical JSON.
+    #[test]
+    fn parallel_report_equals_sequential(
+        topo_seed in 1u64..500,
+        base_seed in 0u64..10_000,
+        churn_pick in 0u8..5,
+        proto_pick in 0u8..3,
+        threads in 2usize..9,
+    ) {
+        let scn = scenario(topo_seed, base_seed, churn_pick, proto_pick);
+        let sequential = run_batch(&scn, 1);
+        let parallel = run_batch(&scn, threads);
+        prop_assert_eq!(&sequential.records, &parallel.records);
+        prop_assert_eq!(
+            sequential.to_json().render(),
+            parallel.to_json().render()
+        );
+    }
+
+    /// Oversubscription (more threads than matrix cells) still covers
+    /// every cell exactly once.
+    #[test]
+    fn more_threads_than_jobs(topo_seed in 1u64..100, threads in 7usize..32) {
+        let mut scn = scenario(topo_seed, 1, 0, 0);
+        scn.seeds = vec![1, 2];
+        scn.repetitions = 1;
+        let report = run_batch(&scn, threads);
+        prop_assert_eq!(report.runs, 2);
+        let cells: Vec<(u64, usize)> =
+            report.records.iter().map(|r| (r.seed, r.rep)).collect();
+        prop_assert_eq!(cells, vec![(1, 0), (2, 0)]);
+    }
+}

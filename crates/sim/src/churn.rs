@@ -6,7 +6,7 @@
 //! Validity) though the paper's simulations do not exercise them.
 
 use crate::Time;
-use pov_topology::HostId;
+use pov_topology::{analysis, Graph, HostId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -62,6 +62,115 @@ impl ChurnPlan {
         }
     }
 
+    /// Flash-crowd join burst: `j` distinct hosts drawn uniformly from
+    /// `0..num_hosts` (excluding `spare`) start dead and join at a
+    /// uniform rate over `[window_start, window_end]` — the sudden
+    /// audience-arrival regime the paper's failure-only model cannot
+    /// express (joins grow `HU`, stressing the upper validity bound).
+    pub fn flash_crowd(
+        num_hosts: usize,
+        j: usize,
+        window_start: Time,
+        window_end: Time,
+        spare: HostId,
+        seed: u64,
+    ) -> Self {
+        assert!(window_end >= window_start, "empty join window");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut candidates: Vec<HostId> = (0..num_hosts as u32)
+            .map(HostId)
+            .filter(|&h| h != spare)
+            .collect();
+        candidates.shuffle(&mut rng);
+        let j = j.min(candidates.len());
+        let span = (window_end - window_start).max(1);
+        let joins = candidates[..j]
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (window_start + (i as u64 * span) / j.max(1) as u64, h))
+            .collect();
+        ChurnPlan {
+            failures: Vec::new(),
+            joins,
+        }
+    }
+
+    /// Correlated (clustered) failures: `clusters` random centres each
+    /// take their BFS neighbourhood of up to `cluster_size` hosts down
+    /// *together*, cluster `i` at the `i`-th of evenly spaced instants
+    /// across `[window_start, window_end]`. Models rack/region outages,
+    /// where failures are spatially dependent rather than the paper's
+    /// independent uniform draws. `spare` (normally `hq`) never fails.
+    pub fn correlated_failures(
+        graph: &Graph,
+        clusters: usize,
+        cluster_size: usize,
+        window_start: Time,
+        window_end: Time,
+        spare: HostId,
+        seed: u64,
+    ) -> Self {
+        assert!(window_end >= window_start, "empty failure window");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut centres: Vec<HostId> = (0..graph.num_hosts() as u32)
+            .map(HostId)
+            .filter(|&h| h != spare)
+            .collect();
+        centres.shuffle(&mut rng);
+        let clusters = clusters.min(centres.len());
+        let span = (window_end - window_start).max(1);
+        let mut failed = vec![false; graph.num_hosts()];
+        failed[spare.index()] = true; // never select the spare
+        let mut failures: Vec<(Time, HostId)> = Vec::new();
+        for (i, &centre) in centres[..clusters].iter().enumerate() {
+            let at = window_start + (i as u64 * span) / clusters.max(1) as u64;
+            // BFS outward from the centre, taking fresh hosts only.
+            let mut frontier = std::collections::VecDeque::from([centre]);
+            let mut seen = vec![false; graph.num_hosts()];
+            seen[centre.index()] = true;
+            let mut taken = 0usize;
+            while let Some(h) = frontier.pop_front() {
+                if !failed[h.index()] {
+                    failed[h.index()] = true;
+                    failures.push((at, h));
+                    taken += 1;
+                    if taken == cluster_size {
+                        break;
+                    }
+                }
+                for &nb in graph.neighbors(h) {
+                    if !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        frontier.push_back(nb);
+                    }
+                }
+            }
+        }
+        failures.sort_by_key(|&(t, h)| (t, h.0));
+        ChurnPlan {
+            failures,
+            joins: Vec::new(),
+        }
+    }
+
+    /// The adaptive adversary of the Theorem 4.2 flavour: at instant
+    /// `at`, kill every host within `radius` hops of `root` (except
+    /// `root` itself). Against tree-based protocols rooted at `hq` this
+    /// orphans the *entire* tree below the blast radius in one stroke.
+    /// Deterministic — the adversary knows the topology.
+    pub fn root_neighbourhood_failures(graph: &Graph, root: HostId, radius: u32, at: Time) -> Self {
+        let dist = analysis::bfs_distances(graph, root);
+        let failures = (0..graph.num_hosts() as u32)
+            .map(HostId)
+            .filter(|&h| h != root && dist[h.index()] >= 1 && dist[h.index()] <= radius)
+            .map(|h| (at, h))
+            .collect();
+        ChurnPlan {
+            failures,
+            joins: Vec::new(),
+        }
+    }
+
     /// Add a single failure.
     pub fn with_failure(mut self, at: Time, host: HostId) -> Self {
         self.failures.push((at, host));
@@ -74,9 +183,14 @@ impl ChurnPlan {
         self
     }
 
-    /// Hosts that join at some point (and therefore start dead).
+    /// Hosts whose *first* scheduled event is a join — they start dead
+    /// and appear later. A host that fails first and rejoins afterwards
+    /// (fail-then-rejoin) starts alive like everyone else.
     pub fn initially_dead(&self) -> impl Iterator<Item = HostId> + '_ {
-        self.joins.iter().map(|&(_, h)| h)
+        self.joins.iter().filter_map(move |&(jt, h)| {
+            let fails_earlier = self.failures.iter().any(|&(ft, fh)| fh == h && ft < jt);
+            (!fails_earlier).then_some(h)
+        })
     }
 
     /// Number of scheduled failures.
@@ -142,5 +256,112 @@ mod tests {
     fn zero_failures() {
         let plan = ChurnPlan::uniform_failures(10, 0, Time(0), Time(10), HostId(0), 1);
         assert_eq!(plan.num_failures(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_spacing_and_spare() {
+        let plan = ChurnPlan::flash_crowd(100, 5, Time(10), Time(60), HostId(3), 7);
+        assert_eq!(plan.joins.len(), 5);
+        assert!(plan.joins.iter().all(|&(_, h)| h != HostId(3)));
+        let times: Vec<u64> = plan.joins.iter().map(|&(t, _)| t.0).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50]);
+        // All joiners start dead.
+        assert_eq!(plan.initially_dead().count(), 5);
+        // Deterministic per seed.
+        let again = ChurnPlan::flash_crowd(100, 5, Time(10), Time(60), HostId(3), 7);
+        assert_eq!(plan.joins, again.joins);
+    }
+
+    #[test]
+    fn correlated_failures_form_clusters() {
+        let g = pov_topology::generators::grid_square(10);
+        let plan = ChurnPlan::correlated_failures(&g, 3, 8, Time(0), Time(30), HostId(0), 11);
+        assert_eq!(plan.num_failures(), 24);
+        assert!(plan.failures.iter().all(|&(_, h)| h != HostId(0)));
+        // Distinct victims.
+        let mut hosts: Vec<u32> = plan.failures.iter().map(|&(_, h)| h.0).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 24);
+        // Hosts failing at the same instant form a connected-ish blast
+        // zone: every victim has another victim of the same instant
+        // within 2 hops (BFS cluster growth guarantees adjacency).
+        for &(t, h) in &plan.failures {
+            let near = plan.failures.iter().any(|&(t2, h2)| {
+                t2 == t && h2 != h && pov_topology::analysis::bfs_distances(&g, h)[h2.index()] <= 2
+            });
+            assert!(near, "victim {h:?} at {t:?} is isolated");
+        }
+        // Sorted by time.
+        assert!(plan.failures.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn root_neighbourhood_kills_ball_not_root() {
+        use pov_topology::generators::special;
+        let g = special::chain(8);
+        let plan = ChurnPlan::root_neighbourhood_failures(&g, HostId(2), 2, Time(4));
+        let mut victims: Vec<u32> = plan.failures.iter().map(|&(_, h)| h.0).collect();
+        victims.sort_unstable();
+        // Hosts within 2 hops of h2 on a chain: h0, h1, h3, h4.
+        assert_eq!(victims, vec![0, 1, 3, 4]);
+        assert!(plan.failures.iter().all(|&(t, _)| t == Time(4)));
+    }
+
+    // --- joins interacting with failures (engine-backed orderings) ---
+
+    use crate::{Ctx, NodeLogic, SimBuilder};
+
+    #[derive(Debug, Default)]
+    struct Starts {
+        count: u32,
+    }
+    impl NodeLogic for Starts {
+        type Msg = ();
+        fn on_start(&mut self, _: &mut Ctx<'_, ()>) {
+            self.count += 1;
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+    }
+
+    #[test]
+    fn join_then_fail_ordering() {
+        use pov_topology::generators::special;
+        // h1 starts dead, joins at t=2, fails again at t=6.
+        let plan = ChurnPlan::none()
+            .with_join(Time(2), HostId(1))
+            .with_failure(Time(6), HostId(1));
+        let dead: Vec<HostId> = plan.initially_dead().collect();
+        assert_eq!(dead, vec![HostId(1)]);
+        let mut sim = SimBuilder::new(special::chain(3))
+            .churn(plan)
+            .build(|_| Starts::default());
+        sim.run_until(Time(10));
+        // Started exactly once (at the join), and is dead at the end.
+        assert_eq!(sim.logic(HostId(1)).count, 1);
+        assert!(!sim.is_alive(HostId(1)));
+        assert_eq!(sim.num_alive(), 2);
+        // Trace records the join before the failure.
+        assert_eq!(sim.trace().events.len(), 2);
+    }
+
+    #[test]
+    fn fail_then_rejoin_ordering() {
+        use pov_topology::generators::special;
+        // h1 starts alive, fails at t=2, rejoins at t=6.
+        let plan = ChurnPlan::none()
+            .with_failure(Time(2), HostId(1))
+            .with_join(Time(6), HostId(1));
+        // First event is the failure, so h1 must NOT start dead.
+        assert_eq!(plan.initially_dead().count(), 0);
+        let mut sim = SimBuilder::new(special::chain(3))
+            .churn(plan)
+            .build(|_| Starts::default());
+        sim.run_until(Time(10));
+        // Started at t=0 and again on rejoin; alive at the end.
+        assert_eq!(sim.logic(HostId(1)).count, 2);
+        assert!(sim.is_alive(HostId(1)));
+        assert_eq!(sim.num_alive(), 3);
+        assert_eq!(sim.trace().events.len(), 2);
     }
 }

@@ -1,5 +1,8 @@
-//! Per-message delay models under the known bound `δ` (§3.1).
+//! Per-message delay models under the known bound `δ` (§3.1), and
+//! temporary network partitions layered on top of them.
 
+use crate::Time;
+use pov_topology::{analysis, Graph, HostId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -50,6 +53,84 @@ impl Default for DelayModel {
     }
 }
 
+/// A temporary network partition: while one of its windows is active,
+/// messages whose endpoints sit on opposite sides of the cut are lost in
+/// transit (the sender has already paid their communication cost, exactly
+/// as for a message to a crashed host). Hosts on both sides stay alive —
+/// this models *disconnection without departure*, the regime of
+/// possibly-disconnected dynamic networks that the paper's §6.2 churn
+/// model cannot express.
+///
+/// A message is dropped iff the cut is active at its *delivery* instant:
+/// traffic already in flight when the links are severed is lost with
+/// them, and traffic sent during the last `δ` before the heal completes
+/// normally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Per-host side assignment (index = host id).
+    sides: Vec<u8>,
+    /// Half-open windows `[from, until)` during which the cut is active.
+    windows: Vec<(Time, Time)>,
+}
+
+impl PartitionPlan {
+    /// A partition over an explicit side assignment (one entry per host).
+    /// Add active windows with [`PartitionPlan::window`]; a plan with no
+    /// windows never blocks anything.
+    pub fn new(sides: Vec<u8>) -> Self {
+        PartitionPlan {
+            sides,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Split `graph` in two by BFS distance from `pivot`: the `fraction`
+    /// of hosts nearest `pivot` (ties broken by host id; `pivot` first)
+    /// form side 1, the rest side 0. This yields a geometrically coherent
+    /// cut — one region of a grid, one neighbourhood of an overlay —
+    /// rather than a random bisection no real outage produces.
+    pub fn split_bfs(graph: &Graph, pivot: HostId, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        let n = graph.num_hosts();
+        let dist = analysis::bfs_distances(graph, pivot);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&h| (dist[h as usize], h));
+        let take = ((n as f64) * fraction).round() as usize;
+        let mut sides = vec![0u8; n];
+        for &h in order.iter().take(take) {
+            sides[h as usize] = 1;
+        }
+        PartitionPlan::new(sides)
+    }
+
+    /// Add an active window `[from, until)`.
+    pub fn window(mut self, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty partition window");
+        self.windows.push((from, until));
+        self
+    }
+
+    /// Whether any window covers instant `at`.
+    pub fn is_active(&self, at: Time) -> bool {
+        self.windows.iter().any(|&(f, u)| at >= f && at < u)
+    }
+
+    /// Whether a message between `a` and `b` delivered at `at` is lost.
+    pub fn blocks(&self, at: Time, a: HostId, b: HostId) -> bool {
+        self.sides[a.index()] != self.sides[b.index()] && self.is_active(at)
+    }
+
+    /// Side assignment (index = host id).
+    pub fn sides(&self) -> &[u8] {
+        &self.sides
+    }
+
+    /// Number of hosts on side 1 of the cut.
+    pub fn minority_len(&self) -> usize {
+        self.sides.iter().filter(|&&s| s == 1).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +174,50 @@ mod tests {
     #[test]
     fn default_is_one_tick() {
         assert_eq!(DelayModel::default(), DelayModel::Fixed(1));
+    }
+
+    #[test]
+    fn partition_blocks_only_cross_cut_during_window() {
+        let plan = PartitionPlan::new(vec![0, 0, 1, 1]).window(Time(5), Time(10));
+        // Outside the window: nothing blocked.
+        assert!(!plan.blocks(Time(4), HostId(0), HostId(2)));
+        assert!(!plan.blocks(Time(10), HostId(0), HostId(2)));
+        // Inside: only cross-cut pairs.
+        assert!(plan.blocks(Time(5), HostId(0), HostId(2)));
+        assert!(plan.blocks(Time(9), HostId(3), HostId(1)));
+        assert!(!plan.blocks(Time(7), HostId(0), HostId(1)));
+        assert!(!plan.blocks(Time(7), HostId(2), HostId(3)));
+    }
+
+    #[test]
+    fn partition_multiple_windows() {
+        let plan = PartitionPlan::new(vec![0, 1])
+            .window(Time(1), Time(2))
+            .window(Time(5), Time(7));
+        let active: Vec<u64> = (0u64..8).filter(|&t| plan.is_active(Time(t))).collect();
+        assert_eq!(active, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn split_bfs_takes_pivot_region() {
+        use pov_topology::generators::special;
+        let g = special::chain(10);
+        let plan = PartitionPlan::split_bfs(&g, HostId(0), 0.4);
+        // The 4 hosts nearest h0 on a chain are h0..h3.
+        assert_eq!(plan.sides(), &[1, 1, 1, 1, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(plan.minority_len(), 4);
+    }
+
+    #[test]
+    fn empty_plan_never_blocks() {
+        let plan = PartitionPlan::new(vec![0, 1]);
+        assert!(!plan.blocks(Time(0), HostId(0), HostId(1)));
+        assert!(!plan.is_active(Time(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty partition window")]
+    fn rejects_empty_window() {
+        let _ = PartitionPlan::new(vec![0, 1]).window(Time(5), Time(5));
     }
 }

@@ -13,8 +13,13 @@
 //! * [`Medium`] — point-to-point (P2P overlay, §3.1 Example 3.1) or
 //!   radio (sensor network: one transmission reaches all neighbours at
 //!   the cost of a single message, §5.3).
-//! * [`ChurnPlan`] — the §6.2 dynamism model: `R` uniformly random hosts
-//!   fail at a uniform rate over an interval, plus optional host joins.
+//! * [`ChurnPlan`] — the §6.2 dynamism model (`R` uniformly random hosts
+//!   fail at a uniform rate over an interval, plus optional host joins)
+//!   and richer regimes beyond the paper: flash-crowd join bursts,
+//!   correlated cluster failures, adversarial root-neighbourhood kills.
+//! * [`PartitionPlan`] — temporary cuts severing cross-partition
+//!   messages for a window, then healing (disconnection without
+//!   departure).
 //! * [`Metrics`] — the §6.3 efficiency measures: communication cost,
 //!   per-host computation cost, time cost (longest causal message chain),
 //!   and per-tick message counts (Fig 13b).
@@ -41,7 +46,7 @@ mod trace;
 
 pub use churn::ChurnPlan;
 pub use ctx::Ctx;
-pub use delay::DelayModel;
+pub use delay::{DelayModel, PartitionPlan};
 pub use engine::{Medium, SimBuilder, Simulation};
 pub use metrics::Metrics;
 pub use node::NodeLogic;

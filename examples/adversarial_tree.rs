@@ -28,7 +28,9 @@ fn main() {
             d_hat: d + 2,
             c: 16,
             medium: Medium::PointToPoint,
+            delay: pov_core::pov_sim::DelayModel::default(),
             churn,
+            partition: None,
             seed: 1,
             hq,
         };

@@ -30,6 +30,7 @@ fn main() {
         d_hat: net.d_hat(),
         c: 16,
         medium: Medium::PointToPoint,
+        delay: pov_core::pov_sim::DelayModel::default(),
         churn: ChurnPlan::uniform_failures(
             n,
             n / 10,
@@ -38,6 +39,7 @@ fn main() {
             HostId(0),
             5,
         ),
+        partition: None,
         seed: 9,
         hq: HostId(0),
     };

@@ -1,0 +1,69 @@
+//! Sweep churn intensity over a scenario file and print the
+//! validity-vs-cost trade-off — the "price of validity" as a curve.
+//!
+//! Loads `scenarios/paper_baseline.scn`, then re-runs it at increasing
+//! failure fractions for WILDFIRE and SPANNINGTREE. WILDFIRE's deviation
+//! stays within sketch noise at every intensity while the tree's blows
+//! up; the message columns show what that guarantee costs.
+//!
+//! ```sh
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use pov_scenario::{run_batch, ChurnSpec, ProtocolSpec, Scenario};
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/paper_baseline.scn");
+    let text = std::fs::read_to_string(path).expect("scenario file present");
+    let base: Scenario = text.parse().expect("scenario parses");
+    println!(
+        "# churn sweep over scenario '{}' ({} on n = {})\n",
+        base.name,
+        base.topology.name(),
+        base.n
+    );
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>12}  {:>10}  {:>8}",
+        "churn", "WF value", "WF dev", "ST value", "ST dev", "WF msgs"
+    );
+
+    for fraction in [0.0, 0.05, 0.10, 0.20, 0.30] {
+        let mut row = Vec::new();
+        let mut wf_msgs = 0.0;
+        for protocol in [ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree] {
+            let mut scn = base.clone();
+            scn.protocol = protocol;
+            scn.churn = if fraction == 0.0 {
+                ChurnSpec::None
+            } else {
+                ChurnSpec::Uniform {
+                    fraction,
+                    window: (0.0, 1.0),
+                }
+            };
+            scn.seeds = vec![1, 2, 3];
+            scn.repetitions = 1;
+            let report = run_batch(&scn, 4);
+            let value = report.metric("value").expect("value metric").mean;
+            let dev = report.metric("deviation").expect("deviation metric");
+            row.push((value, if dev.count > 0 { dev.mean } else { f64::NAN }));
+            if protocol == ProtocolSpec::Wildfire {
+                wf_msgs = report.metric("messages").expect("messages").mean;
+            }
+        }
+        println!(
+            "{:>7.0}%  {:>12.1}  {:>9.2}x  {:>12.1}  {:>9.2}x  {:>8.0}",
+            fraction * 100.0,
+            row[0].0,
+            row[0].1,
+            row[1].0,
+            row[1].1,
+            wf_msgs
+        );
+    }
+    println!(
+        "\nWILDFIRE holds its deviation near 1.0x as churn grows; the tree's\n\
+         declared value (and deviation) collapses — that gap is the price of\n\
+         validity, and the msgs column is what you pay for it."
+    );
+}

@@ -16,7 +16,9 @@ fn cfg(aggregate: Aggregate, d_hat: u32, churn: ChurnPlan) -> RunConfig {
         d_hat,
         c: 16,
         medium: Medium::PointToPoint,
+        delay: pov_core::pov_sim::DelayModel::default(),
         churn,
+        partition: None,
         seed: 5,
         hq: HostId(0),
     }
@@ -94,7 +96,9 @@ fn example_5_1_full_walkthrough() {
             d_hat: 3,
             c: 8,
             medium: Medium::PointToPoint,
+            delay: pov_core::pov_sim::DelayModel::default(),
             churn: ChurnPlan::none(),
+            partition: None,
             seed: 0,
             hq: HostId(0),
         },

@@ -1,0 +1,81 @@
+//! Integration coverage for the shipped scenario library: every `.scn`
+//! file under `scenarios/` must parse, and the smoke scenario must run
+//! deterministically across thread counts end to end (file → parser →
+//! batch runner → JSON).
+
+use pov_scenario::{run_batch, Scenario};
+
+fn scenario_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn load(name: &str) -> Scenario {
+    let path = scenario_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    text.parse()
+        .unwrap_or_else(|e| panic!("parsing {name}: {e}"))
+}
+
+#[test]
+fn every_shipped_scenario_parses() {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(scenario_dir()).expect("scenarios/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("scn") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            let scn: Scenario = text
+                .parse()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(scn.num_runs() > 0, "{}", path.display());
+            names.push(scn.name);
+        }
+    }
+    // The library the issue calls for: paper baseline + 4 new regimes
+    // + the CI smoke file.
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "adversarial-root",
+            "correlated-failure",
+            "flash-crowd",
+            "paper-baseline",
+            "partition-heal",
+            "smoke",
+        ]
+    );
+}
+
+#[test]
+fn smoke_scenario_runs_identically_on_any_thread_count() {
+    let scn = load("smoke.scn");
+    let sequential = run_batch(&scn, 1);
+    let parallel = run_batch(&scn, 4);
+    assert_eq!(
+        sequential.to_json().render(),
+        parallel.to_json().render(),
+        "parallel batch must be byte-identical to sequential"
+    );
+    assert_eq!(sequential.runs, scn.num_runs());
+    assert_eq!(sequential.declared_fraction, 1.0);
+}
+
+#[test]
+fn smoke_report_shape_is_stable() {
+    let scn = load("smoke.scn");
+    let report = run_batch(&scn, 2);
+    let json = report.to_json().render();
+    for field in [
+        "\"scenario\"",
+        "\"protocol\"",
+        "\"churn_model\"",
+        "\"declared_fraction\"",
+        "\"valid_fraction\"",
+        "\"metrics\"",
+        "\"deviation\"",
+        "\"records\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in report JSON");
+    }
+}

@@ -157,7 +157,9 @@ fn randomized_report_cheaper_and_approximately_valid() {
             d_hat: net.d_hat(),
             c: 8,
             medium: Medium::PointToPoint,
+            delay: pov_core::pov_sim::DelayModel::default(),
             churn: ChurnPlan::none(),
+            partition: None,
             seed: 1,
             hq: HostId(0),
         },
@@ -171,7 +173,9 @@ fn randomized_report_cheaper_and_approximately_valid() {
             d_hat: net.d_hat(),
             c: 8,
             medium: Medium::PointToPoint,
+            delay: pov_core::pov_sim::DelayModel::default(),
             churn: ChurnPlan::none(),
+            partition: None,
             seed: 1,
             hq: HostId(0),
         },
@@ -200,7 +204,9 @@ fn gossip_baseline_contrast() {
         d_hat: net.d_hat(),
         c: 8,
         medium: Medium::PointToPoint,
+        delay: pov_core::pov_sim::DelayModel::default(),
         churn: ChurnPlan::none(),
+        partition: None,
         seed: 3,
         hq: HostId(0),
     };
