@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pov_core::pov_protocols::runner::{self, run_wildfire_operator};
 use pov_core::pov_protocols::wildfire::WildfireOpts;
-use pov_core::pov_protocols::{Aggregate, Operator, ProtocolKind, RunConfig};
+use pov_core::pov_protocols::{Aggregate, Operator, ProtocolKind, RunPlan};
 use pov_core::pov_topology::analysis;
 use pov_core::pov_topology::generators::TopologyKind;
 use pov_core::workload;
@@ -18,10 +18,7 @@ fn bench(c: &mut Criterion) {
     let graph = TopologyKind::Gnutella.build(n, 23);
     let values = workload::paper_values(n, 24);
     let d = analysis::diameter_estimate(&graph, 4, 1);
-    let cfg = RunConfig {
-        c: 8,
-        ..RunConfig::new(Aggregate::Count, d + 2)
-    };
+    let cfg = RunPlan::query(Aggregate::Count).d_hat(d + 2);
     let operators = [
         ("fm_count", Operator::Standard),
         ("kmv_count_k64", Operator::KmvCount { k: 64 }),
@@ -48,10 +45,7 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.bench_function("gossip_120_rounds/avg", |b| {
-        let cfg = RunConfig {
-            c: 8,
-            ..RunConfig::new(Aggregate::Average, d + 2)
-        };
+        let cfg = RunPlan::query(Aggregate::Average).d_hat(d + 2);
         b.iter(|| {
             black_box(runner::run(
                 ProtocolKind::Gossip { rounds: 120 },

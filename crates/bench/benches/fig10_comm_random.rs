@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pov_core::pov_protocols::allreport::ReportRouting;
 use pov_core::pov_protocols::wildfire::WildfireOpts;
-use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
 use pov_core::pov_topology::analysis;
 use pov_core::pov_topology::generators::TopologyKind;
 use pov_core::workload;
@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     let graph = TopologyKind::Random.build(n, 10);
     let values = workload::paper_values(n, 99);
     let d = analysis::diameter_estimate(&graph, 4, 1);
-    let cfg = RunConfig::new(Aggregate::Count, d + 2);
+    let cfg = RunPlan::query(Aggregate::Count).d_hat(d + 2);
     let contestants = [
         ("wildfire", ProtocolKind::Wildfire(WildfireOpts::default())),
         ("spanning_tree", ProtocolKind::SpanningTree),

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pov_core::pov_protocols::wildfire::WildfireOpts;
-use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
 use pov_core::pov_sim::Medium;
 use pov_core::pov_topology::analysis;
 use pov_core::pov_topology::generators;
@@ -17,10 +17,7 @@ fn bench(c: &mut Criterion) {
     let values = workload::paper_values(graph.num_hosts(), 11);
     let d = analysis::diameter_estimate(&graph, 2, 1);
     for aggregate in [Aggregate::Count, Aggregate::Max, Aggregate::Min] {
-        let cfg = RunConfig {
-            medium: Medium::Radio,
-            ..RunConfig::new(aggregate, d + 2)
-        };
+        let cfg = RunPlan::query(aggregate).d_hat(d + 2).medium(Medium::Radio);
         group.bench_with_input(
             BenchmarkId::new("wildfire_radio", aggregate.name()),
             &cfg,
@@ -36,10 +33,9 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
-    let cfg = RunConfig {
-        medium: Medium::Radio,
-        ..RunConfig::new(Aggregate::Count, d + 2)
-    };
+    let cfg = RunPlan::query(Aggregate::Count)
+        .d_hat(d + 2)
+        .medium(Medium::Radio);
     group.bench_function("spanning_tree_radio/count", |b| {
         b.iter(|| {
             black_box(runner::run(

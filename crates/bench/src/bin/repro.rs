@@ -151,11 +151,14 @@ fn scenario_main(args: &[String]) {
         };
         let start = Instant::now();
         let report = run_batch(&scn, threads);
-        println!("{}", summary_table(&report));
+        for t in summary_tables(&report) {
+            println!("{t}");
+        }
         eprintln!(
-            "[{} done: {} runs on {} thread(s) in {:.1?}]\n",
+            "[{} done: {} runs x {} protocol(s) on {} thread(s) in {:.1?}]\n",
             report.scenario,
             report.runs,
+            report.protocols.len(),
             threads,
             start.elapsed()
         );
@@ -167,31 +170,45 @@ fn scenario_main(args: &[String]) {
     }
 }
 
-fn summary_table(report: &pov_scenario::Report) -> Table {
-    let title = format!(
-        "scenario '{}' — {} on {} (n = {}, D̂ = {}, churn = {}): {} runs, {:.0}% declared, {:.0}% valid",
-        report.scenario,
-        report.protocol,
-        report.topology,
-        report.n,
-        report.d_hat,
-        report.churn_model,
-        report.runs,
-        report.declared_fraction * 100.0,
-        report.valid_fraction * 100.0,
-    );
-    let mut t = Table::new(title, &["metric", "mean", "stddev", "min", "max", "count"]);
-    for &(name, agg) in &report.metrics {
-        t.push(vec![
-            name.to_string(),
-            format!("{:.2}", agg.mean),
-            format!("{:.2}", agg.stddev),
-            format!("{:.2}", agg.min),
-            format!("{:.2}", agg.max),
-            agg.count.to_string(),
-        ]);
-    }
-    t
+/// One table per protocol section — a multi-protocol scenario prints
+/// its paired contenders back to back.
+fn summary_tables(report: &pov_scenario::Report) -> Vec<Table> {
+    report
+        .protocols
+        .iter()
+        .map(|section| {
+            let windows = if report.windows > 1 {
+                format!(", {} windows", report.windows)
+            } else {
+                String::new()
+            };
+            let title = format!(
+                "scenario '{}' — {} on {} (n = {}, D̂ = {}, regime = {}{}): {} runs, {:.0}% declared, {:.0}% valid",
+                report.scenario,
+                section.protocol,
+                report.topology,
+                report.n,
+                report.d_hat,
+                report.churn_model,
+                windows,
+                report.runs,
+                section.declared_fraction * 100.0,
+                section.valid_fraction * 100.0,
+            );
+            let mut t = Table::new(title, &["metric", "mean", "stddev", "min", "max", "count"]);
+            for &(name, agg) in &section.metrics {
+                t.push(vec![
+                    name.to_string(),
+                    format!("{:.2}", agg.mean),
+                    format!("{:.2}", agg.stddev),
+                    format!("{:.2}", agg.min),
+                    format!("{:.2}", agg.max),
+                    agg.count.to_string(),
+                ]);
+            }
+            t
+        })
+        .collect()
 }
 
 // -------------------------------------------------------------- experiments

@@ -10,12 +10,17 @@
 //! suggests: re-issue a WILDFIRE one-shot every `W` ticks against the
 //! evolving membership, and judge each report over its own window. `W`
 //! must be at least `2·D̂·δ` so a window fits one full query round
-//! (§4.2's `W < max D_i δ` impossibility).
+//! (§4.2's `W < max D_i δ` impossibility). Since the `RunPlan`
+//! redesign the window slicing lives in [`crate::judged::judged_plan`]
+//! (any plan with a `.continuous(..)` spec runs this way, for any
+//! protocol list); [`run_continuous`] remains as the WILDFIRE-shaped
+//! convenience wrapper.
 
+use crate::judged::judged_plan;
 use pov_oracle::{host_sets, Verdict};
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_sim::{ChurnPlan, Ctx, Medium, NodeLogic, SimBuilder, Time};
+use pov_protocols::{Aggregate, ProtocolKind, RunPlan};
+use pov_sim::{ChurnPlan, Ctx, NodeLogic, SimBuilder, Time};
 use pov_topology::{Graph, HostId};
 
 /// Configuration of a continuous run.
@@ -68,68 +73,27 @@ pub fn run_continuous(
         cfg.window >= 2 * cfg.d_hat as u64,
         "window must fit a full query round (W >= 2*D̂)"
     );
-    let mut reports = Vec::with_capacity(cfg.windows);
-    let mut already_dead: Vec<HostId> = Vec::new();
-    for w in 0..cfg.windows {
-        let start = Time(w as u64 * cfg.window);
-        let end_abs = Time(start.ticks() + cfg.window);
-        // Shift this window's slice of the global plan to local time and
-        // carry previously failed hosts as initially-dead joins... they
-        // never rejoin, so encode them as failures at local t=0 instead.
-        let mut local = ChurnPlan::none();
-        for &h in &already_dead {
-            local = local.with_failure(Time::ZERO, h);
-        }
-        for &(t, h) in &churn.failures {
-            if t >= start && t < end_abs {
-                local = local.with_failure(Time(t.ticks() - start.ticks()), h);
-            }
-        }
-        // hq must be alive to issue anything.
-        if already_dead.contains(&cfg.hq) {
-            break;
-        }
-        let run_cfg = RunConfig {
-            aggregate: cfg.aggregate,
-            d_hat: cfg.d_hat,
-            c: cfg.c,
-            medium: Medium::PointToPoint,
-            delay: pov_sim::DelayModel::default(),
-            churn: local.clone(),
-            partition: None,
-            seed: cfg.seed.wrapping_add(w as u64),
-            hq: cfg.hq,
-        };
-        let outcome = runner::run(
-            ProtocolKind::Wildfire(WildfireOpts::default()),
-            graph,
-            values,
-            &run_cfg,
-        );
-        let local_end = outcome.declared_at.unwrap_or(Time(2 * cfg.d_hat as u64));
-        let sets = host_sets(graph, &outcome.trace, cfg.hq, Time::ZERO, local_end);
-        let verdict = Verdict::judge(
-            cfg.aggregate,
-            &sets,
-            values,
-            outcome.value.unwrap_or(f64::NAN),
-        );
-        reports.push(WindowReport {
-            start,
-            value: outcome.value,
-            verdict,
-            hc_size: sets.hc_len(),
-            hu_size: sets.hu_len(),
-            messages: outcome.metrics.messages_sent,
-        });
-        // Accumulate this window's deaths for the next one.
-        for &(t, h) in &churn.failures {
-            if t >= start && t < end_abs && !already_dead.contains(&h) {
-                already_dead.push(h);
-            }
-        }
-    }
-    reports
+    let plan = RunPlan::query(cfg.aggregate)
+        .d_hat(cfg.d_hat)
+        .repetitions(cfg.c)
+        .from_host(cfg.hq)
+        .seed(cfg.seed)
+        .churn(churn.clone())
+        .continuous(cfg.window, cfg.windows)
+        .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+    judged_plan(graph, values, &plan)
+        .remove(0)
+        .windows
+        .into_iter()
+        .map(|w| WindowReport {
+            start: w.start,
+            value: w.judged.value,
+            verdict: w.judged.verdict,
+            hc_size: w.judged.hc_size,
+            hu_size: w.judged.hu_size,
+            messages: w.judged.metrics.messages_sent,
+        })
+        .collect()
 }
 
 /// The §4.2 degeneracy argument, quantified: per-window `|HC|` vs the

@@ -7,10 +7,9 @@
 use crate::report::Table;
 use crate::workload;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_sim::Medium;
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
+use pov_topology::analysis;
 use pov_topology::generators::TopologyKind;
-use pov_topology::{analysis, HostId};
 
 /// Configuration for the WILDFIRE-opts ablation (A1/A2).
 #[derive(Clone, Debug)]
@@ -74,17 +73,10 @@ pub fn run(cfg: &Config) -> Vec<Row> {
     variants
         .iter()
         .map(|&(label, early_deadline, piggyback)| {
-            let run_cfg = RunConfig {
-                aggregate: cfg.aggregate,
-                d_hat: d + 2,
-                c: cfg.c,
-                medium: Medium::PointToPoint,
-                delay: pov_sim::DelayModel::default(),
-                churn: pov_sim::ChurnPlan::none(),
-                partition: None,
-                seed: cfg.seed,
-                hq: HostId(0),
-            };
+            let run_cfg = RunPlan::query(cfg.aggregate)
+                .d_hat(d + 2)
+                .repetitions(cfg.c)
+                .seed(cfg.seed);
             let out = runner::run(
                 ProtocolKind::Wildfire(WildfireOpts {
                     early_deadline,

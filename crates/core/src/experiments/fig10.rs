@@ -10,10 +10,9 @@
 use crate::report::Table;
 use crate::workload;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_sim::Medium;
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
 use pov_topology::generators::TopologyKind;
-use pov_topology::{analysis, Graph, HostId};
+use pov_topology::{analysis, Graph};
 
 /// Configuration for the Fig 10 sweep.
 #[derive(Clone, Debug)]
@@ -75,18 +74,13 @@ fn measure(
     c: usize,
     seed: u64,
 ) -> u64 {
-    let cfg = RunConfig {
-        aggregate: Aggregate::Count,
-        d_hat,
-        c,
-        medium: Medium::PointToPoint,
-        delay: pov_sim::DelayModel::default(),
-        churn: pov_sim::ChurnPlan::none(),
-        partition: None,
-        seed,
-        hq: HostId(0),
-    };
-    runner::run(kind, graph, values, &cfg).metrics.messages_sent
+    let plan = RunPlan::query(Aggregate::Count)
+        .d_hat(d_hat)
+        .repetitions(c)
+        .seed(seed);
+    runner::run(kind, graph, values, &plan)
+        .metrics
+        .messages_sent
 }
 
 /// Run the sweep.

@@ -11,10 +11,10 @@
 use crate::report::Table;
 use crate::workload;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
 use pov_sim::Medium;
+use pov_topology::analysis;
 use pov_topology::generators;
-use pov_topology::{analysis, HostId};
 
 /// Configuration for the Fig 11 sweep.
 #[derive(Clone, Debug)]
@@ -66,17 +66,11 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         let values = workload::paper_values(graph.num_hosts(), cfg.seed ^ 0xcafe);
         let d = analysis::diameter_estimate(&graph, 2, cfg.seed | 1).max(1);
         let mut measure = |series: &str, kind: ProtocolKind, aggregate: Aggregate| {
-            let run_cfg = RunConfig {
-                aggregate,
-                d_hat: d + 2,
-                c: cfg.c,
-                medium: Medium::Radio,
-                delay: pov_sim::DelayModel::default(),
-                churn: pov_sim::ChurnPlan::none(),
-                partition: None,
-                seed: cfg.seed,
-                hq: HostId(0),
-            };
+            let run_cfg = RunPlan::query(aggregate)
+                .d_hat(d + 2)
+                .repetitions(cfg.c)
+                .medium(Medium::Radio)
+                .seed(cfg.seed);
             let out = runner::run(kind, &graph, &values, &run_cfg);
             rows.push(Row {
                 n: graph.num_hosts(),

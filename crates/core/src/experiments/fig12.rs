@@ -9,10 +9,10 @@
 use crate::report::Table;
 use crate::workload;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
 use pov_sim::Medium;
+use pov_topology::analysis;
 use pov_topology::generators::TopologyKind;
-use pov_topology::{analysis, HostId};
 
 /// Configuration for the Fig 12 measurement.
 #[derive(Clone, Debug)]
@@ -91,17 +91,11 @@ pub fn run(cfg: &Config) -> Vec<Row> {
             ("WILDFIRE", ProtocolKind::Wildfire(WildfireOpts::default())),
             ("SPANNINGTREE", ProtocolKind::SpanningTree),
         ] {
-            let run_cfg = RunConfig {
-                aggregate: Aggregate::Count,
-                d_hat: d + 2,
-                c: cfg.c,
-                medium,
-                delay: pov_sim::DelayModel::default(),
-                churn: pov_sim::ChurnPlan::none(),
-                partition: None,
-                seed: cfg.seed,
-                hq: HostId(0),
-            };
+            let run_cfg = RunPlan::query(Aggregate::Count)
+                .d_hat(d + 2)
+                .repetitions(cfg.c)
+                .medium(medium)
+                .seed(cfg.seed);
             let out = runner::run(proto, &graph, &values, &run_cfg);
             let mut sorted = out.metrics.processed_per_host.clone();
             sorted.sort_unstable();

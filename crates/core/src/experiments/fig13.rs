@@ -11,10 +11,9 @@
 use crate::report::Table;
 use crate::workload;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_sim::Medium;
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
+use pov_topology::analysis;
 use pov_topology::generators::TopologyKind;
-use pov_topology::{analysis, HostId};
 
 /// Configuration for the Fig 13 measurements.
 #[derive(Clone, Debug)]
@@ -111,17 +110,10 @@ pub fn run_time_cost(cfg: &Config) -> Vec<TimeRow> {
         let values = workload::paper_values(n, cfg.seed ^ 0x7e11);
         let d = analysis::diameter_estimate(&graph, 4, cfg.seed | 1).max(1);
         let mut measure = |series: String, kind: ProtocolKind, d_hat: u32| {
-            let run_cfg = RunConfig {
-                aggregate: Aggregate::Count,
-                d_hat,
-                c: cfg.c,
-                medium: Medium::PointToPoint,
-                delay: pov_sim::DelayModel::default(),
-                churn: pov_sim::ChurnPlan::none(),
-                partition: None,
-                seed: cfg.seed,
-                hq: HostId(0),
-            };
+            let run_cfg = RunPlan::query(Aggregate::Count)
+                .d_hat(d_hat)
+                .repetitions(cfg.c)
+                .seed(cfg.seed);
             let out = runner::run(kind, &graph, &values, &run_cfg);
             rows.push(TimeRow {
                 n,
@@ -148,17 +140,10 @@ pub fn run_profile(cfg: &Config) -> Vec<ProfileRow> {
         let graph = kind.build(n, cfg.seed);
         let values = workload::paper_values(graph.num_hosts(), cfg.seed ^ 0x7e12);
         let d = analysis::diameter_estimate(&graph, 4, cfg.seed | 1).max(1);
-        let run_cfg = RunConfig {
-            aggregate: Aggregate::Count,
-            d_hat: 2 * d, // a deliberate overestimate, as in Fig 13(b)
-            c: cfg.c,
-            medium: Medium::PointToPoint,
-            delay: pov_sim::DelayModel::default(),
-            churn: pov_sim::ChurnPlan::none(),
-            partition: None,
-            seed: cfg.seed,
-            hq: HostId(0),
-        };
+        let run_cfg = RunPlan::query(Aggregate::Count)
+            .d_hat(2 * d) // a deliberate overestimate, as in Fig 13(b)
+            .repetitions(cfg.c)
+            .seed(cfg.seed);
         let out = runner::run(
             ProtocolKind::Wildfire(WildfireOpts::default()),
             &graph,

@@ -11,7 +11,7 @@ use crate::report::Table;
 use crate::workload;
 use pov_oracle::{aggregate_bounds, host_sets};
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
 use pov_sim::{ChurnPlan, Medium, Time};
 use pov_topology::generators::TopologyKind;
 use pov_topology::{analysis, HostId};
@@ -97,17 +97,11 @@ pub fn run(cfg: &Config) -> Vec<Row> {
         let r = (n as f64 * cfg.churn_fraction) as usize;
 
         for &aggregate in &cfg.aggregates {
-            let base_cfg = RunConfig {
-                aggregate,
-                d_hat,
-                c: cfg.c,
-                medium,
-                delay: pov_sim::DelayModel::default(),
-                churn: ChurnPlan::none(),
-                partition: None,
-                seed: cfg.seed,
-                hq: HostId(0),
-            };
+            let base_cfg = RunPlan::query(aggregate)
+                .d_hat(d_hat)
+                .repetitions(cfg.c)
+                .medium(medium)
+                .seed(cfg.seed);
             let wf_kind = ProtocolKind::Wildfire(WildfireOpts::default());
             let wf = runner::run(wf_kind, &graph, &values, &base_cfg);
             let st = runner::run(ProtocolKind::SpanningTree, &graph, &values, &base_cfg);
@@ -125,11 +119,7 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                     HostId(0),
                     churn_seed,
                 );
-                let run_cfg = RunConfig {
-                    churn: churn.clone(),
-                    seed: churn_seed,
-                    ..base_cfg.clone()
-                };
+                let run_cfg = base_cfg.clone().churn(churn.clone()).seed(churn_seed);
                 let wf_out = runner::run(wf_kind, &graph, &values, &run_cfg);
                 let st_out = runner::run(ProtocolKind::SpanningTree, &graph, &values, &run_cfg);
                 let sets = host_sets(&graph, &wf_out.trace, HostId(0), Time::ZERO, Time(deadline));

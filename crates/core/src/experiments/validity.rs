@@ -11,8 +11,8 @@ use crate::report::{fmt_mean_ci, Table};
 use crate::workload;
 use pov_oracle::{aggregate_bounds, host_sets};
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_sim::{ChurnPlan, Medium, Time};
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
+use pov_sim::{ChurnPlan, Time};
 use pov_sketch::stats;
 use pov_topology::generators::TopologyKind;
 use pov_topology::{analysis, HostId};
@@ -173,17 +173,12 @@ pub fn run(cfg: &Config) -> Vec<RowR> {
             );
             let mut bounds_done = false;
             for (i, (_, kind)) in names.iter().enumerate() {
-                let run_cfg = RunConfig {
-                    aggregate: cfg.aggregate,
-                    d_hat,
-                    c: cfg.c,
-                    medium: Medium::PointToPoint,
-                    delay: pov_sim::DelayModel::default(),
-                    churn: churn.clone(),
-                    partition: None,
-                    seed: churn_seed ^ 0x5a5a,
-                    hq,
-                };
+                let run_cfg = RunPlan::query(cfg.aggregate)
+                    .d_hat(d_hat)
+                    .repetitions(cfg.c)
+                    .churn(churn.clone())
+                    .seed(churn_seed ^ 0x5a5a)
+                    .from_host(hq);
                 let outcome = runner::run(*kind, &graph, &values, &run_cfg);
                 // The oracle bounds depend only on the churn, which is
                 // shared across protocols within a trial.

@@ -2,13 +2,13 @@
 //! answer. The experiment drivers use the lower-level crates directly;
 //! this is the API a downstream user starts from.
 
-use crate::judged::judged_run;
+use crate::judged::{judged_plan, JudgedOutcome};
 use crate::workload;
 use pov_oracle::Verdict;
 use pov_protocols::allreport::ReportRouting;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{Aggregate, ProtocolKind, RunConfig};
-use pov_sim::{ChurnPlan, Medium, Metrics, Time};
+use pov_protocols::{Aggregate, ProtocolKind, RunPlan};
+use pov_sim::{ChurnPlan, DelayModel, Medium, Metrics, Time};
 use pov_topology::generators::TopologyKind;
 use pov_topology::{analysis, Graph, HostId};
 
@@ -116,13 +116,16 @@ impl Network {
             failures: 0,
             c: 8,
             medium: Medium::PointToPoint,
+            delay: DelayModel::default(),
             hq: HostId(0),
             seed: self.seed ^ 0xc0ffee,
         }
     }
 }
 
-/// Fluent query configuration.
+/// Fluent query configuration — a thin front door over [`RunPlan`]:
+/// [`QueryBuilder::run`] and [`QueryBuilder::compare`] lower to the
+/// same plan and executor the scenario batch runner uses.
 #[derive(Clone, Debug)]
 pub struct QueryBuilder<'a> {
     net: &'a Network,
@@ -130,6 +133,7 @@ pub struct QueryBuilder<'a> {
     failures: usize,
     c: usize,
     medium: Medium,
+    delay: DelayModel,
     hq: HostId,
     seed: u64,
 }
@@ -154,6 +158,14 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
+    /// Choose the per-hop delay model (default fixed 1-tick hops). The
+    /// query deadline in ticks scales by the model's bound `δ`, exactly
+    /// as in scenario files.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
     /// Choose the querying host (default `h0`).
     pub fn from_host(mut self, hq: HostId) -> Self {
         self.hq = hq;
@@ -166,9 +178,10 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
-    /// Run the query under `protocol` and judge the outcome.
-    pub fn run(&self, protocol: Protocol) -> Answer {
-        let deadline = 2 * self.net.d_hat as u64;
+    /// The [`RunPlan`] this builder describes, with `kinds` as the
+    /// execution list.
+    fn plan(&self, kinds: impl IntoIterator<Item = ProtocolKind>) -> RunPlan {
+        let deadline = 2 * self.net.d_hat as u64 * self.delay.bound();
         let churn = ChurnPlan::uniform_failures(
             self.net.graph.num_hosts(),
             self.failures,
@@ -177,26 +190,34 @@ impl<'a> QueryBuilder<'a> {
             self.hq,
             self.seed ^ 0xdead,
         );
-        let cfg = RunConfig {
-            aggregate: self.aggregate,
-            d_hat: self.net.d_hat,
-            c: self.c,
-            medium: self.medium,
-            delay: pov_sim::DelayModel::default(),
-            churn,
-            partition: None,
-            seed: self.seed,
-            hq: self.hq,
-        };
-        let out = judged_run(protocol.kind(), &self.net.graph, &self.net.values, &cfg);
-        Answer {
-            value: out.value,
-            declared_at: out.declared_at,
-            verdict: out.verdict,
-            hc_size: out.hc_size,
-            hu_size: out.hu_size,
-            metrics: out.metrics,
-        }
+        RunPlan::query(self.aggregate)
+            .d_hat(self.net.d_hat)
+            .repetitions(self.c)
+            .medium(self.medium)
+            .delay(self.delay)
+            .churn(churn)
+            .seed(self.seed)
+            .from_host(self.hq)
+            .protocols(kinds)
+    }
+
+    /// Run the query under `protocol` and judge the outcome.
+    pub fn run(&self, protocol: Protocol) -> Answer {
+        self.compare(&[protocol]).remove(0)
+    }
+
+    /// Run the query under *each* protocol over one shared plan — same
+    /// churn realization, same seed — and return the judged answers in
+    /// argument order. Because the failure draw is fixed by the plan,
+    /// the answers form a paired comparison: any verdict/cost gap is
+    /// the protocols' doing, not the dynamism's.
+    pub fn compare(&self, protocols: &[Protocol]) -> Vec<Answer> {
+        let plan = self.plan(protocols.iter().map(|p| p.kind()));
+        judged_plan(&self.net.graph, &self.net.values, &plan)
+            .into_iter()
+            .zip(protocols)
+            .map(|(mut judged, &p)| Answer::from_judged(p, judged.windows.remove(0).judged))
+            .collect()
     }
 }
 
@@ -204,6 +225,8 @@ impl<'a> QueryBuilder<'a> {
 /// cost metrics.
 #[derive(Clone, Debug)]
 pub struct Answer {
+    /// The protocol that produced this answer (paper name).
+    pub protocol: &'static str,
     /// The value `hq` declared (None if `hq` died first).
     pub value: Option<f64>,
     /// When it was declared.
@@ -216,6 +239,20 @@ pub struct Answer {
     pub hu_size: usize,
     /// §6.3 cost metrics.
     pub metrics: Metrics,
+}
+
+impl Answer {
+    fn from_judged(protocol: Protocol, out: JudgedOutcome) -> Answer {
+        Answer {
+            protocol: protocol.name(),
+            value: out.value,
+            declared_at: out.declared_at,
+            verdict: out.verdict,
+            hc_size: out.hc_size,
+            hu_size: out.hu_size,
+            metrics: out.metrics,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +320,47 @@ mod tests {
             let answer = net.query(Aggregate::Max).run(p);
             assert!(answer.value.is_some(), "{}", p.name());
         }
+    }
+
+    #[test]
+    fn compare_pairs_protocols_on_one_realization() {
+        // WILDFIRE vs SPANNINGTREE under the same 60-failure draw: the
+        // paired answers expose the validity gap without churn-sampling
+        // noise, and each answer knows which protocol produced it.
+        let net = Network::build(TopologyKind::Random, 300, 17);
+        let answers = net
+            .query(Aggregate::Count)
+            .churn(60)
+            .compare(&[Protocol::Wildfire, Protocol::SpanningTree]);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].protocol, "WILDFIRE");
+        assert_eq!(answers[1].protocol, "SPANNINGTREE");
+        // Shared realization: identical oracle population set.
+        assert_eq!(answers[0].hu_size, answers[1].hu_size);
+        // And identical to what a solo run of each protocol sees.
+        let solo = net
+            .query(Aggregate::Count)
+            .churn(60)
+            .run(Protocol::Wildfire);
+        assert_eq!(solo.value, answers[0].value);
+        assert_eq!(solo.metrics.messages_sent, answers[0].metrics.messages_sent);
+    }
+
+    #[test]
+    fn facade_delay_scales_deadline() {
+        // The two front doors must agree: a 2-tick hop bound doubles the
+        // declaration instant through the façade exactly as it does
+        // through scenario files.
+        let g = pov_topology::generators::special::cycle(8);
+        let net = Network::with_values(g, vec![5; 8], 6, 3);
+        let fast = net.query(Aggregate::Max).run(Protocol::Wildfire);
+        let slow = net
+            .query(Aggregate::Max)
+            .delay(DelayModel::Fixed(2))
+            .run(Protocol::Wildfire);
+        assert_eq!(fast.declared_at, Some(Time(12)));
+        assert_eq!(slow.declared_at, Some(Time(24)));
+        assert_eq!(slow.value, fast.value);
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! Run one protocol and have the ORACLE judge it — the shared entry
-//! point under the [`crate::facade`] and the scenario batch runner.
+//! Run protocols and have the ORACLE judge them — the shared execution
+//! layer under the façade ([`crate::Network`] / [`crate::QueryBuilder`]),
+//! the scenario batch runner and the continuous-query driver.
 //!
-//! [`judged_run`] is the single-run primitive: execute a
-//! [`ProtocolKind`] over a graph with a [`RunConfig`], replay the
-//! membership trace through the §6.2 ORACLE, and return the declared
-//! value together with its Single-Site-Validity verdict and the §6.3
-//! cost metrics. Everything the scenario subsystem aggregates comes out
-//! of this one call.
+//! Two entry points, one plan type:
+//!
+//! * [`judged_run`] — the single-run primitive: execute one
+//!   [`ProtocolKind`] over a graph under a [`RunPlan`]'s environment,
+//!   replay the membership trace through the §6.2 ORACLE, and return
+//!   the declared value with its Single-Site-Validity verdict and §6.3
+//!   cost metrics.
+//! * [`judged_plan`] — the plan executor: one [`JudgedOutcome`] **per
+//!   protocol per window**, every protocol fed the *same*
+//!   churn/partition/seed realization (paired comparison), with
+//!   continuous windows sliced from one absolute-time plan.
 
 use pov_oracle::{aggregate_bounds, host_sets, Verdict};
-use pov_protocols::{runner, ProtocolKind, RunConfig};
-use pov_sim::{Metrics, Time};
-use pov_topology::Graph;
+use pov_protocols::{runner, ContinuousSpec, ProtocolKind, RunPlan};
+use pov_sim::{ChurnPlan, Metrics, PartitionPlan, Time};
+use pov_topology::{Graph, HostId};
 
 /// A declared value, the ORACLE's judgement of it, and the run's costs.
 #[derive(Clone, Debug)]
@@ -58,22 +64,54 @@ impl JudgedOutcome {
     }
 }
 
-/// Run `kind` over `graph` (host `h` holding `values[h]`) under `cfg`,
-/// then judge the outcome against the ORACLE bounds.
+/// One window's judged outcome within a [`ProtocolJudged`] series.
+#[derive(Clone, Debug)]
+pub struct WindowJudged {
+    /// Absolute start instant of the window (always `0` for one-shots).
+    pub start: Time,
+    /// The window's judged outcome.
+    pub judged: JudgedOutcome,
+}
+
+/// Everything one protocol produced under a plan: one judged outcome
+/// per window (exactly one for a one-shot plan; the series may stop
+/// early if `hq` dies between continuous windows).
+#[derive(Clone, Debug)]
+pub struct ProtocolJudged {
+    /// The protocol that ran.
+    pub kind: ProtocolKind,
+    /// Per-window outcomes, in window order.
+    pub windows: Vec<WindowJudged>,
+}
+
+impl ProtocolJudged {
+    /// The single outcome of a one-shot plan.
+    ///
+    /// # Panics
+    /// Panics if the series is empty (a one-shot always has one window).
+    pub fn one(&self) -> &JudgedOutcome {
+        &self.windows[0].judged
+    }
+}
+
+/// Run `kind` over `graph` (host `h` holding `values[h]`) under the
+/// environment half of `plan` — one one-shot query — then judge the
+/// outcome against the ORACLE bounds. `plan.protocols` and
+/// `plan.continuous` are [`judged_plan`]'s concern and are not read
+/// here.
 pub fn judged_run(
     kind: ProtocolKind,
     graph: &Graph,
     values: &[u64],
-    cfg: &RunConfig,
+    plan: &RunPlan,
 ) -> JudgedOutcome {
-    let outcome = runner::run(kind, graph, values, cfg);
+    let outcome = runner::run(kind, graph, values, plan);
     // The query interval ends at declaration, or at the full deadline
     // `2·D̂·δ` in ticks when nothing was declared.
-    let deadline = Time(2 * cfg.d_hat as u64 * cfg.delay.bound());
-    let end = outcome.declared_at.unwrap_or(deadline);
-    let sets = host_sets(graph, &outcome.trace, cfg.hq, Time::ZERO, end);
+    let end = outcome.declared_at.unwrap_or(Time(plan.deadline()));
+    let sets = host_sets(graph, &outcome.trace, plan.hq, Time::ZERO, end);
     let verdict = Verdict::judge(
-        cfg.aggregate,
+        plan.aggregate,
         &sets,
         values,
         outcome.value.unwrap_or(f64::NAN),
@@ -84,9 +122,185 @@ pub fn judged_run(
         verdict,
         hc_size: sets.hc_len(),
         hu_size: sets.hu_len(),
-        bounds: aggregate_bounds(cfg.aggregate, &sets, values),
+        bounds: aggregate_bounds(plan.aggregate, &sets, values),
         metrics: outcome.metrics,
     }
+}
+
+/// Execute a whole [`RunPlan`]: every protocol in `plan.protocols`, one
+/// judged outcome per window, all from the **same** churn, partition
+/// and seed realization. For one-shot plans each protocol yields a
+/// single window at `start = 0`; for continuous plans (§4.2) the
+/// absolute-time churn/partition schedule is sliced into per-window
+/// local plans, so "protocol A vs protocol B across windows" is a
+/// paired comparison on identical dynamism.
+///
+/// # Panics
+/// Panics if `plan.protocols` is empty, or a continuous window is
+/// shorter than the one-shot deadline `2·D̂·δ` (a window must fit a
+/// full query round, §4.2).
+pub fn judged_plan(graph: &Graph, values: &[u64], plan: &RunPlan) -> Vec<ProtocolJudged> {
+    assert!(
+        !plan.protocols.is_empty(),
+        "RunPlan has no protocols to execute; add one with .protocol(..)"
+    );
+    // Slice the continuous windows ONCE, then feed every protocol the
+    // same local plans: the shared-realization guarantee is structural,
+    // and the O(hosts + events) history replays run per window, not per
+    // protocol per window. A one-shot plan is the single window `plan`.
+    let locals: Vec<(Time, std::borrow::Cow<'_, RunPlan>)> = match plan.continuous {
+        None => vec![(Time::ZERO, std::borrow::Cow::Borrowed(plan))],
+        Some(cs) => window_plans(graph, plan, cs)
+            .into_iter()
+            .map(|(start, local)| (start, std::borrow::Cow::Owned(local)))
+            .collect(),
+    };
+    plan.protocols
+        .iter()
+        .map(|&kind| ProtocolJudged {
+            kind,
+            windows: locals
+                .iter()
+                .map(|(start, local)| WindowJudged {
+                    start: *start,
+                    judged: judged_run(kind, graph, values, local),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The continuous slicer: one local [`RunPlan`] per window, each
+/// describing a one-shot against the membership state the absolute-time
+/// plan has reached by the window start. Stops early if `hq` is dead at
+/// a window start.
+fn window_plans(graph: &Graph, plan: &RunPlan, cs: ContinuousSpec) -> Vec<(Time, RunPlan)> {
+    assert!(
+        cs.window >= plan.deadline(),
+        "window must fit a full query round (W >= 2·D̂·δ)"
+    );
+    let mut locals = Vec::with_capacity(cs.windows);
+    for w in 0..cs.windows {
+        let start = Time(w as u64 * cs.window);
+        let Some(local_churn) = slice_churn(&plan.churn, graph.num_hosts(), start, plan.hq) else {
+            break; // hq is dead at this window's start
+        };
+        let local = RunPlan {
+            churn: local_churn,
+            partition: plan
+                .partition
+                .as_ref()
+                .and_then(|p| slice_partition(p, start)),
+            // Window-indexed seed, identical across protocols: every
+            // protocol sees the same per-window realization.
+            seed: plan.seed.wrapping_add(w as u64),
+            protocols: Vec::new(),
+            continuous: None,
+            ..plan.clone()
+        };
+        locals.push((start, local));
+    }
+    locals
+}
+
+/// Re-express the absolute-time `churn` in a window's local time:
+/// events before `start` collapse into the alive/dead state they leave
+/// each host in, events at or after `start` shift left by `start`. A
+/// host dead at `start` is encoded through the engine's initially-dead
+/// convention (its first local event is a join): if it rejoins later
+/// the shifted join already does the job; if it never does, a sentinel
+/// join at `Time(u64::MAX)` — past any horizon — keeps it down for the
+/// whole window without ever being "up at instant 0" in the ORACLE's
+/// eyes. Returns `None` if `hq` itself is dead at `start`.
+fn slice_churn(churn: &ChurnPlan, num_hosts: usize, start: Time, hq: HostId) -> Option<ChurnPlan> {
+    // Replay merged history to the window start. At equal instants a
+    // join applies after a failure (the host ends the tick alive),
+    // matching `ChurnPlan::initially_dead`'s first-event convention.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Alive,
+        Dead,
+    }
+    let mut state = vec![State::Alive; num_hosts];
+    for h in churn.initially_dead() {
+        state[h.index()] = State::Dead;
+    }
+    let mut history: Vec<(Time, u32, bool)> = churn
+        .failures
+        .iter()
+        .filter(|&&(t, _)| t < start)
+        .map(|&(t, h)| (t, h.0, false))
+        .chain(
+            churn
+                .joins
+                .iter()
+                .filter(|&&(t, _)| t < start)
+                .map(|&(t, h)| (t, h.0, true)),
+        )
+        .collect();
+    history.sort_unstable_by_key(|&(t, h, is_join)| (t, h, is_join));
+    for (_, h, is_join) in history {
+        state[h as usize] = if is_join { State::Alive } else { State::Dead };
+    }
+    if state[hq.index()] == State::Dead {
+        return None;
+    }
+    let mut local = ChurnPlan::none();
+    let shift = |t: Time| Time(t.ticks() - start.ticks());
+    for &(t, h) in churn.failures.iter().filter(|&&(t, _)| t >= start) {
+        local = local.with_failure(shift(t), h);
+    }
+    for &(t, h) in churn.joins.iter().filter(|&&(t, _)| t >= start) {
+        local = local.with_join(shift(t), h);
+    }
+    // Normalize no-op events so each host's *first* local event matches
+    // its start state — `ChurnPlan::initially_dead` and the engine read
+    // state off that first event. Stacked regimes (`.churn(a).churn(b)`)
+    // legitimately produce redundant events: a failure scheduled for a
+    // host already dead at the window start, or a join for one already
+    // alive. Both are no-ops in the full-timeline run and must stay
+    // no-ops after slicing — dropped here, with a sentinel join past any
+    // horizon for dead hosts that never rejoin.
+    let mut first_fail: Vec<Option<Time>> = vec![None; num_hosts];
+    let mut first_join: Vec<Option<Time>> = vec![None; num_hosts];
+    for &(t, h) in &local.failures {
+        let slot = &mut first_fail[h.index()];
+        *slot = Some(slot.map_or(t, |f: Time| f.min(t)));
+    }
+    for &(t, h) in &local.joins {
+        let slot = &mut first_join[h.index()];
+        *slot = Some(slot.map_or(t, |j: Time| j.min(t)));
+    }
+    local.failures.retain(|&(t, h)| {
+        state[h.index()] == State::Alive || first_join[h.index()].is_some_and(|j| t >= j)
+    });
+    local.joins.retain(|&(t, h)| {
+        state[h.index()] == State::Dead || first_fail[h.index()].is_some_and(|f| t >= f)
+    });
+    for (i, &s) in state.iter().enumerate() {
+        if s == State::Dead && first_join[i].is_none() {
+            local = local.with_join(Time(u64::MAX), HostId(i as u32));
+        }
+    }
+    Some(local)
+}
+
+/// Shift a partition plan's active windows into a window's local time,
+/// clipping at the window start. Returns `None` when no cut overlaps
+/// the remaining timeline.
+fn slice_partition(plan: &PartitionPlan, start: Time) -> Option<PartitionPlan> {
+    let mut local = PartitionPlan::new(plan.sides().to_vec());
+    let mut any = false;
+    for &(from, until) in plan.windows() {
+        if until <= start {
+            continue;
+        }
+        let f = from.ticks().saturating_sub(start.ticks());
+        let u = until.ticks() - start.ticks();
+        local = local.window(Time(f), Time(u));
+        any = true;
+    }
+    any.then_some(local)
 }
 
 #[cfg(test)]
@@ -102,7 +316,7 @@ mod tests {
     fn judged_wildfire_max_is_valid() {
         let g = special::cycle(20);
         let values: Vec<u64> = (1..=20).collect();
-        let cfg = RunConfig::new(Aggregate::Max, 11);
+        let cfg = RunPlan::query(Aggregate::Max).d_hat(11);
         let out = judged_run(
             ProtocolKind::Wildfire(WildfireOpts::default()),
             &g,
@@ -120,12 +334,11 @@ mod tests {
     #[test]
     fn churn_shrinks_hc_through_judged_run() {
         let g = special::cycle(12);
-        let cfg = RunConfig {
-            churn: ChurnPlan::none()
+        let cfg = RunPlan::query(Aggregate::Count).d_hat(7).churn(
+            ChurnPlan::none()
                 .with_failure(Time(1), HostId(5))
                 .with_failure(Time(1), HostId(8)),
-            ..RunConfig::new(Aggregate::Count, 7)
-        };
+        );
         let out = judged_run(ProtocolKind::SpanningTree, &g, &[1; 12], &cfg);
         // Two failures on a cycle strand the arc between them.
         assert!(out.hc_size < 10, "hc = {}", out.hc_size);
@@ -140,15 +353,230 @@ mod tests {
         // way failure-only churn never makes WILDFIRE do.
         let g = special::cycle(16);
         let sides = (0..16u8).map(|i| u8::from(i >= 8)).collect();
-        let cfg = RunConfig {
-            partition: Some(PartitionPlan::new(sides).window(Time(0), Time(1_000))),
-            ..RunConfig::new(Aggregate::Count, 9)
-        };
+        let cfg = RunPlan::query(Aggregate::Count)
+            .d_hat(9)
+            .partition(PartitionPlan::new(sides).window(Time(0), Time(1_000)));
         let out = judged_run(ProtocolKind::SpanningTree, &g, &[1; 16], &cfg);
         let v = out.value.expect("hq alive");
         assert!(v < 16.0, "partition must hide hosts, got {v}");
         // All 16 hosts remain alive: HU (and HC — paths exist in the
         // static graph) still count them.
         assert_eq!(out.hu_size, 16);
+    }
+
+    #[test]
+    fn plan_pairs_protocols_on_one_realization() {
+        let g = special::cycle(24);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(13)
+            .churn(ChurnPlan::uniform_failures(
+                24,
+                6,
+                Time(0),
+                Time(26),
+                HostId(0),
+                3,
+            ))
+            .seed(9)
+            .protocols([
+                ProtocolKind::Wildfire(WildfireOpts::default()),
+                ProtocolKind::SpanningTree,
+            ]);
+        let judged = judged_plan(&g, &[1; 24], &plan);
+        assert_eq!(judged.len(), 2);
+        let wf = judged[0].one();
+        let st = judged[1].one();
+        // Identical churn realization ⇒ identical oracle sets whenever
+        // both protocols declare at the same deadline-driven instant…
+        assert_eq!(wf.hu_size, st.hu_size);
+        // …and dropping one protocol does not change the other's run.
+        let solo = judged_plan(
+            &g,
+            &[1; 24],
+            &plan
+                .clone()
+                .protocols([ProtocolKind::Wildfire(WildfireOpts::default())]),
+        );
+        assert_eq!(solo[0].one().value, wf.value);
+        assert_eq!(
+            solo[0].one().metrics.messages_sent,
+            wf.metrics.messages_sent
+        );
+    }
+
+    #[test]
+    fn continuous_plan_yields_one_judged_per_window() {
+        let g = special::cycle(20);
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(11)
+            .continuous(24, 3)
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let judged = judged_plan(&g, &(1..=20).collect::<Vec<u64>>(), &plan);
+        assert_eq!(judged[0].windows.len(), 3);
+        for (w, win) in judged[0].windows.iter().enumerate() {
+            assert_eq!(win.start, Time(w as u64 * 24));
+            assert_eq!(win.judged.value, Some(20.0));
+            assert!(win.judged.verdict.is_valid(), "window {w}");
+        }
+    }
+
+    #[test]
+    fn continuous_windows_see_evolving_membership() {
+        // Host 10 dies during window 0 and stays dead: later windows
+        // must judge against the shrunken population (`HU` drops) while
+        // the max — held by the surviving host 5 — keeps coming back.
+        // `D̂ = 20` covers the broken ring's chain diameter of 18.
+        let g = special::cycle(20);
+        let mut values = vec![1u64; 20];
+        values[5] = 100;
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(20)
+            .churn(ChurnPlan::none().with_failure(Time(30), HostId(10)))
+            .continuous(40, 3)
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let windows = &judged_plan(&g, &values, &plan)[0].windows;
+        assert_eq!(windows.len(), 3);
+        for w in windows {
+            assert_eq!(w.judged.value, Some(100.0));
+            assert!(w.judged.verdict.is_valid(), "window at {:?}", w.start);
+        }
+        assert_eq!(windows[0].judged.hu_size, 20, "alive until t=30");
+        assert_eq!(windows[1].judged.hu_size, 19, "dead before window 1");
+        assert_eq!(windows[2].judged.hu_size, 19);
+    }
+
+    #[test]
+    fn continuous_handles_fail_then_rejoin_across_windows() {
+        // Host 10 fails in window 0 and rejoins during window 1: window
+        // 1's sliced plan must carry the dead state in *and* the join
+        // event — the initially_dead round trip, across window
+        // boundaries — and window 2 must see the host alive throughout.
+        let g = special::cycle(20);
+        let mut values = vec![1u64; 20];
+        values[5] = 100;
+        let churn = ChurnPlan::none()
+            .with_failure(Time(30), HostId(10))
+            .with_join(Time(50), HostId(10));
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(20)
+            .churn(churn)
+            .continuous(40, 3)
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let windows = &judged_plan(&g, &values, &plan)[0].windows;
+        assert_eq!(windows.len(), 3);
+        // Window 1: h10 starts dead (HC excludes it) but rejoins at
+        // local t=10, so HU still counts all 20 — a mis-sliced plan that
+        // dropped the join would report 19.
+        assert!(windows[1].judged.hc_size < 20);
+        assert_eq!(windows[1].judged.hu_size, 20);
+        // Window 2: h10 has been back since t=50 < 80; the ring is whole
+        // again and the window is statically valid.
+        assert_eq!(windows[2].judged.hc_size, 20);
+        assert_eq!(windows[2].judged.hu_size, 20);
+        assert_eq!(windows[2].judged.value, Some(100.0));
+        assert!(windows[2].judged.verdict.is_valid());
+    }
+
+    #[test]
+    fn stray_failure_on_dead_host_does_not_resurrect_it() {
+        // Merged plans can schedule a redundant failure on a host that
+        // is already dead (fail@30 merged with a stray fail@42, no
+        // rejoin). In window 1 the first *local* event for h10 would be
+        // that no-op failure — which `initially_dead`'s first-event rule
+        // reads as "starts alive". The slicer must drop it: h10 stays
+        // down for the whole window and HU must not count it.
+        let g = special::cycle(20);
+        let churn = ChurnPlan::none()
+            .with_failure(Time(30), HostId(10))
+            .merge(ChurnPlan::none().with_failure(Time(42), HostId(10)));
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(20)
+            .churn(churn)
+            .continuous(40, 2)
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let windows = &judged_plan(&g, &[1; 20], &plan)[0].windows;
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].judged.hu_size, 20, "alive until t=30");
+        assert_eq!(
+            windows[1].judged.hu_size, 19,
+            "a no-op failure must not resurrect the dead host"
+        );
+    }
+
+    #[test]
+    fn stray_join_on_alive_host_does_not_bury_it() {
+        // The mirror case: stacked join-producing regimes can schedule a
+        // redundant join on a host that is alive at a window start
+        // (join@20 merged with a stray join@60, no failures). In window
+        // 1 the stray join would be h10's first local event, which
+        // `initially_dead` reads as "starts dead". The slicer must drop
+        // it: h10 stays up all window and HC/HU keep counting it.
+        let g = special::cycle(20);
+        let churn = ChurnPlan::none()
+            .with_join(Time(20), HostId(10))
+            .merge(ChurnPlan::none().with_join(Time(60), HostId(10)));
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(20)
+            .churn(churn)
+            .continuous(40, 2)
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let windows = &judged_plan(&g, &[1; 20], &plan)[0].windows;
+        assert_eq!(windows.len(), 2);
+        assert_eq!(
+            windows[1].judged.hc_size, 20,
+            "a no-op join must not bury the alive host"
+        );
+        assert_eq!(windows[1].judged.hu_size, 20);
+    }
+
+    #[test]
+    fn continuous_stops_when_hq_dies() {
+        let g = special::cycle(12);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(7)
+            .churn(ChurnPlan::none().with_failure(Time(20), HostId(0)))
+            .continuous(16, 4)
+            .protocol(ProtocolKind::SpanningTree);
+        let windows = &judged_plan(&g, &[1; 12], &plan)[0].windows;
+        // hq dies at t=20, inside window 1 (16..32): windows 2+ never run.
+        assert!(windows.len() <= 2, "got {} windows", windows.len());
+    }
+
+    #[test]
+    fn continuous_slices_partitions_into_local_time() {
+        // A cut active across [20, 44) spans windows 0..2 of width 24:
+        // window 0 sees it from local t=20, window 1 from local t=0.
+        let g = special::cycle(16);
+        let sides: Vec<u8> = (0..16u8).map(|i| u8::from(i >= 8)).collect();
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(9)
+            .partition(PartitionPlan::new(sides).window(Time(20), Time(44)))
+            .continuous(24, 3)
+            .protocol(ProtocolKind::SpanningTree);
+        let windows = &judged_plan(&g, &[1; 16], &plan)[0].windows;
+        assert_eq!(windows.len(), 3);
+        // Window 1 runs entirely under the cut: the far side is hidden.
+        let v1 = windows[1].judged.value.expect("hq alive");
+        assert!(v1 < 16.0, "cut window must hide hosts, got {v1}");
+        // Window 2 starts at t=48, after the heal: full count again.
+        assert_eq!(windows[2].judged.value, Some(16.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "full query round")]
+    fn continuous_rejects_too_small_window() {
+        let g = special::cycle(8);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(5)
+            .continuous(6, 2)
+            .protocol(ProtocolKind::SpanningTree);
+        judged_plan(&g, &[1; 8], &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "no protocols to execute")]
+    fn plan_without_protocols_rejected() {
+        let g = special::chain(3);
+        judged_plan(&g, &[1; 3], &RunPlan::query(Aggregate::Count).d_hat(2));
     }
 }

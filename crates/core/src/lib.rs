@@ -30,8 +30,10 @@
 //! * [`workload`] — Zipf attribute values on `[10, 500]` (§6.1);
 //! * [`experiments`] — one driver per figure of §6 (see DESIGN.md's
 //!   per-experiment index);
-//! * [`judged`] — the run-one-protocol-and-judge-it primitive shared by
-//!   the façade and the `pov_scenario` batch runner;
+//! * [`judged`] — the shared execution layer: run one protocol and
+//!   judge it, or execute a whole `RunPlan` (N protocols × continuous
+//!   windows, one churn realization) for the façade and the
+//!   `pov_scenario` batch runner;
 //! * [`continuous`] — sliding-window Continuous Single-Site Validity
 //!   (§4.2);
 //! * [`capture_recapture`] — the Jolly–Seber network-size estimator
@@ -64,11 +66,11 @@ pub use pov_topology;
 /// One-line imports for examples and tests.
 pub mod prelude {
     pub use crate::facade::{Answer, Network, Protocol, QueryBuilder};
-    pub use crate::judged::{judged_run, JudgedOutcome};
+    pub use crate::judged::{judged_plan, judged_run, JudgedOutcome, ProtocolJudged, WindowJudged};
     pub use crate::workload;
     pub use pov_oracle::{host_sets, Verdict};
-    pub use pov_protocols::{Aggregate, ProtocolKind, RunConfig};
-    pub use pov_sim::{ChurnPlan, Medium, Time};
+    pub use pov_protocols::{Aggregate, ContinuousSpec, ProtocolKind, RunPlan};
+    pub use pov_sim::{ChurnPlan, DelayModel, Medium, Time};
     pub use pov_topology::generators::TopologyKind;
     pub use pov_topology::{Graph, HostId};
 }

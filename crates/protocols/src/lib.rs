@@ -27,14 +27,13 @@ pub mod spanning_tree;
 pub mod wildfire;
 
 pub use common::{Aggregate, Operator, Partial, QuerySpec};
-pub use runner::{Outcome, ProtocolKind, RunConfig};
+pub use runner::{ContinuousSpec, Outcome, ProtocolKind, RunPlan};
 
 #[cfg(test)]
 mod smoke {
     use super::*;
     use crate::wildfire::WildfireOpts;
-    use pov_sim::{ChurnPlan, Medium};
-    use pov_topology::{generators::special, HostId};
+    use pov_topology::generators::special;
 
     #[test]
     fn crate_root_smoke() {
@@ -42,22 +41,12 @@ mod smoke {
         // maximum must come back (Theorem 5.1).
         let g = special::cycle(10);
         let values: Vec<u64> = (1..=10).collect();
-        let cfg = RunConfig {
-            aggregate: Aggregate::Max,
-            d_hat: 5,
-            c: 8,
-            medium: Medium::PointToPoint,
-            delay: pov_sim::DelayModel::default(),
-            churn: ChurnPlan::none(),
-            partition: None,
-            seed: 42,
-            hq: HostId(0),
-        };
+        let plan = RunPlan::query(Aggregate::Max).d_hat(5).seed(42);
         let outcome = runner::run(
             ProtocolKind::Wildfire(WildfireOpts::default()),
             &g,
             &values,
-            &cfg,
+            &plan,
         );
         assert_eq!(outcome.value, Some(10.0));
         assert!(outcome.metrics.messages_sent > 0);

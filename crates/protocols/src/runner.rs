@@ -57,9 +57,55 @@ impl ProtocolKind {
     }
 }
 
-/// Everything needed to run one query.
+/// Continuous-query execution: re-issue the one-shot every `window`
+/// ticks and judge each report over its own recent window (§4.2's
+/// Continuous Single-Site Validity). Carried by [`RunPlan`]; consumed by
+/// the judged executor in the core crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContinuousSpec {
+    /// Window length `W` in ticks. Must be at least the one-shot
+    /// deadline `2·D̂·δ` so a window fits one full query round (§4.2's
+    /// impossibility for `W < max Dᵢ·δ`).
+    pub window: u64,
+    /// How many consecutive windows to run.
+    pub windows: usize,
+}
+
+/// One composable description of a whole run: the query, the network
+/// conditions (medium, delay, stacked churn, partition), the seed, and
+/// *what to execute over them* — a list of protocols and an optional
+/// continuous-window spec. Every entry point (façade, scenario batch
+/// runner, experiment drivers, benches) builds one of these, and every
+/// executor consumes it, so "compare N protocols under churn + a
+/// partition across continuous windows" is one value instead of four
+/// hand-assembled loops.
+///
+/// Build with the fluent constructors:
+///
+/// ```
+/// use pov_protocols::{Aggregate, ProtocolKind, RunPlan};
+/// use pov_protocols::wildfire::WildfireOpts;
+/// use pov_sim::{ChurnPlan, Time};
+///
+/// let plan = RunPlan::query(Aggregate::Count)
+///     .d_hat(6)
+///     .churn(ChurnPlan::uniform_failures(
+///         100, 10, Time(0), Time(12), pov_topology::HostId(0), 7,
+///     ))
+///     .protocol(ProtocolKind::Wildfire(WildfireOpts::default()))
+///     .protocol(ProtocolKind::SpanningTree)
+///     .seed(7);
+/// assert_eq!(plan.protocols.len(), 2);
+/// assert_eq!(plan.deadline(), 12);
+/// ```
+///
+/// The single-protocol primitives ([`run`], [`run_wildfire_operator`])
+/// read only the *environment* half of the plan (query + conditions);
+/// the `protocols` list and `continuous` spec drive the multi-run
+/// executors layered on top ([`run_all`] here, `judged_plan` in the
+/// core crate).
 #[derive(Clone, Debug)]
-pub struct RunConfig {
+pub struct RunPlan {
     /// The aggregate to compute.
     pub aggregate: Aggregate,
     /// Stable-diameter overestimate `D̂`.
@@ -73,24 +119,35 @@ pub struct RunConfig {
     /// `2·D̂·δ`), so protocols keep their guarantees under jittered or
     /// multi-tick delays.
     pub delay: DelayModel,
-    /// Failure/join schedule.
+    /// Failure/join schedule (stack regimes with
+    /// [`ChurnPlan::merge`]).
     pub churn: ChurnPlan,
     /// Optional temporary partition: messages crossing the cut while it
     /// is active are lost in transit (hosts stay alive).
     pub partition: Option<PartitionPlan>,
-    /// Root seed for the run.
+    /// Root seed for the run. Protocols sharing one plan share this
+    /// stream, so their runs see the *same* churn/delay realization —
+    /// the paired-comparison setup the paper's §6 figures need.
     pub seed: u64,
     /// The querying host.
     pub hq: HostId,
+    /// The protocols to execute under this plan (multi-run executors
+    /// produce one outcome per entry; the single-run primitives take
+    /// their protocol explicitly instead).
+    pub protocols: Vec<ProtocolKind>,
+    /// When set, the plan describes a §4.2 continuous query instead of
+    /// a one-shot: re-issue every `window` ticks, `windows` times.
+    pub continuous: Option<ContinuousSpec>,
 }
 
-impl RunConfig {
-    /// A failure-free point-to-point config with sensible defaults
-    /// (`c = 8` per Fig 6, `hq = h0`).
-    pub fn new(aggregate: Aggregate, d_hat: u32) -> Self {
-        RunConfig {
+impl RunPlan {
+    /// Start describing a run: a failure-free point-to-point query with
+    /// sensible defaults (`D̂ = 8`, `c = 8` per Fig 6, `hq = h0`, no
+    /// protocols selected yet).
+    pub fn query(aggregate: Aggregate) -> Self {
+        RunPlan {
             aggregate,
-            d_hat,
+            d_hat: 8,
             c: 8,
             medium: Medium::PointToPoint,
             delay: DelayModel::Fixed(1),
@@ -98,7 +155,83 @@ impl RunConfig {
             partition: None,
             seed: 0,
             hq: HostId(0),
+            protocols: Vec::new(),
+            continuous: None,
         }
+    }
+
+    /// Set the stable-diameter overestimate `D̂`.
+    pub fn d_hat(mut self, d_hat: u32) -> Self {
+        self.d_hat = d_hat;
+        self
+    }
+
+    /// Set the FM repetitions `c` for sketched aggregates.
+    pub fn repetitions(mut self, c: usize) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Choose the communication medium.
+    pub fn medium(mut self, medium: Medium) -> Self {
+        self.medium = medium;
+        self
+    }
+
+    /// Choose the per-hop delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Set the failure/join schedule. Calling twice *stacks* the plans
+    /// via [`ChurnPlan::merge`] rather than replacing the first one.
+    pub fn churn(mut self, churn: ChurnPlan) -> Self {
+        self.churn = self.churn.merge(churn);
+        self
+    }
+
+    /// Layer a temporary partition over the run.
+    pub fn partition(mut self, partition: PartitionPlan) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Set the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Choose the querying host.
+    pub fn from_host(mut self, hq: HostId) -> Self {
+        self.hq = hq;
+        self
+    }
+
+    /// Append one protocol to the execution list.
+    pub fn protocol(mut self, kind: ProtocolKind) -> Self {
+        self.protocols.push(kind);
+        self
+    }
+
+    /// Replace the execution list with `kinds`.
+    pub fn protocols(mut self, kinds: impl IntoIterator<Item = ProtocolKind>) -> Self {
+        self.protocols = kinds.into_iter().collect();
+        self
+    }
+
+    /// Make the plan continuous: re-issue the query every `window` ticks
+    /// for `windows` consecutive windows, judging each report over its
+    /// own window (§4.2).
+    pub fn continuous(mut self, window: u64, windows: usize) -> Self {
+        self.continuous = Some(ContinuousSpec { window, windows });
+        self
+    }
+
+    /// The one-shot query deadline in ticks: `2·D̂·δ`.
+    pub fn deadline(&self) -> u64 {
+        2 * self.d_hat as u64 * self.delay.bound()
     }
 
     fn spec(&self) -> QuerySpec {
@@ -112,7 +245,7 @@ impl RunConfig {
         }
     }
 
-    /// The simulation this config describes, over `graph`.
+    /// The simulation this plan describes, over `graph`.
     fn sim_builder(&self, graph: &Graph) -> SimBuilder {
         let b = SimBuilder::new(graph.clone())
             .medium(self.medium)
@@ -169,12 +302,17 @@ fn finish<L: NodeLogic>(
     }
 }
 
-/// Run `kind` over `graph` where host `h` holds `values[h]`.
+/// Run `kind` over `graph` where host `h` holds `values[h]`, under the
+/// *environment* half of `plan` (query, medium, delay, churn, partition,
+/// seed, `hq`). This is the single-run primitive: `plan.protocols` and
+/// `plan.continuous` are the multi-run executors' concern and are not
+/// read here.
 ///
 /// # Panics
 /// Panics if `values.len() != graph.num_hosts()` or the querying host is
 /// out of range.
-pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], cfg: &RunConfig) -> Outcome {
+pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], plan: &RunPlan) -> Outcome {
+    let cfg = plan;
     assert_eq!(
         values.len(),
         graph.num_hosts(),
@@ -248,6 +386,27 @@ pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], cfg: &RunConfig) -
     }
 }
 
+/// Run every protocol in `plan.protocols` over the same graph, values
+/// and — crucially — the same churn/partition/seed realization, and
+/// return one [`Outcome`] per protocol in list order. Because the churn
+/// plan is materialized once in the plan and every simulation starts
+/// from the same root seed, the outcomes form a *paired* comparison:
+/// protocol differences are not confounded by different failure draws.
+///
+/// # Panics
+/// Panics if `plan.protocols` is empty (a plan that executes nothing is
+/// a bug at the call site), plus everything [`run`] panics on.
+pub fn run_all(graph: &Graph, values: &[u64], plan: &RunPlan) -> Vec<(ProtocolKind, Outcome)> {
+    assert!(
+        !plan.protocols.is_empty(),
+        "RunPlan has no protocols to execute; add one with .protocol(..)"
+    );
+    plan.protocols
+        .iter()
+        .map(|&kind| (kind, run(kind, graph, values, plan)))
+        .collect()
+}
+
 /// What a WILDFIRE run with an extension operator (§7) produced: the
 /// scalar estimate plus the full merged partial (e.g. a histogram the
 /// caller can query for buckets and quantiles).
@@ -273,8 +432,9 @@ pub fn run_wildfire_operator(
     opts: WildfireOpts,
     graph: &Graph,
     values: &[u64],
-    cfg: &RunConfig,
+    plan: &RunPlan,
 ) -> OperatorOutcome {
+    let cfg = plan;
     assert_eq!(
         values.len(),
         graph.num_hosts(),
@@ -311,14 +471,13 @@ mod tests {
     fn all_protocols_agree_on_max_failure_free() {
         let g = special::cycle(12);
         let values: Vec<u64> = (0..12).map(|i| 10 + i * 7).collect();
-        let cfg = RunConfig::new(Aggregate::Max, 6);
-        for kind in [
+        let plan = RunPlan::query(Aggregate::Max).d_hat(6).protocols([
             ProtocolKind::AllReport(ReportRouting::Direct),
             ProtocolKind::SpanningTree,
             ProtocolKind::Dag { k: 2 },
             ProtocolKind::Wildfire(WildfireOpts::default()),
-        ] {
-            let out = run(kind, &g, &values, &cfg);
+        ]);
+        for (kind, out) in run_all(&g, &values, &plan) {
             assert_eq!(out.value, Some(87.0), "{}", kind.name());
         }
     }
@@ -327,7 +486,7 @@ mod tests {
     fn exact_protocols_agree_on_count() {
         let g = special::cycle(10);
         let values = vec![1u64; 10];
-        let cfg = RunConfig::new(Aggregate::Count, 5);
+        let cfg = RunPlan::query(Aggregate::Count).d_hat(5);
         for kind in [
             ProtocolKind::AllReport(ReportRouting::Direct),
             ProtocolKind::SpanningTree,
@@ -338,12 +497,43 @@ mod tests {
     }
 
     #[test]
+    fn run_all_pairs_protocols_on_one_realization() {
+        // Two protocols under one plan: same churn plan, same seed.
+        let g = special::cycle(16);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(9)
+            .churn(ChurnPlan::uniform_failures(
+                16,
+                3,
+                Time(0),
+                Time(18),
+                HostId(0),
+                11,
+            ))
+            .protocols([
+                ProtocolKind::Wildfire(WildfireOpts::default()),
+                ProtocolKind::SpanningTree,
+            ]);
+        let outs = run_all(&g, &[1; 16], &plan);
+        assert_eq!(outs.len(), 2);
+        // Both runs observed the identical membership trace — the
+        // defining property of a paired comparison.
+        assert_eq!(outs[0].1.trace.events, outs[1].1.trace.events);
+    }
+
+    #[test]
+    #[should_panic(expected = "no protocols to execute")]
+    fn run_all_rejects_empty_protocol_list() {
+        let g = special::chain(3);
+        run_all(&g, &[1; 3], &RunPlan::query(Aggregate::Count).d_hat(2));
+    }
+
+    #[test]
     fn outcome_carries_metrics_and_trace() {
         let g = special::chain(5);
-        let cfg = RunConfig {
-            churn: ChurnPlan::none().with_failure(Time(1), HostId(3)),
-            ..RunConfig::new(Aggregate::Count, 4)
-        };
+        let cfg = RunPlan::query(Aggregate::Count)
+            .d_hat(4)
+            .churn(ChurnPlan::none().with_failure(Time(1), HostId(3)));
         let out = run(ProtocolKind::SpanningTree, &g, &[1; 5], &cfg);
         assert!(out.metrics.messages_sent > 0);
         assert_eq!(out.trace.events.len(), 1);
@@ -354,7 +544,7 @@ mod tests {
     #[test]
     fn kmv_count_through_operator_runner() {
         let g = special::cycle(64);
-        let cfg = RunConfig::new(Aggregate::Count, 34);
+        let cfg = RunPlan::query(Aggregate::Count).d_hat(34);
         let out = run_wildfire_operator(
             Operator::KmvCount { k: 32 },
             WildfireOpts::default(),
@@ -374,10 +564,7 @@ mod tests {
         // 100 hosts: half hold value 10, half hold 90.
         let g = special::cycle(100);
         let values: Vec<u64> = (0..100).map(|i| if i % 2 == 0 { 10 } else { 90 }).collect();
-        let cfg = RunConfig {
-            c: 16,
-            ..RunConfig::new(Aggregate::Count, 52)
-        };
+        let cfg = RunPlan::query(Aggregate::Count).d_hat(52).repetitions(16);
         let out = run_wildfire_operator(
             Operator::ValueHistogram {
                 min: 0,
@@ -410,11 +597,8 @@ mod tests {
         // 2·D̂·δ ticks and the exact max still comes back right.
         let g = special::cycle(12);
         let values: Vec<u64> = (0..12).map(|i| 10 + i * 7).collect();
-        let base = RunConfig::new(Aggregate::Max, 6);
-        let slow = RunConfig {
-            delay: DelayModel::Fixed(2),
-            ..base.clone()
-        };
+        let base = RunPlan::query(Aggregate::Max).d_hat(6);
+        let slow = base.clone().delay(DelayModel::Fixed(2));
         let fast = runner_declares(&g, &values, &base);
         let lagged = runner_declares(&g, &values, &slow);
         assert_eq!(fast.0, Some(87.0));
@@ -422,14 +606,11 @@ mod tests {
         assert_eq!(lagged.1, fast.1 * 2, "deadline scales by the bound");
 
         // Jittered delays within the bound keep max exact too.
-        let jitter = RunConfig {
-            delay: DelayModel::Uniform { min: 1, max: 2 },
-            ..base
-        };
+        let jitter = base.delay(DelayModel::Uniform { min: 1, max: 2 });
         assert_eq!(runner_declares(&g, &values, &jitter).0, Some(87.0));
     }
 
-    fn runner_declares(g: &Graph, values: &[u64], cfg: &RunConfig) -> (Option<f64>, u64) {
+    fn runner_declares(g: &Graph, values: &[u64], cfg: &RunPlan) -> (Option<f64>, u64) {
         let out = run(
             ProtocolKind::Wildfire(WildfireOpts::default()),
             g,
@@ -440,9 +621,40 @@ mod tests {
     }
 
     #[test]
+    fn plan_builder_composes() {
+        let a = ChurnPlan::none().with_failure(Time(3), HostId(2));
+        let b = ChurnPlan::none().with_join(Time(5), HostId(7));
+        let plan = RunPlan::query(Aggregate::Sum)
+            .d_hat(4)
+            .repetitions(16)
+            .medium(Medium::Radio)
+            .delay(DelayModel::Uniform { min: 1, max: 3 })
+            .churn(a)
+            .churn(b) // stacks, not replaces
+            .partition(PartitionPlan::new(vec![0; 4]).window(Time(1), Time(2)))
+            .seed(99)
+            .from_host(HostId(1))
+            .protocol(ProtocolKind::SpanningTree)
+            .continuous(24, 3);
+        assert_eq!(plan.churn.failures, vec![(Time(3), HostId(2))]);
+        assert_eq!(plan.churn.joins, vec![(Time(5), HostId(7))]);
+        assert_eq!(plan.deadline(), 2 * 4 * 3);
+        assert_eq!(
+            plan.continuous,
+            Some(ContinuousSpec {
+                window: 24,
+                windows: 3
+            })
+        );
+        assert!(plan.partition.is_some());
+        assert_eq!(plan.hq, HostId(1));
+        assert_eq!(plan.protocols, vec![ProtocolKind::SpanningTree]);
+    }
+
+    #[test]
     fn gossip_runs_through_runner() {
         let g = special::complete(16);
-        let cfg = RunConfig::new(Aggregate::Average, 2);
+        let cfg = RunPlan::query(Aggregate::Average).d_hat(2);
         let out = run(ProtocolKind::Gossip { rounds: 60 }, &g, &[10; 16], &cfg);
         let v = out.value.expect("declared");
         assert!((v - 10.0).abs() < 1.0, "avg {v}");
@@ -452,7 +664,7 @@ mod tests {
     #[should_panic(expected = "one attribute value per host")]
     fn value_count_mismatch_rejected() {
         let g = special::chain(3);
-        let cfg = RunConfig::new(Aggregate::Count, 2);
+        let cfg = RunPlan::query(Aggregate::Count).d_hat(2);
         run(ProtocolKind::SpanningTree, &g, &[1, 2], &cfg);
     }
 }

@@ -4,8 +4,8 @@
 
 use pov_protocols::allreport::ReportRouting;
 use pov_protocols::wildfire::WildfireOpts;
-use pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_sim::{ChurnPlan, Medium, Time};
+use pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
+use pov_sim::{ChurnPlan, Time};
 use pov_topology::{analysis, Graph, GraphBuilder, HostId};
 use proptest::prelude::*;
 
@@ -52,18 +52,11 @@ fn scenario(max_n: u32) -> impl Strategy<Value = Scenario> {
         })
 }
 
-fn config(sc: &Scenario, aggregate: Aggregate, seed: u64) -> RunConfig {
-    RunConfig {
-        aggregate,
-        d_hat: sc.d_hat,
-        c: 8,
-        medium: Medium::PointToPoint,
-        delay: pov_sim::DelayModel::default(),
-        churn: sc.churn.clone(),
-        partition: None,
-        seed,
-        hq: HostId(0),
-    }
+fn config(sc: &Scenario, aggregate: Aggregate, seed: u64) -> RunPlan {
+    RunPlan::query(aggregate)
+        .d_hat(sc.d_hat)
+        .churn(sc.churn.clone())
+        .seed(seed)
 }
 
 /// Single-Site-Validity check for min/max per §4.1: `v = q(H)` for some

@@ -5,19 +5,24 @@
 //! and makes batch evaluation a first-class, machine-readable artifact:
 //!
 //! * [`Scenario`] — a complete experiment description (topology, query,
-//!   medium, delay, protocol, churn regime, seed set, repetitions),
+//!   medium, delay, *a list of* protocols, churn regime, optional
+//!   partition and continuous-window specs, seed set, repetitions),
 //!   loadable from plain-text `.scn` files (see `scenarios/` at the
 //!   workspace root and the README's "Scenario files" section) through
 //!   a small self-contained [`parse`] layer — the offline environment
 //!   has no crates.io, so the grammar is hand-rolled like the
-//!   `vendor/` stand-ins;
+//!   `vendor/` stand-ins. Every scenario lowers to one
+//!   `pov_core::pov_protocols::RunPlan` per batch cell;
 //! * [`ChurnSpec`] — regimes beyond the paper: flash-crowd join bursts,
-//!   correlated cluster failures, partitions that heal, an adaptive
-//!   adversary nuking the root's neighbourhood;
+//!   correlated cluster failures, oscillating fail-and-rejoin cycles,
+//!   an adaptive adversary nuking the root's neighbourhood — freely
+//!   composed with a [`PartitionSpec`] cut that heals;
 //! * [`run_batch`] — a `std::thread::scope` executor fanning the
 //!   `seeds × repetitions` matrix across workers, with per-cell
 //!   [`rand::rngs::SmallRng`] streams and order-independent
-//!   aggregation: reports are **byte-identical** for any thread count
+//!   aggregation: reports carry one [`ProtocolSection`] per contender
+//!   (a paired comparison — every protocol sees the same churn
+//!   realization) and are **byte-identical** for any thread count
 //!   (property-tested);
 //! * [`Json`] — a deterministic JSON writer for [`Report`]s and `repro
 //!   --json`, so the accuracy/cost trajectory is diffable across PRs.
@@ -32,8 +37,8 @@ pub mod spec;
 
 pub use json::{table_to_json, Json};
 pub use parse::ParseError;
-pub use run::{run_batch, Agg, Report, RunRecord};
-pub use spec::{ChurnSpec, ProtocolSpec, Scenario};
+pub use run::{run_batch, Agg, ProtocolSection, Report, RunRecord};
+pub use spec::{ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
 
 #[cfg(test)]
 mod smoke {

@@ -7,6 +7,7 @@
 //! ```text
 //! # full-line comment
 //! [section]                 # one level only, no nesting or dotted keys
+//! [[table]]                 # array-of-tables: may repeat, order kept
 //! key = "quoted string"     # \" \\ \n \t escapes
 //! key = 42                  # i64; 1_000_000 separators allowed
 //! key = 2.5                 # f64
@@ -89,13 +90,16 @@ pub struct Entry {
     pub line: usize,
 }
 
-/// One `[section]` with its entries.
+/// One `[section]` or `[[table]]` with its entries.
 #[derive(Clone, Debug)]
 pub struct Section {
     /// Section name without brackets.
     pub name: String,
     /// 1-based source line of the header.
     pub line: usize,
+    /// Whether the header used the `[[name]]` array-of-tables form
+    /// (repeatable) rather than the unique `[name]` form.
+    pub array: bool,
     /// Entries in file order.
     pub entries: Vec<Entry>,
 }
@@ -116,7 +120,8 @@ pub struct Doc {
 
 impl Doc {
     /// Parse a document. Keys before any `[section]` header, duplicate
-    /// sections and duplicate keys within a section are all errors.
+    /// `[section]`s (the `[[table]]` form may repeat), mixing `[x]` with
+    /// `[[x]]`, and duplicate keys within a section are all errors.
     pub fn parse(text: &str) -> Result<Doc, ParseError> {
         let mut doc = Doc::default();
         for (idx, raw) in text.lines().enumerate() {
@@ -126,23 +131,43 @@ impl Doc {
             if line.is_empty() {
                 continue;
             }
-            if let Some(name) = line.strip_prefix('[') {
-                let name = name
-                    .strip_suffix(']')
-                    .ok_or_else(|| ParseError::at(lineno, "unterminated section header"))?
-                    .trim();
+            if let Some(body) = line.strip_prefix('[') {
+                let (name, array) = match body.strip_prefix('[') {
+                    Some(inner) => (
+                        inner
+                            .strip_suffix("]]")
+                            .ok_or_else(|| ParseError::at(lineno, "unterminated [[table]] header"))?
+                            .trim(),
+                        true,
+                    ),
+                    None => (
+                        body.strip_suffix(']')
+                            .ok_or_else(|| ParseError::at(lineno, "unterminated section header"))?
+                            .trim(),
+                        false,
+                    ),
+                };
                 if name.is_empty() {
                     return Err(ParseError::at(lineno, "empty section name"));
                 }
-                if doc.sections.iter().any(|s| s.name == name) {
-                    return Err(ParseError::at(
-                        lineno,
-                        format!("duplicate section [{name}]"),
-                    ));
+                if let Some(prev) = doc.sections.iter().find(|s| s.name == name) {
+                    if prev.array != array {
+                        return Err(ParseError::at(
+                            lineno,
+                            format!("section '{name}' mixes [{name}] and [[{name}]] forms"),
+                        ));
+                    }
+                    if !array {
+                        return Err(ParseError::at(
+                            lineno,
+                            format!("duplicate section [{name}]"),
+                        ));
+                    }
                 }
                 doc.sections.push(Section {
                     name: name.to_string(),
                     line: lineno,
+                    array,
                     entries: Vec::new(),
                 });
                 continue;
@@ -174,9 +199,15 @@ impl Doc {
         Ok(doc)
     }
 
-    /// Look up a section by name.
+    /// Look up a section by name (the first, for `[[table]]` arrays).
     pub fn section(&self, name: &str) -> Option<&Section> {
         self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Every section with this name, in file order — one element for a
+    /// plain `[section]`, possibly many for `[[table]]` repetitions.
+    pub fn sections_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Section> + 'a {
+        self.sections.iter().filter(move |s| s.name == name)
     }
 }
 
@@ -358,6 +389,43 @@ labels = ["a", "b # not a comment"]
                 Value::Str("b # not a comment".into())
             ])
         );
+    }
+
+    #[test]
+    fn array_of_tables_repeats_in_order() {
+        let doc = Doc::parse(
+            "[scenario]\nname = \"x\"\n\
+             [[protocol]]\nkind = \"wildfire\"\n\
+             [[protocol]]\nkind = \"spanning-tree\"\nk = 2\n",
+        )
+        .expect("parses");
+        let tables: Vec<&Section> = doc.sections_named("protocol").collect();
+        assert_eq!(tables.len(), 2);
+        assert!(tables.iter().all(|s| s.array));
+        assert_eq!(
+            tables[0].get("kind").unwrap().value,
+            Value::Str("wildfire".into())
+        );
+        assert_eq!(
+            tables[1].get("kind").unwrap().value,
+            Value::Str("spanning-tree".into())
+        );
+        // `section` returns the first instance.
+        assert_eq!(doc.section("protocol").unwrap().line, 3);
+        // Duplicate keys within one table instance still rejected.
+        let err = Doc::parse("[[p]]\nk = 1\nk = 2").expect_err("dup key");
+        assert!(err.msg.contains("duplicate key"));
+    }
+
+    #[test]
+    fn mixing_section_and_table_forms_rejected() {
+        let err = Doc::parse("[p]\nk = 1\n[[p]]\nk = 2").expect_err("mixed");
+        assert!(err.msg.contains("mixes"), "{}", err.msg);
+        assert_eq!(err.line, 3);
+        let err = Doc::parse("[[p]]\nk = 1\n[p]\nk = 2").expect_err("mixed");
+        assert!(err.msg.contains("mixes"), "{}", err.msg);
+        let err = Doc::parse("[[p]\nk = 1").expect_err("unterminated");
+        assert!(err.msg.contains("unterminated [[table]]"), "{}", err.msg);
     }
 
     #[test]

@@ -8,24 +8,31 @@
 //! reads the slots in index order, so the report (and its JSON
 //! rendering) is byte-identical for any `--threads` value. The
 //! `prop_scenario` suite asserts exactly that.
+//!
+//! One cell executes the *whole* [`RunPlan`] the scenario lowers to:
+//! every `[[protocol]]` contender and (for `[continuous]` scenarios)
+//! every window runs against the same churn/partition realization, so
+//! the per-protocol report sections are a paired comparison.
 
 use crate::json::Json;
 use crate::spec::{ChurnSpec, Scenario};
-use pov_core::judged::judged_run;
-use pov_core::pov_protocols::RunConfig;
+use pov_core::judged::judged_plan;
+use pov_core::pov_protocols::RunPlan;
 use pov_core::pov_sim::{ChurnPlan, PartitionPlan, Time};
 use pov_core::pov_topology::{analysis, Graph, HostId};
 use pov_core::workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// What one cell of the seed × repetition matrix produced.
+/// What one `(seed, repetition, window)` produced for one protocol.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// Root seed of this cell.
     pub seed: u64,
     /// Repetition index under that seed.
     pub rep: usize,
+    /// Continuous-window index (`0` for one-shot scenarios).
+    pub window: usize,
     /// Declared value (`None` if `hq` never declared).
     pub value: Option<f64>,
     /// Whether the ORACLE judged the declared value Single-Site Valid.
@@ -94,34 +101,24 @@ impl Agg {
     }
 }
 
-/// The aggregated result of one scenario batch.
+/// One protocol's slice of a batch report: its aggregates and records
+/// over the whole `seeds × repetitions × windows` matrix.
 #[derive(Clone, Debug)]
-pub struct Report {
-    /// Scenario name.
-    pub scenario: String,
-    /// Protocol display name.
+pub struct ProtocolSection {
+    /// Protocol display label (`WILDFIRE`, `DAG(k=2)`, …).
     pub protocol: String,
-    /// Topology display name.
-    pub topology: String,
-    /// Churn model name.
-    pub churn_model: String,
-    /// Actual host count of the built graph.
-    pub n: usize,
-    /// The `D̂` used for the query deadline.
-    pub d_hat: u32,
-    /// Total runs (seeds × repetitions).
-    pub runs: usize,
-    /// Fraction of runs in which `hq` declared a value.
+    /// Fraction of this protocol's records in which `hq` declared.
     pub declared_fraction: f64,
-    /// Fraction of runs judged Single-Site Valid.
+    /// Fraction of this protocol's records judged Single-Site Valid.
     pub valid_fraction: f64,
     /// Named metric aggregates, in fixed order.
     pub metrics: Vec<(&'static str, Agg)>,
-    /// Per-cell records in matrix order.
+    /// Per-record results in matrix order (seed-major, then repetition,
+    /// then window).
     pub records: Vec<RunRecord>,
 }
 
-impl Report {
+impl ProtocolSection {
     /// One metric's aggregate by name.
     pub fn metric(&self, name: &str) -> Option<Agg> {
         self.metrics
@@ -130,9 +127,7 @@ impl Report {
             .map(|&(_, a)| a)
     }
 
-    /// The JSON document emitted by `repro scenario --json` (and diffed
-    /// byte-for-byte by the determinism gate).
-    pub fn to_json(&self) -> Json {
+    fn to_json(&self) -> Json {
         let records = self
             .records
             .iter()
@@ -140,6 +135,7 @@ impl Report {
                 Json::obj()
                     .with("seed", r.seed)
                     .with("rep", r.rep)
+                    .with("window", r.window)
                     .with("value", r.value)
                     .with("valid", r.valid)
                     .with("deviation", r.deviation)
@@ -155,17 +151,79 @@ impl Report {
             metrics = metrics.with(name, agg.to_json());
         }
         Json::obj()
-            .with("scenario", self.scenario.as_str())
             .with("protocol", self.protocol.as_str())
+            .with("declared_fraction", self.declared_fraction)
+            .with("valid_fraction", self.valid_fraction)
+            .with("metrics", metrics)
+            .with("records", Json::Arr(records))
+    }
+}
+
+/// The aggregated result of one scenario batch: shared run facts plus
+/// one [`ProtocolSection`] per `[[protocol]]` contender, all computed
+/// from the same per-cell churn realizations.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: String,
+    /// Topology display name.
+    pub topology: String,
+    /// Dynamism regime (churn model, `+partition` when one is layered).
+    pub churn_model: String,
+    /// Actual host count of the built graph.
+    pub n: usize,
+    /// The `D̂` used for the query deadline.
+    pub d_hat: u32,
+    /// Cells in the batch matrix (seeds × repetitions).
+    pub runs: usize,
+    /// Continuous windows per cell (`1` for one-shot scenarios).
+    pub windows: usize,
+    /// Fraction of records (all protocols) in which `hq` declared.
+    pub declared_fraction: f64,
+    /// Fraction of records (all protocols) judged Single-Site Valid.
+    pub valid_fraction: f64,
+    /// One section per protocol, in `[[protocol]]` file order.
+    pub protocols: Vec<ProtocolSection>,
+}
+
+impl Report {
+    /// The section for one protocol, by display label.
+    pub fn section(&self, protocol: &str) -> Option<&ProtocolSection> {
+        self.protocols.iter().find(|s| s.protocol == protocol)
+    }
+
+    /// One metric's aggregate by name, from the *first* protocol
+    /// section — the whole report for single-protocol scenarios.
+    pub fn metric(&self, name: &str) -> Option<Agg> {
+        self.protocols.first().and_then(|s| s.metric(name))
+    }
+
+    /// All records of the first protocol section (the whole batch for
+    /// single-protocol scenarios).
+    pub fn records(&self) -> &[RunRecord] {
+        self.protocols
+            .first()
+            .map(|s| s.records.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The JSON document emitted by `repro scenario --json` (and diffed
+    /// byte-for-byte by the determinism gate).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scenario", self.scenario.as_str())
             .with("topology", self.topology.as_str())
             .with("churn_model", self.churn_model.as_str())
             .with("n", self.n)
             .with("d_hat", self.d_hat)
             .with("runs", self.runs)
+            .with("windows", self.windows)
             .with("declared_fraction", self.declared_fraction)
             .with("valid_fraction", self.valid_fraction)
-            .with("metrics", metrics)
-            .with("records", Json::Arr(records))
+            .with(
+                "protocols",
+                Json::Arr(self.protocols.iter().map(|s| s.to_json()).collect()),
+            )
     }
 }
 
@@ -188,91 +246,121 @@ fn prepare(scn: &Scenario) -> Prepared {
     }
 }
 
-/// Derive the churn plan (and optional partition) for one cell from the
-/// scenario's regime. `deadline` is `2·D̂·δ`; window fractions scale to
-/// it.
-fn materialize_churn(
-    scn: &Scenario,
-    graph: &Graph,
-    deadline: u64,
-    churn_seed: u64,
-) -> (ChurnPlan, Option<PartitionPlan>) {
+/// The tick count the scenario's window fractions scale to: the
+/// one-shot deadline `2·D̂·δ`, or the whole `windows × W` horizon for
+/// continuous scenarios (so a regime can span the registration).
+fn regime_span(scn: &Scenario, deadline: u64) -> u64 {
+    match &scn.continuous {
+        None => deadline,
+        Some(c) => c.windows as u64 * window_ticks(c, deadline),
+    }
+}
+
+fn window_ticks(c: &crate::spec::ContinuousSpec, deadline: u64) -> u64 {
+    (c.window_factor * deadline as f64).round() as u64
+}
+
+/// Derive the churn plan for one cell from the scenario's regime.
+fn materialize_churn(scn: &Scenario, graph: &Graph, span: u64, churn_seed: u64) -> ChurnPlan {
     let hq = HostId(scn.hq);
     let n = graph.num_hosts();
-    let tick = |frac: f64| Time((frac * deadline as f64).round() as u64);
+    let tick = |frac: f64| Time((frac * span as f64).round() as u64);
     match &scn.churn {
-        ChurnSpec::None => (ChurnPlan::none(), None),
-        ChurnSpec::Uniform { fraction, window } => (
-            ChurnPlan::uniform_failures(
-                n,
-                (fraction * n as f64).round() as usize,
-                tick(window.0),
-                tick(window.1),
-                hq,
-                churn_seed,
-            ),
-            None,
+        ChurnSpec::None => ChurnPlan::none(),
+        ChurnSpec::Uniform { fraction, window } => ChurnPlan::uniform_failures(
+            n,
+            (fraction * n as f64).round() as usize,
+            tick(window.0),
+            tick(window.1),
+            hq,
+            churn_seed,
         ),
-        ChurnSpec::FlashCrowd { fraction, window } => (
-            ChurnPlan::flash_crowd(
-                n,
-                (fraction * n as f64).round() as usize,
-                tick(window.0),
-                tick(window.1),
-                hq,
-                churn_seed,
-            ),
-            None,
+        ChurnSpec::FlashCrowd { fraction, window } => ChurnPlan::flash_crowd(
+            n,
+            (fraction * n as f64).round() as usize,
+            tick(window.0),
+            tick(window.1),
+            hq,
+            churn_seed,
         ),
         ChurnSpec::Correlated {
             clusters,
             cluster_size,
             window,
-        } => (
-            ChurnPlan::correlated_failures(
-                graph,
-                *clusters,
-                *cluster_size,
+        } => ChurnPlan::correlated_failures(
+            graph,
+            *clusters,
+            *cluster_size,
+            tick(window.0),
+            tick(window.1),
+            hq,
+            churn_seed,
+        ),
+        ChurnSpec::Oscillating {
+            fraction,
+            window,
+            period,
+            downtime,
+        } => {
+            // Fractional period/downtime lower to ticks of the span; both
+            // clamp to ≥ 1 tick with downtime < period kept invariant.
+            let period_ticks = ((period * span as f64).round() as u64).max(2);
+            let downtime_ticks =
+                ((downtime * span as f64).round() as u64).clamp(1, period_ticks - 1);
+            ChurnPlan::oscillating(
+                n,
+                (fraction * n as f64).round() as usize,
                 tick(window.0),
                 tick(window.1),
+                period_ticks,
+                downtime_ticks,
                 hq,
                 churn_seed,
-            ),
-            None,
-        ),
-        ChurnSpec::Partition {
-            fraction,
-            from,
-            heal,
-        } => {
-            // Pivot the cut away from hq so the querying side is the
-            // majority; a random non-hq pivot keeps per-seed variety.
-            let mut rng = SmallRng::seed_from_u64(churn_seed);
-            let pivot = loop {
-                let h = HostId(rng.gen_range(0..n as u32));
-                if h != hq {
-                    break h;
-                }
-            };
-            let mut plan = PartitionPlan::split_bfs(graph, pivot, *fraction);
-            // If hq landed on the severed side, flip the cut's meaning by
-            // re-splitting from hq itself — the minority must be remote.
-            if plan.sides()[hq.index()] == 1 {
-                plan = PartitionPlan::split_bfs(graph, hq, 1.0 - fraction);
-                let flipped: Vec<u8> = plan.sides().iter().map(|&s| 1 - s).collect();
-                plan = PartitionPlan::new(flipped);
-            }
-            let plan = plan.window(tick(*from), tick(*heal).max(tick(*from) + 1));
-            (ChurnPlan::none(), Some(plan))
+            )
         }
-        ChurnSpec::AdversarialRoot { radius, at } => (
-            ChurnPlan::root_neighbourhood_failures(graph, hq, *radius, tick(*at)),
-            None,
-        ),
+        ChurnSpec::AdversarialRoot { radius, at } => {
+            ChurnPlan::root_neighbourhood_failures(graph, hq, *radius, tick(*at))
+        }
     }
 }
 
-fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> RunRecord {
+/// Derive the partition plan for one cell, if the scenario layers one.
+fn materialize_partition(
+    scn: &Scenario,
+    graph: &Graph,
+    span: u64,
+    churn_seed: u64,
+) -> Option<PartitionPlan> {
+    let spec = scn.partition.as_ref()?;
+    let hq = HostId(scn.hq);
+    let n = graph.num_hosts();
+    let tick = |frac: f64| Time((frac * span as f64).round() as u64);
+    // Pivot the cut away from hq so the querying side is the majority; a
+    // random non-hq pivot keeps per-seed variety. The partition draw uses
+    // its own stream off `churn_seed` so stacking a churn model on top
+    // does not shift the cut.
+    let mut rng = SmallRng::seed_from_u64(churn_seed ^ 0x51de_c0de);
+    let pivot = loop {
+        let h = HostId(rng.gen_range(0..n as u32));
+        if h != hq {
+            break h;
+        }
+    };
+    let mut plan = PartitionPlan::split_bfs(graph, pivot, spec.fraction);
+    // If hq landed on the severed side, flip the cut's meaning by
+    // re-splitting from hq itself — the minority must be remote.
+    if plan.sides()[hq.index()] == 1 {
+        plan = PartitionPlan::split_bfs(graph, hq, 1.0 - spec.fraction);
+        let flipped: Vec<u8> = plan.sides().iter().map(|&s| 1 - s).collect();
+        plan = PartitionPlan::new(flipped);
+    }
+    Some(plan.window(tick(spec.from), tick(spec.heal).max(tick(spec.from) + 1)))
+}
+
+/// Lower one `(seed, rep)` cell to a [`RunPlan`] and execute it: every
+/// protocol (and window) shares the churn/partition realization drawn
+/// from this cell's RNG stream.
+fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<RunRecord>> {
     // Per-cell RNG stream: a function of (seed, rep) only.
     let mut stream = SmallRng::seed_from_u64(
         seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -280,43 +368,63 @@ fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> RunRecord
     );
     let churn_seed: u64 = stream.gen();
     let sim_seed: u64 = stream.gen();
-    // Churn/partition windows are fractions of the deadline in *ticks*:
-    // `2·D̂·δ`, with δ the delay model's bound.
+    // Churn/partition windows are fractions of the regime span in
+    // *ticks*: the `2·D̂·δ` deadline, or the full multi-window horizon.
     let deadline = 2 * prep.d_hat as u64 * scn.delay.bound();
-    let (churn, partition) = materialize_churn(scn, &prep.graph, deadline, churn_seed);
-    let cfg = RunConfig {
-        aggregate: scn.aggregate,
-        d_hat: prep.d_hat,
-        c: scn.c,
-        medium: scn.medium,
-        delay: scn.delay,
-        churn,
-        partition,
-        seed: sim_seed,
-        hq: HostId(scn.hq),
-    };
-    let out = judged_run(scn.protocol.kind(), &prep.graph, &prep.values, &cfg);
-    RunRecord {
-        seed,
-        rep,
-        value: out.value,
-        valid: out.verdict.is_valid(),
-        deviation: out.deviation(),
-        hc: out.hc_size,
-        hu: out.hu_size,
-        messages: out.metrics.messages_sent,
-        computation: out.metrics.computation_cost(),
-        time_cost: out.time_cost(),
+    let span = regime_span(scn, deadline);
+    let mut plan = RunPlan::query(scn.aggregate)
+        .d_hat(prep.d_hat)
+        .repetitions(scn.c)
+        .medium(scn.medium)
+        .delay(scn.delay)
+        .churn(materialize_churn(scn, &prep.graph, span, churn_seed))
+        .seed(sim_seed)
+        .from_host(HostId(scn.hq))
+        .protocols(scn.protocols.iter().map(|p| p.kind()));
+    if let Some(partition) = materialize_partition(scn, &prep.graph, span, churn_seed) {
+        plan = plan.partition(partition);
     }
+    if let Some(c) = &scn.continuous {
+        plan = plan.continuous(window_ticks(c, deadline), c.windows);
+    }
+    judged_plan(&prep.graph, &prep.values, &plan)
+        .into_iter()
+        .map(|protocol| {
+            protocol
+                .windows
+                .into_iter()
+                .enumerate()
+                .map(|(window, w)| RunRecord {
+                    seed,
+                    rep,
+                    window,
+                    value: w.judged.value,
+                    valid: w.judged.verdict.is_valid(),
+                    deviation: w.judged.deviation(),
+                    hc: w.judged.hc_size,
+                    hu: w.judged.hu_size,
+                    messages: w.judged.metrics.messages_sent,
+                    computation: w.judged.metrics.computation_cost(),
+                    time_cost: w.judged.time_cost(),
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Execute the whole batch on `threads` workers and aggregate.
 ///
 /// # Panics
-/// Panics if `threads == 0` or the scenario's `hq` exceeds the host
-/// count the topology actually produced (grids round down to squares).
+/// Panics if `threads == 0`, the scenario has no protocols, or its `hq`
+/// exceeds the host count the topology actually produced (grids round
+/// down to squares).
 pub fn run_batch(scn: &Scenario, threads: usize) -> Report {
     assert!(threads >= 1, "need at least one worker thread");
+    assert!(
+        !scn.protocols.is_empty(),
+        "scenario '{}' has no protocols",
+        scn.name
+    );
     let prep = prepare(scn);
     assert!(
         (scn.hq as usize) < prep.graph.num_hosts(),
@@ -336,12 +444,12 @@ pub fn run_batch(scn: &Scenario, threads: usize) -> Report {
         "scenario '{}' has an empty seeds × repetitions matrix",
         scn.name
     );
-    let mut records: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+    let mut cells: Vec<Option<Vec<Vec<RunRecord>>>> = vec![None; jobs.len()];
 
     let chunk = jobs.len().div_ceil(threads);
     std::thread::scope(|scope| {
         let prep = &prep;
-        for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(records.chunks_mut(chunk)) {
+        for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(cells.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (&(seed, rep), slot) in job_chunk.iter().zip(slot_chunk) {
                     *slot = Some(run_cell(scn, prep, seed, rep));
@@ -350,48 +458,82 @@ pub fn run_batch(scn: &Scenario, threads: usize) -> Report {
         }
     });
 
-    let records: Vec<RunRecord> = records
-        .into_iter()
-        .map(|r| r.expect("every cell ran"))
-        .collect();
-    aggregate(scn, &prep, records)
+    // Regroup: cell-major [(protocol, windows)] → protocol-major record
+    // streams, still in deterministic (seed, rep, window) order.
+    let mut per_protocol: Vec<Vec<RunRecord>> = vec![Vec::new(); scn.protocols.len()];
+    for cell in cells {
+        let cell = cell.expect("every cell ran");
+        for (p, records) in cell.into_iter().enumerate() {
+            per_protocol[p].extend(records);
+        }
+    }
+    aggregate(scn, &prep, jobs.len(), per_protocol)
 }
 
-fn aggregate(scn: &Scenario, prep: &Prepared, records: Vec<RunRecord>) -> Report {
-    let runs = records.len();
-    let declared = records.iter().filter(|r| r.value.is_some()).count();
-    let valid = records.iter().filter(|r| r.valid).count();
-    let of = |f: &dyn Fn(&RunRecord) -> Option<f64>| {
-        Agg::of(&records.iter().filter_map(f).collect::<Vec<f64>>())
-    };
-    let metrics: Vec<(&'static str, Agg)> = vec![
-        ("value", of(&|r| r.value)),
-        ("deviation", of(&|r| r.deviation)),
-        ("messages", of(&|r| Some(r.messages as f64))),
-        ("computation", of(&|r| Some(r.computation as f64))),
-        ("time_cost", of(&|r| r.time_cost.map(|t| t as f64))),
-        ("hc", of(&|r| Some(r.hc as f64))),
-        ("hu", of(&|r| Some(r.hu as f64))),
-    ];
+fn aggregate(
+    scn: &Scenario,
+    prep: &Prepared,
+    runs: usize,
+    per_protocol: Vec<Vec<RunRecord>>,
+) -> Report {
+    let sections: Vec<ProtocolSection> = scn
+        .protocols
+        .iter()
+        .zip(per_protocol)
+        .map(|(spec, records)| {
+            let total = records.len().max(1);
+            let declared = records.iter().filter(|r| r.value.is_some()).count();
+            let valid = records.iter().filter(|r| r.valid).count();
+            let of = |f: &dyn Fn(&RunRecord) -> Option<f64>| {
+                Agg::of(&records.iter().filter_map(f).collect::<Vec<f64>>())
+            };
+            let metrics: Vec<(&'static str, Agg)> = vec![
+                ("value", of(&|r| r.value)),
+                ("deviation", of(&|r| r.deviation)),
+                ("messages", of(&|r| Some(r.messages as f64))),
+                ("computation", of(&|r| Some(r.computation as f64))),
+                ("time_cost", of(&|r| r.time_cost.map(|t| t as f64))),
+                ("hc", of(&|r| Some(r.hc as f64))),
+                ("hu", of(&|r| Some(r.hu as f64))),
+            ];
+            ProtocolSection {
+                protocol: spec.label(),
+                declared_fraction: declared as f64 / total as f64,
+                valid_fraction: valid as f64 / total as f64,
+                metrics,
+                records,
+            }
+        })
+        .collect();
+    let all: usize = sections.iter().map(|s| s.records.len()).sum();
+    let declared: usize = sections
+        .iter()
+        .flat_map(|s| &s.records)
+        .filter(|r| r.value.is_some())
+        .count();
+    let valid: usize = sections
+        .iter()
+        .flat_map(|s| &s.records)
+        .filter(|r| r.valid)
+        .count();
     Report {
         scenario: scn.name.clone(),
-        protocol: scn.protocol.name().to_string(),
         topology: scn.topology.name().to_string(),
-        churn_model: scn.churn.model_name().to_string(),
+        churn_model: scn.regime(),
         n: prep.graph.num_hosts(),
         d_hat: prep.d_hat,
         runs,
-        declared_fraction: declared as f64 / runs as f64,
-        valid_fraction: valid as f64 / runs as f64,
-        metrics,
-        records,
+        windows: scn.continuous.map_or(1, |c| c.windows),
+        declared_fraction: declared as f64 / all.max(1) as f64,
+        valid_fraction: valid as f64 / all.max(1) as f64,
+        protocols: sections,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::ProtocolSpec;
+    use crate::spec::{ContinuousSpec, PartitionSpec, ProtocolSpec};
     use pov_core::pov_protocols::Aggregate;
     use pov_core::pov_sim::{DelayModel, Medium};
     use pov_core::pov_topology::generators::TopologyKind;
@@ -409,8 +551,10 @@ mod tests {
             d_hat_slack: 2,
             medium: Medium::PointToPoint,
             delay: DelayModel::Fixed(1),
-            protocol: ProtocolSpec::Wildfire,
+            protocols: vec![ProtocolSpec::Wildfire],
             churn,
+            partition: None,
+            continuous: None,
             seeds: vec![1, 2, 3],
             repetitions: 2,
         }
@@ -423,7 +567,7 @@ mod tests {
         scn.aggregate = Aggregate::Max;
         let report = run_batch(&scn, 2);
         assert_eq!(report.runs, 6);
-        let cells: Vec<(u64, usize)> = report.records.iter().map(|r| (r.seed, r.rep)).collect();
+        let cells: Vec<(u64, usize)> = report.records().iter().map(|r| (r.seed, r.rep)).collect();
         assert_eq!(cells, vec![(1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)]);
         // Static network: everything declares, everything is valid.
         assert_eq!(report.declared_fraction, 1.0);
@@ -470,11 +614,11 @@ mod tests {
         });
         let a = run_batch(&scn, 4);
         let b = run_batch(&scn, 4);
-        assert_eq!(a.records, b.records, "identical batches");
+        assert_eq!(a.records(), b.records(), "identical batches");
         // Different (seed, rep) cells see different churn draws.
         assert_ne!(
-            (a.records[0].hc, a.records[0].messages),
-            (a.records[1].hc, a.records[1].messages),
+            (a.records()[0].hc, a.records()[0].messages),
+            (a.records()[1].hc, a.records()[1].messages),
             "rep 0 and rep 1 of seed 1 should differ"
         );
     }
@@ -495,10 +639,11 @@ mod tests {
                 cluster_size: 5,
                 window: (0.0, 0.5),
             },
-            ChurnSpec::Partition {
-                fraction: 0.3,
-                from: 0.1,
-                heal: 0.7,
+            ChurnSpec::Oscillating {
+                fraction: 0.2,
+                window: (0.0, 1.0),
+                period: 0.5,
+                downtime: 0.2,
             },
             ChurnSpec::AdversarialRoot { radius: 1, at: 0.2 },
         ] {
@@ -525,7 +670,7 @@ mod tests {
             })
         };
         let report = run_batch(&scn, 1);
-        let r = &report.records[0];
+        let r = &report.records()[0];
         // Joiners start dead: HC (stable hosts) is well below n, while HU
         // counts everyone who was up at some instant.
         assert!(r.hc < report.n, "hc {} vs n {}", r.hc, report.n);
@@ -538,7 +683,7 @@ mod tests {
         scn.seeds = vec![7];
         scn.repetitions = 1;
         let report = run_batch(&scn, 1);
-        let r = &report.records[0];
+        let r = &report.records()[0];
         // The blast zone dies just after the flood leaves hq: the
         // declared count collapses far below the population.
         let v = r.value.expect("hq survives");
@@ -551,17 +696,111 @@ mod tests {
 
     #[test]
     fn partition_is_majority_side_for_hq() {
-        let scn = tiny(ChurnSpec::Partition {
+        let mut scn = tiny(ChurnSpec::None);
+        scn.partition = Some(PartitionSpec {
             fraction: 0.4,
             from: 0.0,
             heal: 1.0,
         });
         let report = run_batch(&scn, 3);
-        for r in &report.records {
+        assert_eq!(report.churn_model, "partition");
+        for r in report.records() {
             // hq always declares (it is never cut off from itself) and
             // the unhealed full-window cut hides the minority side.
             assert!(r.value.is_some());
         }
+    }
+
+    #[test]
+    fn churn_and_partition_stack_in_one_run() {
+        // Uniform failures *and* a healing cut: validity must suffer at
+        // least as much as under the failures alone.
+        let churn = ChurnSpec::Uniform {
+            fraction: 0.1,
+            window: (0.0, 1.0),
+        };
+        let mut stacked = tiny(churn.clone());
+        stacked.partition = Some(PartitionSpec {
+            fraction: 0.3,
+            from: 0.1,
+            heal: 0.8,
+        });
+        let alone = run_batch(&tiny(churn), 2);
+        let both = run_batch(&stacked, 2);
+        assert_eq!(both.churn_model, "uniform+partition");
+        assert_eq!(both.runs, alone.runs);
+        let dev_alone = alone.metric("deviation").unwrap().mean;
+        let dev_both = both.metric("deviation").unwrap().mean;
+        assert!(
+            dev_both >= dev_alone * 0.99,
+            "stacking a cut cannot improve validity: {dev_both} vs {dev_alone}"
+        );
+    }
+
+    #[test]
+    fn multi_protocol_sections_share_realization() {
+        let mut scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.15,
+            window: (0.0, 1.0),
+        });
+        scn.protocols = vec![ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree];
+        let report = run_batch(&scn, 2);
+        assert_eq!(report.protocols.len(), 2);
+        let wf = report.section("WILDFIRE").expect("section");
+        let st = report.section("SPANNINGTREE").expect("section");
+        assert_eq!(wf.records.len(), st.records.len());
+        // Paired: record i of both sections comes from the same (seed,
+        // rep) cell and hence the same churn draw — HU (same judging
+        // deadline) matches record-for-record.
+        for (a, b) in wf.records.iter().zip(&st.records) {
+            assert_eq!((a.seed, a.rep, a.window), (b.seed, b.rep, b.window));
+            assert_eq!(a.hu, b.hu, "seed {} rep {}", a.seed, a.rep);
+        }
+        // And each section equals the single-protocol run of the same
+        // scenario — protocol order cannot perturb the realization.
+        let mut solo = scn.clone();
+        solo.protocols = vec![ProtocolSpec::SpanningTree];
+        let solo_report = run_batch(&solo, 2);
+        assert_eq!(st.records, solo_report.records());
+    }
+
+    #[test]
+    fn continuous_scenario_reports_per_window_records() {
+        let mut scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.2,
+            window: (0.0, 0.6),
+        });
+        scn.seeds = vec![1, 2];
+        scn.repetitions = 1;
+        scn.continuous = Some(ContinuousSpec {
+            windows: 3,
+            window_factor: 1.0,
+        });
+        let report = run_batch(&scn, 2);
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.windows, 3);
+        let records = report.records();
+        assert_eq!(records.len(), 2 * 3, "one record per cell per window");
+        let order: Vec<(u64, usize)> = records.iter().map(|r| (r.seed, r.window)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)]);
+        // Churn spans the horizon: the later windows run against a
+        // thinner population than the first.
+        let hu0 = records
+            .iter()
+            .filter(|r| r.window == 0)
+            .map(|r| r.hu)
+            .sum::<usize>();
+        let hu2 = records
+            .iter()
+            .filter(|r| r.window == 2)
+            .map(|r| r.hu)
+            .sum::<usize>();
+        assert!(hu2 < hu0, "membership must decay: {hu2} vs {hu0}");
+        // Determinism holds for windows too.
+        assert_eq!(
+            run_batch(&scn, 1).to_json().render(),
+            run_batch(&scn, 4).to_json().render()
+        );
     }
 
     #[test]

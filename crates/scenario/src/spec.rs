@@ -59,6 +59,18 @@ impl ProtocolSpec {
     pub fn name(self) -> &'static str {
         self.kind().name()
     }
+
+    /// Unambiguous display label: the paper name plus any parameters, so
+    /// two `[[protocol]]` tables that differ only in `k` or `p` get
+    /// distinct report sections.
+    pub fn label(self) -> String {
+        match self {
+            ProtocolSpec::Dag { k } => format!("DAG(k={k})"),
+            ProtocolSpec::RandomizedReport { p } => format!("RANDOMIZEDREPORT(p={p})"),
+            ProtocolSpec::Gossip { rounds } => format!("GOSSIP(rounds={rounds})"),
+            other => other.name().to_string(),
+        }
+    }
 }
 
 /// The dynamism regime of a scenario. Window positions are expressed as
@@ -94,16 +106,19 @@ pub enum ChurnSpec {
         /// Failure window as fractions of the deadline.
         window: (f64, f64),
     },
-    /// Network partition with heal: the `fraction` of hosts BFS-nearest
-    /// a random pivot are cut off during `[from, heal)` (hosts stay
-    /// alive), then the network reconnects.
-    Partition {
-        /// Fraction of hosts on the severed side (0..1).
+    /// Oscillating membership: `fraction·|H|` hosts repeatedly fail and
+    /// rejoin, cycling every `period` and staying down for `downtime`
+    /// (both fractions of the regime span) inside the window.
+    Oscillating {
+        /// Fraction of hosts that oscillate (0..1).
         fraction: f64,
-        /// Cut start as a fraction of the deadline.
-        from: f64,
-        /// Heal instant as a fraction of the deadline.
-        heal: f64,
+        /// Oscillation window as fractions of the regime span.
+        window: (f64, f64),
+        /// Cycle length as a fraction of the regime span.
+        period: f64,
+        /// Down-phase length as a fraction of the regime span
+        /// (must be < `period`).
+        downtime: f64,
     },
     /// Adaptive adversary: every host within `radius` hops of `hq`
     /// (except `hq`) is killed at `at` (fraction of the deadline).
@@ -123,10 +138,37 @@ impl ChurnSpec {
             ChurnSpec::Uniform { .. } => "uniform",
             ChurnSpec::FlashCrowd { .. } => "flash-crowd",
             ChurnSpec::Correlated { .. } => "correlated",
-            ChurnSpec::Partition { .. } => "partition",
+            ChurnSpec::Oscillating { .. } => "oscillating",
             ChurnSpec::AdversarialRoot { .. } => "adversarial-root",
         }
     }
+}
+
+/// A `[partition]` section: the `fraction` of hosts BFS-nearest a
+/// random pivot are cut off during `[from, heal)` (hosts stay alive),
+/// then the network reconnects. Co-occurs freely with any `[churn]`
+/// model — churn and partition compose in one run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionSpec {
+    /// Fraction of hosts on the severed side (0..1).
+    pub fraction: f64,
+    /// Cut start as a fraction of the regime span.
+    pub from: f64,
+    /// Heal instant as a fraction of the regime span.
+    pub heal: f64,
+}
+
+/// A `[continuous]` section: run the query as §4.2 continuous windows
+/// instead of a one-shot. Each window is `window_factor` times the
+/// one-shot deadline `2·D̂·δ` long (the minimum that fits a query
+/// round), and churn/partition window fractions scale to the *whole
+/// horizon* `windows × W` so a regime can span the registration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContinuousSpec {
+    /// Number of consecutive windows.
+    pub windows: usize,
+    /// Window length as a multiple of the one-shot deadline (≥ 1).
+    pub window_factor: f64,
 }
 
 /// A fully specified, runnable scenario.
@@ -154,10 +196,16 @@ pub struct Scenario {
     pub medium: Medium,
     /// Per-hop delay model.
     pub delay: DelayModel,
-    /// Protocol under test.
-    pub protocol: ProtocolSpec,
+    /// Protocols under test — every run executes *all* of them against
+    /// the same churn/partition realization (one `[[protocol]]` table
+    /// each, or a single `[protocol]` section).
+    pub protocols: Vec<ProtocolSpec>,
     /// Dynamism regime.
     pub churn: ChurnSpec,
+    /// Optional partition layered over the churn regime.
+    pub partition: Option<PartitionSpec>,
+    /// Optional §4.2 continuous-window execution.
+    pub continuous: Option<ContinuousSpec>,
     /// Root seeds; the batch runs `seeds × repetitions`.
     pub seeds: Vec<u64>,
     /// Repetitions per seed.
@@ -180,9 +228,28 @@ impl Scenario {
         self.seeds.len() * self.repetitions
     }
 
+    /// Human-readable name of the dynamism regime, for reports: the
+    /// churn model, `+partition` when a cut is layered on top, or plain
+    /// `partition` when the cut is the whole regime.
+    pub fn regime(&self) -> String {
+        match (&self.churn, &self.partition) {
+            (ChurnSpec::None, Some(_)) => "partition".to_string(),
+            (c, None) => c.model_name().to_string(),
+            (c, Some(_)) => format!("{}+partition", c.model_name()),
+        }
+    }
+
     fn from_doc(doc: &Doc) -> Result<Scenario, ParseError> {
         const KNOWN: &[&str] = &[
-            "scenario", "topology", "query", "medium", "protocol", "churn", "run",
+            "scenario",
+            "topology",
+            "query",
+            "medium",
+            "protocol",
+            "churn",
+            "partition",
+            "continuous",
+            "run",
         ];
         for s in &doc.sections {
             if !KNOWN.contains(&s.name.as_str()) {
@@ -192,6 +259,20 @@ impl Scenario {
                         "unknown section [{}] (expected one of: {})",
                         s.name,
                         KNOWN.join(", ")
+                    ),
+                ));
+            }
+            // Only [[protocol]] may repeat: every other reader consumes
+            // a single section, so a second [[run]]/[[churn]]/… table
+            // would be silently ignored — exactly the "typo falls back
+            // to a default" failure mode this validator exists to stop.
+            if s.array && s.name != "protocol" {
+                return Err(ParseError::at(
+                    s.line,
+                    format!(
+                        "[[{}]] is not repeatable; only [[protocol]] tables may repeat \
+                         (write [{}] instead)",
+                        s.name, s.name
                     ),
                 ));
             }
@@ -290,35 +371,62 @@ impl Scenario {
         };
         med.finish()?;
 
-        let proto = Keys::over(doc, "protocol")?;
-        let protocol = match proto.require_str("kind")?.as_str() {
-            "wildfire" => ProtocolSpec::Wildfire,
-            "spanning-tree" | "spanningtree" => ProtocolSpec::SpanningTree,
-            "dag" => ProtocolSpec::Dag {
-                k: proto.opt_usize("k")?.unwrap_or(2),
-            },
-            "allreport" => ProtocolSpec::AllReport,
-            "randomized-report" => {
-                let p = proto.require_f64("p")?;
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(proto.err("p", format!("report probability {p} outside [0, 1]")));
+        let mut protocols = Vec::new();
+        for section in doc.sections_named("protocol") {
+            let proto = Keys::for_section(section);
+            let spec = match proto.require_str("kind")?.as_str() {
+                "wildfire" => ProtocolSpec::Wildfire,
+                "spanning-tree" | "spanningtree" => ProtocolSpec::SpanningTree,
+                "dag" => ProtocolSpec::Dag {
+                    k: proto.opt_usize("k")?.unwrap_or(2),
+                },
+                "allreport" => ProtocolSpec::AllReport,
+                "randomized-report" => {
+                    let p = proto.require_f64("p")?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(
+                            proto.err("p", format!("report probability {p} outside [0, 1]"))
+                        );
+                    }
+                    ProtocolSpec::RandomizedReport { p }
                 }
-                ProtocolSpec::RandomizedReport { p }
+                "gossip" => ProtocolSpec::Gossip {
+                    rounds: proto.require_u64("rounds")? as u32,
+                },
+                other => {
+                    return Err(proto.err(
+                        "kind",
+                        format!(
+                            "unknown protocol '{other}' \
+                             (wildfire|spanning-tree|dag|allreport|randomized-report|gossip)"
+                        ),
+                    ))
+                }
+            };
+            if protocols.contains(&spec) {
+                return Err(ParseError::at(
+                    section.line,
+                    format!("duplicate [[protocol]] table for {}", spec.label()),
+                ));
             }
-            "gossip" => ProtocolSpec::Gossip {
-                rounds: proto.require_u64("rounds")? as u32,
-            },
-            other => {
-                return Err(proto.err(
-                    "kind",
-                    format!(
-                        "unknown protocol '{other}' \
-                         (wildfire|spanning-tree|dag|allreport|randomized-report|gossip)"
-                    ),
-                ))
-            }
-        };
-        proto.finish()?;
+            proto.finish()?;
+            protocols.push(spec);
+        }
+        if protocols.is_empty() {
+            return Err(ParseError::at(
+                0,
+                "missing required section [protocol] (or one [[protocol]] table per contender)",
+            ));
+        }
+
+        // [partition] may stand alone or co-occur with any [churn] model;
+        // `[churn] model = "partition"` remains as legacy sugar for it.
+        let mut partition: Option<PartitionSpec> = None;
+        if doc.section("partition").is_some() {
+            let pa = Keys::over(doc, "partition")?;
+            partition = Some(partition_spec(&pa)?);
+            pa.finish()?;
+        }
 
         let churn = match doc.section("churn") {
             None => ChurnSpec::None,
@@ -338,21 +446,14 @@ impl Scenario {
                     }
                     Ok((from, until))
                 };
-                let fraction = |ch: &Keys<'_>| -> Result<f64, ParseError> {
-                    let f = ch.require_f64("fraction")?;
-                    if !(0.0..=1.0).contains(&f) {
-                        return Err(ch.err("fraction", format!("fraction {f} outside [0, 1]")));
-                    }
-                    Ok(f)
-                };
                 let spec = match ch.require_str("model")?.as_str() {
                     "none" => ChurnSpec::None,
                     "uniform" => ChurnSpec::Uniform {
-                        fraction: fraction(&ch)?,
+                        fraction: fraction_key(&ch)?,
                         window: window(&ch)?,
                     },
                     "flash-crowd" => ChurnSpec::FlashCrowd {
-                        fraction: fraction(&ch)?,
+                        fraction: fraction_key(&ch)?,
                         window: window(&ch)?,
                     },
                     "correlated" => ChurnSpec::Correlated {
@@ -360,25 +461,37 @@ impl Scenario {
                         cluster_size: ch.require_usize("cluster_size")?,
                         window: window(&ch)?,
                     },
-                    "partition" => {
-                        let from = ch.opt_f64("from")?.unwrap_or(0.0);
-                        let heal = ch.opt_f64("heal")?.unwrap_or(1.0);
-                        if !(0.0..=1.0).contains(&from)
-                            || !(0.0..=1.0).contains(&heal)
-                            || from >= heal
-                        {
+                    "oscillating" => {
+                        let period = ch.opt_f64("period")?.unwrap_or(0.5);
+                        let downtime = ch.opt_f64("downtime")?.unwrap_or(period / 2.0);
+                        if !(period > 0.0 && period <= 1.0) {
+                            return Err(ch.err("period", format!("period {period} outside (0, 1]")));
+                        }
+                        if !(downtime > 0.0 && downtime < period) {
                             return Err(ch.err(
-                                "from",
-                                format!(
-                                    "partition [{from}, {heal}) must satisfy 0 <= from < heal <= 1"
-                                ),
+                                "downtime",
+                                format!("downtime {downtime} must satisfy 0 < downtime < period"),
                             ));
                         }
-                        ChurnSpec::Partition {
-                            fraction: fraction(&ch)?,
-                            from,
-                            heal,
+                        ChurnSpec::Oscillating {
+                            fraction: fraction_key(&ch)?,
+                            window: window(&ch)?,
+                            period,
+                            downtime,
                         }
+                    }
+                    "partition" => {
+                        // Legacy spelling: `[churn] model = "partition"` is
+                        // sugar for a dedicated [partition] section.
+                        if partition.is_some() {
+                            return Err(ch.err(
+                                "model",
+                                "churn model 'partition' conflicts with the [partition] \
+                                 section; put the cut in [partition] and pick a real churn model",
+                            ));
+                        }
+                        partition = Some(partition_spec(&ch)?);
+                        ChurnSpec::None
                     }
                     "adversarial-root" => ChurnSpec::AdversarialRoot {
                         radius: ch.opt_u64("radius")?.unwrap_or(1) as u32,
@@ -395,13 +508,40 @@ impl Scenario {
                             "model",
                             format!(
                                 "unknown churn model '{other}' \
-                                 (none|uniform|flash-crowd|correlated|partition|adversarial-root)"
+                                 (none|uniform|flash-crowd|correlated|oscillating|partition\
+                                 |adversarial-root)"
                             ),
                         ))
                     }
                 };
                 ch.finish()?;
                 spec
+            }
+        };
+
+        let continuous = match doc.section("continuous") {
+            None => None,
+            Some(_) => {
+                let co = Keys::over(doc, "continuous")?;
+                let windows = co.require_usize("windows")?;
+                if windows == 0 {
+                    return Err(co.err("windows", "need at least one window"));
+                }
+                let window_factor = co.opt_f64("window_factor")?.unwrap_or(1.0);
+                if window_factor < 1.0 {
+                    return Err(co.err(
+                        "window_factor",
+                        format!(
+                            "window_factor {window_factor} < 1: a window must fit a \
+                             full query round (§4.2)"
+                        ),
+                    ));
+                }
+                co.finish()?;
+                Some(ContinuousSpec {
+                    windows,
+                    window_factor,
+                })
             }
         };
 
@@ -428,12 +568,41 @@ impl Scenario {
             d_hat_slack,
             medium,
             delay,
-            protocol,
+            protocols,
             churn,
+            partition,
+            continuous,
             seeds,
             repetitions,
         })
     }
+}
+
+/// Read a `fraction` key and validate it lies in `[0, 1]`.
+fn fraction_key(keys: &Keys<'_>) -> Result<f64, ParseError> {
+    let f = keys.require_f64("fraction")?;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(keys.err("fraction", format!("fraction {f} outside [0, 1]")));
+    }
+    Ok(f)
+}
+
+/// Read the cut keys (`fraction`, `from`, `heal`) of a `[partition]`
+/// section — or of the legacy `[churn] model = "partition"` spelling.
+fn partition_spec(keys: &Keys<'_>) -> Result<PartitionSpec, ParseError> {
+    let from = keys.opt_f64("from")?.unwrap_or(0.0);
+    let heal = keys.opt_f64("heal")?.unwrap_or(1.0);
+    if !(0.0..=1.0).contains(&from) || !(0.0..=1.0).contains(&heal) || from >= heal {
+        return Err(keys.err(
+            "from",
+            format!("partition [{from}, {heal}) must satisfy 0 <= from < heal <= 1"),
+        ));
+    }
+    Ok(PartitionSpec {
+        fraction: fraction_key(keys)?,
+        from,
+        heal,
+    })
 }
 
 /// Typed, consumption-tracked access to one section's keys: every key a
@@ -450,8 +619,9 @@ impl<'a> Keys<'a> {
     fn over(doc: &'a Doc, name: &'a str) -> Result<Keys<'a>, ParseError> {
         let section = doc.section(name);
         match (name, &section) {
-            // [medium] and [churn] are optional; the rest must exist.
-            ("medium" | "churn", _) | (_, Some(_)) => Ok(Keys {
+            // [medium], [churn], [partition] and [continuous] are
+            // optional; the rest must exist.
+            ("medium" | "churn" | "partition" | "continuous", _) | (_, Some(_)) => Ok(Keys {
                 line: section.map_or(0, |s| s.line),
                 section,
                 name,
@@ -461,6 +631,18 @@ impl<'a> Keys<'a> {
                 0,
                 format!("missing required section [{name}]"),
             )),
+        }
+    }
+
+    /// Typed access to one concrete section instance — used for the
+    /// repeated `[[protocol]]` tables, where `Doc::section` (first
+    /// match) is not enough.
+    fn for_section(section: &'a Section) -> Keys<'a> {
+        Keys {
+            line: section.line,
+            name: &section.name,
+            section: Some(section),
+            used: std::cell::RefCell::new(Vec::new()),
         }
     }
 
@@ -632,15 +814,20 @@ repetitions = 2
         assert_eq!(s.c, 16);
         assert_eq!(s.medium, Medium::Radio);
         assert_eq!(s.delay, DelayModel::Uniform { min: 1, max: 2 });
-        assert_eq!(s.protocol, ProtocolSpec::Wildfire);
+        assert_eq!(s.protocols, vec![ProtocolSpec::Wildfire]);
+        // The legacy `model = "partition"` spelling lowers to a
+        // [partition] spec with no additional churn.
+        assert_eq!(s.churn, ChurnSpec::None);
         assert_eq!(
-            s.churn,
-            ChurnSpec::Partition {
+            s.partition,
+            Some(PartitionSpec {
                 fraction: 0.4,
                 from: 0.1,
                 heal: 0.6
-            }
+            })
         );
+        assert_eq!(s.regime(), "partition");
+        assert_eq!(s.continuous, None);
         assert_eq!(s.seeds, vec![1, 2, 3]);
         assert_eq!(s.num_runs(), 6);
     }
@@ -669,8 +856,168 @@ seeds = [9]
         assert_eq!(s.medium, Medium::PointToPoint);
         assert_eq!(s.delay, DelayModel::Fixed(1));
         assert_eq!(s.churn, ChurnSpec::None);
+        assert_eq!(s.partition, None);
+        assert_eq!(s.continuous, None);
+        assert_eq!(s.regime(), "none");
         assert_eq!(s.repetitions, 1);
         assert_eq!(s.topology_seed, 1);
+    }
+
+    #[test]
+    fn repeated_protocol_tables_compare_in_order() {
+        let s = Scenario::from_str(
+            r#"
+[scenario]
+name = "versus"
+[topology]
+kind = "random"
+n = 100
+[query]
+aggregate = "count"
+[[protocol]]
+kind = "wildfire"
+[[protocol]]
+kind = "spanning-tree"
+[[protocol]]
+kind = "dag"
+k = 3
+[run]
+seeds = [1]
+"#,
+        )
+        .expect("valid");
+        assert_eq!(
+            s.protocols,
+            vec![
+                ProtocolSpec::Wildfire,
+                ProtocolSpec::SpanningTree,
+                ProtocolSpec::Dag { k: 3 },
+            ]
+        );
+        assert_eq!(s.protocols[2].label(), "DAG(k=3)");
+    }
+
+    #[test]
+    fn repeated_tables_only_allowed_for_protocol() {
+        // A second [[run]] table would be silently ignored by the
+        // first-match readers — reject the array form outright for
+        // every section but [[protocol]].
+        for section in ["run", "churn", "query", "medium"] {
+            let text = GOOD.replace(&format!("[{section}]"), &format!("[[{section}]]"));
+            let err = Scenario::from_str(&text).expect_err(section);
+            assert!(
+                err.msg.contains("not repeatable"),
+                "[{section}]: {}",
+                err.msg
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_protocol_tables_rejected() {
+        let err = Scenario::from_str(
+            "[scenario]\nname = \"x\"\n[topology]\nkind = \"random\"\nn = 50\n\
+             [query]\naggregate = \"count\"\n\
+             [[protocol]]\nkind = \"wildfire\"\n[[protocol]]\nkind = \"wildfire\"\n\
+             [run]\nseeds = [1]",
+        )
+        .expect_err("dup");
+        assert!(err.msg.contains("duplicate [[protocol]]"), "{}", err.msg);
+    }
+
+    #[test]
+    fn churn_and_partition_co_occur() {
+        let s = Scenario::from_str(
+            r#"
+[scenario]
+name = "both"
+[topology]
+kind = "random"
+n = 200
+[query]
+aggregate = "count"
+[protocol]
+kind = "wildfire"
+[churn]
+model = "uniform"
+fraction = 0.1
+[partition]
+fraction = 0.3
+from = 0.2
+heal = 0.7
+[run]
+seeds = [1]
+"#,
+        )
+        .expect("valid");
+        assert_eq!(
+            s.churn,
+            ChurnSpec::Uniform {
+                fraction: 0.1,
+                window: (0.0, 1.0)
+            }
+        );
+        assert_eq!(
+            s.partition,
+            Some(PartitionSpec {
+                fraction: 0.3,
+                from: 0.2,
+                heal: 0.7
+            })
+        );
+        assert_eq!(s.regime(), "uniform+partition");
+    }
+
+    #[test]
+    fn legacy_partition_model_conflicts_with_partition_section() {
+        let err = Scenario::from_str(&format!("{GOOD}\n[partition]\nfraction = 0.2"))
+            .expect_err("conflict");
+        assert!(err.msg.contains("conflicts"), "{}", err.msg);
+    }
+
+    #[test]
+    fn oscillating_model_parses_with_defaults() {
+        let text = GOOD
+            .replace("model = \"partition\"", "model = \"oscillating\"")
+            .replace("from = 0.1\nheal = 0.6", "period = 0.4\ndowntime = 0.1");
+        let s = Scenario::from_str(&text).expect("valid");
+        assert_eq!(
+            s.churn,
+            ChurnSpec::Oscillating {
+                fraction: 0.4,
+                window: (0.0, 1.0),
+                period: 0.4,
+                downtime: 0.1,
+            }
+        );
+        assert_eq!(s.regime(), "oscillating");
+        // Downtime must stay below the period.
+        let bad = text.replace("downtime = 0.1", "downtime = 0.5");
+        let err = Scenario::from_str(&bad).expect_err("downtime >= period");
+        assert!(err.msg.contains("downtime"), "{}", err.msg);
+    }
+
+    #[test]
+    fn continuous_section_parses_and_validates() {
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[continuous]\nwindows = 4\nwindow_factor = 1.5"
+        ))
+        .expect("valid");
+        assert_eq!(
+            s.continuous,
+            Some(ContinuousSpec {
+                windows: 4,
+                window_factor: 1.5
+            })
+        );
+        let err = Scenario::from_str(&format!("{GOOD}\n[continuous]\nwindows = 0"))
+            .expect_err("zero windows");
+        assert!(err.msg.contains("at least one window"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[continuous]\nwindows = 2\nwindow_factor = 0.5"
+        ))
+        .expect_err("factor < 1");
+        assert!(err.msg.contains("window_factor"), "{}", err.msg);
     }
 
     fn fails_with(mutation: &str, needle: &str) {
@@ -754,7 +1101,7 @@ seeds = [9]
                  [run]\nseeds = [1]"
             ))
             .expect("valid");
-            assert_eq!(s.protocol, want);
+            assert_eq!(s.protocols, vec![want]);
         }
     }
 }

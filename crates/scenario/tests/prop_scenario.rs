@@ -1,15 +1,16 @@
 //! Property tests for the batch executor's determinism contract: for
-//! any scenario, seed set and thread count, the parallel report — down
-//! to its JSON bytes — equals the sequential one.
+//! any scenario — any churn regime, stacked partition, protocol list,
+//! one-shot or continuous — and any thread count, the parallel report,
+//! down to its JSON bytes, equals the sequential one.
 
 use pov_core::pov_protocols::Aggregate;
 use pov_core::pov_sim::{DelayModel, Medium};
 use pov_core::pov_topology::generators::TopologyKind;
-use pov_scenario::{run_batch, ChurnSpec, ProtocolSpec, Scenario};
+use pov_scenario::{run_batch, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
 use proptest::prelude::*;
 
 fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) -> Scenario {
-    let churn = match churn_pick % 5 {
+    let churn = match churn_pick % 6 {
         0 => ChurnSpec::None,
         1 => ChurnSpec::Uniform {
             fraction: 0.15,
@@ -19,18 +20,35 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
             fraction: 0.2,
             window: (0.0, 0.5),
         },
-        3 => ChurnSpec::Partition {
-            fraction: 0.3,
-            from: 0.1,
-            heal: 0.7,
+        3 => ChurnSpec::Oscillating {
+            fraction: 0.2,
+            window: (0.0, 1.0),
+            period: 0.5,
+            downtime: 0.2,
         },
-        _ => ChurnSpec::AdversarialRoot { radius: 1, at: 0.3 },
+        4 => ChurnSpec::AdversarialRoot { radius: 1, at: 0.3 },
+        _ => ChurnSpec::Uniform {
+            fraction: 0.1,
+            window: (0.2, 0.9),
+        },
     };
-    let protocol = match proto_pick % 3 {
-        0 => ProtocolSpec::Wildfire,
-        1 => ProtocolSpec::SpanningTree,
-        _ => ProtocolSpec::Dag { k: 2 },
+    // Odd churn picks also layer a partition over the regime.
+    let partition = (churn_pick % 2 == 1).then_some(PartitionSpec {
+        fraction: 0.3,
+        from: 0.1,
+        heal: 0.7,
+    });
+    let protocols = match proto_pick % 4 {
+        0 => vec![ProtocolSpec::Wildfire],
+        1 => vec![ProtocolSpec::SpanningTree],
+        2 => vec![ProtocolSpec::Dag { k: 2 }],
+        _ => vec![ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree],
     };
+    // One pick in four runs as a short continuous registration.
+    let continuous = (proto_pick % 4 == 3).then_some(ContinuousSpec {
+        windows: 2,
+        window_factor: 1.0,
+    });
     Scenario {
         name: "prop".into(),
         description: String::new(),
@@ -43,8 +61,10 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         d_hat_slack: 2,
         medium: Medium::PointToPoint,
         delay: DelayModel::Fixed(1),
-        protocol,
+        protocols,
         churn,
+        partition,
+        continuous,
         seeds: vec![base_seed, base_seed ^ 0xabcd, base_seed.wrapping_add(7)],
         repetitions: 2,
     }
@@ -58,14 +78,16 @@ proptest! {
     fn parallel_report_equals_sequential(
         topo_seed in 1u64..500,
         base_seed in 0u64..10_000,
-        churn_pick in 0u8..5,
-        proto_pick in 0u8..3,
+        churn_pick in 0u8..6,
+        proto_pick in 0u8..4,
         threads in 2usize..9,
     ) {
         let scn = scenario(topo_seed, base_seed, churn_pick, proto_pick);
         let sequential = run_batch(&scn, 1);
         let parallel = run_batch(&scn, threads);
-        prop_assert_eq!(&sequential.records, &parallel.records);
+        for (a, b) in sequential.protocols.iter().zip(&parallel.protocols) {
+            prop_assert_eq!(&a.records, &b.records);
+        }
         prop_assert_eq!(
             sequential.to_json().render(),
             parallel.to_json().render()
@@ -82,7 +104,7 @@ proptest! {
         let report = run_batch(&scn, threads);
         prop_assert_eq!(report.runs, 2);
         let cells: Vec<(u64, usize)> =
-            report.records.iter().map(|r| (r.seed, r.rep)).collect();
+            report.records().iter().map(|r| (r.seed, r.rep)).collect();
         prop_assert_eq!(cells, vec![(1, 0), (2, 0)]);
     }
 }

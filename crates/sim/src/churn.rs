@@ -171,6 +171,85 @@ impl ChurnPlan {
         }
     }
 
+    /// Oscillating membership: `k` distinct hosts drawn uniformly from
+    /// `0..num_hosts` (excluding `spare`) repeatedly fail and rejoin —
+    /// the host-rejoining regime of Casteigts' dynamic-network classes
+    /// that the paper's depart-forever model cannot express. Host `i`
+    /// starts its first outage at a staggered phase inside
+    /// `[window_start, window_end)`, stays down for `downtime` ticks,
+    /// and repeats every `period` ticks until the window closes. A host
+    /// whose rejoin would land past `window_end` stays down.
+    ///
+    /// The signature mirrors the other generators (population, count,
+    /// window, spare, seed) plus the two cycle parameters — clippy's
+    /// argument budget loses to consistency here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn oscillating(
+        num_hosts: usize,
+        k: usize,
+        window_start: Time,
+        window_end: Time,
+        period: u64,
+        downtime: u64,
+        spare: HostId,
+        seed: u64,
+    ) -> Self {
+        assert!(window_end >= window_start, "empty oscillation window");
+        assert!(period >= 1, "oscillation period must be >= 1 tick");
+        assert!(
+            downtime >= 1 && downtime < period,
+            "downtime must satisfy 1 <= downtime < period"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut candidates: Vec<HostId> = (0..num_hosts as u32)
+            .map(HostId)
+            .filter(|&h| h != spare)
+            .collect();
+        candidates.shuffle(&mut rng);
+        let k = k.min(candidates.len());
+        let mut plan = ChurnPlan::default();
+        for (i, &h) in candidates[..k].iter().enumerate() {
+            // Stagger first outages across one period so the population
+            // dips smoothly instead of k hosts blinking in lock-step.
+            let phase = window_start.ticks() + (i as u64 * period) / k.max(1) as u64;
+            let mut t = phase;
+            while t < window_end.ticks() {
+                plan.failures.push((Time(t), h));
+                let up = t + downtime;
+                if up < window_end.ticks() {
+                    plan.joins.push((Time(up), h));
+                }
+                t += period;
+            }
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Merge two plans into one schedule with deterministic event
+    /// interleaving: the result is sorted by `(time, host)` within each
+    /// event class and is independent of argument order —
+    /// `a.merge(b)` and `b.merge(a)` yield identical event streams. This
+    /// is the combinator that lets a run stack regimes (uniform failures
+    /// plus a flash crowd plus rejoin cycles) that the single-generator
+    /// API could only express one at a time.
+    pub fn merge(mut self, other: ChurnPlan) -> ChurnPlan {
+        self.failures.extend(other.failures);
+        self.joins.extend(other.joins);
+        self.normalize();
+        self
+    }
+
+    /// Sort both event streams by `(time, host)` and drop exact
+    /// duplicates, the canonical form [`ChurnPlan::merge`] relies on for
+    /// order-determinism.
+    fn normalize(&mut self) {
+        self.failures.sort_unstable_by_key(|&(t, h)| (t, h.0));
+        self.failures.dedup();
+        self.joins.sort_unstable_by_key(|&(t, h)| (t, h.0));
+        self.joins.dedup();
+    }
+
     /// Add a single failure.
     pub fn with_failure(mut self, at: Time, host: HostId) -> Self {
         self.failures.push((at, host));
@@ -306,6 +385,80 @@ mod tests {
         // Hosts within 2 hops of h2 on a chain: h0, h1, h3, h4.
         assert_eq!(victims, vec![0, 1, 3, 4]);
         assert!(plan.failures.iter().all(|&(t, _)| t == Time(4)));
+    }
+
+    #[test]
+    fn oscillating_hosts_fail_and_rejoin() {
+        let plan = ChurnPlan::oscillating(50, 5, Time(0), Time(40), 10, 4, HostId(0), 9);
+        // Each host cycles ~4 times inside the window.
+        assert!(
+            plan.failures.len() >= 15,
+            "{} failures",
+            plan.failures.len()
+        );
+        assert!(plan.joins.len() >= 10, "{} joins", plan.joins.len());
+        assert!(plan.failures.iter().all(|&(_, h)| h != HostId(0)));
+        // Every host's first event is a failure, so nobody starts dead.
+        assert_eq!(plan.initially_dead().count(), 0);
+        // Per host, events alternate fail → join → fail …
+        let mut hosts: Vec<u32> = plan.failures.iter().map(|&(_, h)| h.0).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 5);
+        for &h in &hosts {
+            let mut events: Vec<(u64, bool)> = plan
+                .failures
+                .iter()
+                .filter(|&&(_, fh)| fh.0 == h)
+                .map(|&(t, _)| (t.ticks(), false))
+                .chain(
+                    plan.joins
+                        .iter()
+                        .filter(|&&(_, jh)| jh.0 == h)
+                        .map(|&(t, _)| (t.ticks(), true)),
+                )
+                .collect();
+            events.sort_unstable();
+            for (i, &(_, is_join)) in events.iter().enumerate() {
+                assert_eq!(is_join, i % 2 == 1, "host {h} events {events:?}");
+            }
+        }
+        // Deterministic per seed.
+        let again = ChurnPlan::oscillating(50, 5, Time(0), Time(40), 10, 4, HostId(0), 9);
+        assert_eq!(plan.failures, again.failures);
+        assert_eq!(plan.joins, again.joins);
+    }
+
+    #[test]
+    fn merge_is_order_deterministic() {
+        let a = ChurnPlan::uniform_failures(60, 8, Time(0), Time(30), HostId(0), 4);
+        let b = ChurnPlan::flash_crowd(60, 6, Time(5), Time(25), HostId(0), 5);
+        let ab = a.clone().merge(b.clone());
+        let ba = b.merge(a);
+        assert_eq!(ab.failures, ba.failures);
+        assert_eq!(ab.joins, ba.joins);
+        assert_eq!(ab.failures.len(), 8);
+        assert_eq!(ab.joins.len(), 6);
+        // Sorted by (time, host).
+        assert!(ab
+            .failures
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1 .0) <= (w[1].0, w[1].1 .0)));
+    }
+
+    #[test]
+    fn merge_round_trips_initially_dead() {
+        // Host 3 fails in plan A and rejoins in plan B: after the merge
+        // its first event is the failure, so it must start alive.
+        let a = ChurnPlan::none().with_failure(Time(2), HostId(3));
+        let b = ChurnPlan::none().with_join(Time(7), HostId(3));
+        let merged = a.merge(b);
+        assert_eq!(merged.initially_dead().count(), 0);
+        // The reverse stacking — join first, fail later — starts dead.
+        let a = ChurnPlan::none().with_join(Time(2), HostId(3));
+        let b = ChurnPlan::none().with_failure(Time(7), HostId(3));
+        let merged = a.merge(b);
+        assert_eq!(merged.initially_dead().collect::<Vec<_>>(), vec![HostId(3)]);
     }
 
     // --- joins interacting with failures (engine-backed orderings) ---

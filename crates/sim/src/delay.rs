@@ -125,6 +125,13 @@ impl PartitionPlan {
         &self.sides
     }
 
+    /// Active windows `[from, until)`, in insertion order. Exposed so
+    /// window-slicing executors (continuous queries) can re-express an
+    /// absolute-time plan in a sub-interval's local time.
+    pub fn windows(&self) -> &[(Time, Time)] {
+        &self.windows
+    }
+
     /// Number of hosts on side 1 of the cut.
     pub fn minority_len(&self) -> usize {
         self.sides.iter().filter(|&&s| s == 1).count()

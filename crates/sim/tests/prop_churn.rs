@@ -1,0 +1,129 @@
+//! Property tests for [`ChurnPlan`]'s combinators: `merge` must be a
+//! deterministic, commutative way to stack dynamism regimes, and the
+//! `initially_dead` convention must survive merging — a host failing in
+//! one plan and rejoining in another behaves exactly like a host doing
+//! both in a single plan.
+
+use pov_sim::{ChurnPlan, Time};
+use pov_topology::HostId;
+use proptest::prelude::*;
+
+/// An arbitrary small plan: failures and joins over hosts 0..n at
+/// times 0..40.
+fn arb_plan(n: u32) -> impl Strategy<Value = ChurnPlan> {
+    (
+        prop::collection::vec((0u64..40, 0..n), 0..12),
+        prop::collection::vec((0u64..40, 0..n), 0..12),
+    )
+        .prop_map(|(fails, joins)| {
+            let mut plan = ChurnPlan::none();
+            for (t, h) in fails {
+                plan = plan.with_failure(Time(t), HostId(h));
+            }
+            for (t, h) in joins {
+                plan = plan.with_join(Time(t), HostId(h));
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) and merge(b, a) produce identical event streams —
+    /// the combinator is order-deterministic, so "uniform failures +
+    /// flash crowd" is one plan no matter how a caller stacks them.
+    #[test]
+    fn merge_is_commutative(a in arb_plan(16), b in arb_plan(16)) {
+        let ab = a.clone().merge(b.clone());
+        let ba = b.merge(a);
+        prop_assert_eq!(&ab.failures, &ba.failures);
+        prop_assert_eq!(&ab.joins, &ba.joins);
+    }
+
+    /// Merging is associative up to the canonical event order, and
+    /// merging a plan with the empty plan is the identity.
+    #[test]
+    fn merge_has_identity_and_associativity(
+        a in arb_plan(16),
+        b in arb_plan(16),
+        c in arb_plan(16),
+    ) {
+        // Identity up to the canonical event order merge normalizes to.
+        let canonical = |plan: &ChurnPlan| {
+            let mut fails = plan.failures.clone();
+            fails.sort_by_key(|&(t, h)| (t, h.0));
+            fails.dedup();
+            let mut joins = plan.joins.clone();
+            joins.sort_by_key(|&(t, h)| (t, h.0));
+            joins.dedup();
+            (fails, joins)
+        };
+        let with_none = a.clone().merge(ChurnPlan::none());
+        prop_assert_eq!(canonical(&with_none), canonical(&a));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(&left.failures, &right.failures);
+        prop_assert_eq!(&left.joins, &right.joins);
+    }
+
+    /// The merged stream is sorted by (time, host) within each event
+    /// class — the canonical order the engine and slicers rely on.
+    #[test]
+    fn merge_yields_canonical_order(a in arb_plan(16), b in arb_plan(16)) {
+        let merged = a.merge(b);
+        for events in [&merged.failures, &merged.joins] {
+            prop_assert!(events
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1 .0) <= (w[1].0, w[1].1 .0)));
+        }
+    }
+
+    /// `initially_dead` round-trips through merge: splitting a plan's
+    /// events arbitrarily across two plans and merging them back
+    /// changes nothing about who starts dead. In particular, a host
+    /// failing in plan A and rejoining in plan B starts alive (its
+    /// first event is the failure), while a join-first host stays dead.
+    #[test]
+    fn initially_dead_round_trips_through_merge(
+        plan in arb_plan(16),
+        mask in prop::collection::vec(0u8..2, 24),
+    ) {
+        let whole: Vec<HostId> = plan.initially_dead().collect();
+        let picked = |i: usize| mask[i % mask.len()] == 1;
+        let mut a = ChurnPlan::none();
+        let mut b = ChurnPlan::none();
+        for (i, &(t, h)) in plan.failures.iter().enumerate() {
+            let target = if picked(i) { &mut a } else { &mut b };
+            *target = target.clone().with_failure(t, h);
+        }
+        for (i, &(t, h)) in plan.joins.iter().enumerate() {
+            let target = if picked(i + 7) { &mut a } else { &mut b };
+            *target = target.clone().with_join(t, h);
+        }
+        let merged = a.merge(b);
+        let mut split: Vec<HostId> = merged.initially_dead().collect();
+        let mut whole = whole;
+        split.sort_by_key(|h| h.0);
+        whole.sort_by_key(|h| h.0);
+        prop_assert_eq!(split, whole);
+    }
+
+    /// Stacking an oscillating plan on top of uniform failures keeps
+    /// both schedules intact: every event of each constituent appears
+    /// in the merge.
+    #[test]
+    fn merged_regimes_preserve_constituents(seed in 0u64..500) {
+        let uniform =
+            ChurnPlan::uniform_failures(40, 6, Time(0), Time(30), HostId(0), seed);
+        let osc =
+            ChurnPlan::oscillating(40, 4, Time(0), Time(30), 10, 4, HostId(0), seed ^ 1);
+        let merged = uniform.clone().merge(osc.clone());
+        for &(t, h) in uniform.failures.iter().chain(&osc.failures) {
+            prop_assert!(merged.failures.contains(&(t, h)));
+        }
+        for &(t, h) in &osc.joins {
+            prop_assert!(merged.joins.contains(&(t, h)));
+        }
+    }
+}

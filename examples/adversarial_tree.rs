@@ -23,17 +23,12 @@ fn main() {
         let values = vec![1u64; total];
         let d = analysis::diameter_exact(&graph);
         let churn = ChurnPlan::none().with_failure(Time(3), victim);
-        let cfg = RunConfig {
-            aggregate: Aggregate::Count,
-            d_hat: d + 2,
-            c: 16,
-            medium: Medium::PointToPoint,
-            delay: pov_core::pov_sim::DelayModel::default(),
-            churn,
-            partition: None,
-            seed: 1,
-            hq,
-        };
+        let cfg = RunPlan::query(Aggregate::Count)
+            .d_hat(d + 2)
+            .repetitions(16)
+            .churn(churn)
+            .seed(1)
+            .from_host(hq);
 
         let st = runner::run(ProtocolKind::SpanningTree, &graph, &values, &cfg);
         let dag = runner::run(ProtocolKind::Dag { k: 2 }, &graph, &values, &cfg);

@@ -25,24 +25,18 @@ fn main() {
         truth.iter().max().unwrap()
     );
 
-    let cfg = RunConfig {
-        aggregate: Aggregate::Count,
-        d_hat: net.d_hat(),
-        c: 16,
-        medium: Medium::PointToPoint,
-        delay: pov_core::pov_sim::DelayModel::default(),
-        churn: ChurnPlan::uniform_failures(
+    let cfg = RunPlan::query(Aggregate::Count)
+        .d_hat(net.d_hat())
+        .repetitions(16)
+        .churn(ChurnPlan::uniform_failures(
             n,
             n / 10,
             Time::ZERO,
             Time(2 * net.d_hat() as u64),
             HostId(0),
             5,
-        ),
-        partition: None,
-        seed: 9,
-        hq: HostId(0),
-    };
+        ))
+        .seed(9);
 
     println!("\n== value histogram over WILDFIRE (10% churn) ==");
     let out = run_wildfire_operator(

@@ -1,10 +1,13 @@
 //! Sweep churn intensity over a scenario file and print the
 //! validity-vs-cost trade-off — the "price of validity" as a curve.
 //!
-//! Loads `scenarios/paper_baseline.scn`, then re-runs it at increasing
-//! failure fractions for WILDFIRE and SPANNINGTREE. WILDFIRE's deviation
-//! stays within sketch noise at every intensity while the tree's blows
-//! up; the message columns show what that guarantee costs.
+//! Loads `scenarios/paper_baseline.scn`, adds SPANNINGTREE as a second
+//! contender, and re-runs the batch at increasing failure fractions.
+//! Since the `RunPlan` redesign a scenario carries *all* contenders,
+//! so each batch runs both protocols against the same churn
+//! realization — a paired comparison, no spec cloning. WILDFIRE's
+//! deviation stays within sketch noise at every intensity while the
+//! tree's blows up; the message columns show what that guarantee costs.
 //!
 //! ```sh
 //! cargo run --release --example scenario_sweep
@@ -15,7 +18,10 @@ use pov_scenario::{run_batch, ChurnSpec, ProtocolSpec, Scenario};
 fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/paper_baseline.scn");
     let text = std::fs::read_to_string(path).expect("scenario file present");
-    let base: Scenario = text.parse().expect("scenario parses");
+    let mut base: Scenario = text.parse().expect("scenario parses");
+    base.protocols = vec![ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree];
+    base.seeds = vec![1, 2, 3];
+    base.repetitions = 1;
     println!(
         "# churn sweep over scenario '{}' ({} on n = {})\n",
         base.name,
@@ -28,42 +34,42 @@ fn main() {
     );
 
     for fraction in [0.0, 0.05, 0.10, 0.20, 0.30] {
-        let mut row = Vec::new();
-        let mut wf_msgs = 0.0;
-        for protocol in [ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree] {
-            let mut scn = base.clone();
-            scn.protocol = protocol;
-            scn.churn = if fraction == 0.0 {
-                ChurnSpec::None
-            } else {
-                ChurnSpec::Uniform {
-                    fraction,
-                    window: (0.0, 1.0),
-                }
-            };
-            scn.seeds = vec![1, 2, 3];
-            scn.repetitions = 1;
-            let report = run_batch(&scn, 4);
-            let value = report.metric("value").expect("value metric").mean;
-            let dev = report.metric("deviation").expect("deviation metric");
-            row.push((value, if dev.count > 0 { dev.mean } else { f64::NAN }));
-            if protocol == ProtocolSpec::Wildfire {
-                wf_msgs = report.metric("messages").expect("messages").mean;
+        let mut scn = base.clone();
+        scn.churn = if fraction == 0.0 {
+            ChurnSpec::None
+        } else {
+            ChurnSpec::Uniform {
+                fraction,
+                window: (0.0, 1.0),
             }
-        }
+        };
+        let report = run_batch(&scn, 4);
+        let stats = |label: &str| {
+            let section = report.section(label).expect("protocol section");
+            let value = section.metric("value").expect("value metric").mean;
+            let dev = section.metric("deviation").expect("deviation metric");
+            (
+                value,
+                if dev.count > 0 { dev.mean } else { f64::NAN },
+                section.metric("messages").expect("messages").mean,
+            )
+        };
+        let (wf_value, wf_dev, wf_msgs) = stats("WILDFIRE");
+        let (st_value, st_dev, _) = stats("SPANNINGTREE");
         println!(
             "{:>7.0}%  {:>12.1}  {:>9.2}x  {:>12.1}  {:>9.2}x  {:>8.0}",
             fraction * 100.0,
-            row[0].0,
-            row[0].1,
-            row[1].0,
-            row[1].1,
+            wf_value,
+            wf_dev,
+            st_value,
+            st_dev,
             wf_msgs
         );
     }
     println!(
         "\nWILDFIRE holds its deviation near 1.0x as churn grows; the tree's\n\
          declared value (and deviation) collapses — that gap is the price of\n\
-         validity, and the msgs column is what you pay for it."
+         validity, and the msgs column is what you pay for it. Every row is a\n\
+         paired comparison: both protocols saw the same failure draws."
     );
 }

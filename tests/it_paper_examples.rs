@@ -4,24 +4,18 @@
 use pov_core::pov_oracle::{host_sets, Verdict};
 use pov_core::pov_protocols::allreport::ReportRouting;
 use pov_core::pov_protocols::wildfire::WildfireOpts;
-use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunConfig};
-use pov_core::pov_sim::{ChurnPlan, Medium, Time};
+use pov_core::pov_protocols::{runner, Aggregate, ProtocolKind, RunPlan};
+use pov_core::pov_sim::{ChurnPlan, Time};
 use pov_core::pov_topology::generators::special;
 use pov_core::pov_topology::{analysis, HostId};
 use pov_integration_tests::{example_1_1_graph, example_5_1_graph, example_5_1_values};
 
-fn cfg(aggregate: Aggregate, d_hat: u32, churn: ChurnPlan) -> RunConfig {
-    RunConfig {
-        aggregate,
-        d_hat,
-        c: 16,
-        medium: Medium::PointToPoint,
-        delay: pov_core::pov_sim::DelayModel::default(),
-        churn,
-        partition: None,
-        seed: 5,
-        hq: HostId(0),
-    }
+fn cfg(aggregate: Aggregate, d_hat: u32, churn: ChurnPlan) -> RunPlan {
+    RunPlan::query(aggregate)
+        .d_hat(d_hat)
+        .repetitions(16)
+        .churn(churn)
+        .seed(5)
 }
 
 /// Example 1.1: counting 16 sensors. Failure-free, SPANNINGTREE returns
@@ -91,17 +85,7 @@ fn example_5_1_full_walkthrough() {
         ProtocolKind::Wildfire(WildfireOpts::default()),
         &g,
         &values,
-        &RunConfig {
-            aggregate: Aggregate::Max,
-            d_hat: 3,
-            c: 8,
-            medium: Medium::PointToPoint,
-            delay: pov_core::pov_sim::DelayModel::default(),
-            churn: ChurnPlan::none(),
-            partition: None,
-            seed: 0,
-            hq: HostId(0),
-        },
+        &RunPlan::query(Aggregate::Max).d_hat(3),
     );
     assert_eq!(out.value, Some(25.0));
     assert_eq!(out.declared_at, Some(Time(6)));

@@ -1,7 +1,9 @@
 //! Integration coverage for the shipped scenario library: every `.scn`
 //! file under `scenarios/` must parse, and the smoke scenario must run
 //! deterministically across thread counts end to end (file → parser →
-//! batch runner → JSON).
+//! batch runner → JSON). The multi-protocol smoke doubles as the
+//! paired-comparison gate: one section per `[[protocol]]` table, all
+//! from one churn realization.
 
 use pov_scenario::{run_batch, Scenario};
 
@@ -28,18 +30,22 @@ fn every_shipped_scenario_parses() {
                 .parse()
                 .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             assert!(scn.num_runs() > 0, "{}", path.display());
+            assert!(!scn.protocols.is_empty(), "{}", path.display());
             names.push(scn.name);
         }
     }
-    // The library the issue calls for: paper baseline + 4 new regimes
-    // + the CI smoke file.
+    // The library: paper baseline + the regime files (including the
+    // composed churn+partition and oscillating+continuous regimes the
+    // RunPlan redesign opened) + the CI smoke file.
     names.sort();
     assert_eq!(
         names,
         vec![
             "adversarial-root",
+            "churn-plus-partition",
             "correlated-failure",
             "flash-crowd",
+            "oscillating",
             "paper-baseline",
             "partition-heal",
             "smoke",
@@ -62,6 +68,30 @@ fn smoke_scenario_runs_identically_on_any_thread_count() {
 }
 
 #[test]
+fn smoke_report_has_one_paired_section_per_protocol() {
+    let scn = load("smoke.scn");
+    assert_eq!(scn.protocols.len(), 2, "smoke is the paired smoke");
+    let report = run_batch(&scn, 2);
+    let wf = report.section("WILDFIRE").expect("WILDFIRE section");
+    let st = report
+        .section("SPANNINGTREE")
+        .expect("SPANNINGTREE section");
+    // Paired: same cells, same churn draw per cell — `hu` (judged over
+    // the same deadline) matches record-for-record.
+    assert_eq!(wf.records.len(), st.records.len());
+    for (a, b) in wf.records.iter().zip(&st.records) {
+        assert_eq!((a.seed, a.rep), (b.seed, b.rep));
+        assert_eq!(a.hu, b.hu);
+    }
+    let json = report.to_json().render();
+    assert_eq!(
+        json.matches("\"protocol\": ").count(),
+        2,
+        "one JSON section per protocol"
+    );
+}
+
+#[test]
 fn smoke_report_shape_is_stable() {
     let scn = load("smoke.scn");
     let report = run_batch(&scn, 2);
@@ -70,6 +100,7 @@ fn smoke_report_shape_is_stable() {
         "\"scenario\"",
         "\"protocol\"",
         "\"churn_model\"",
+        "\"windows\"",
         "\"declared_fraction\"",
         "\"valid_fraction\"",
         "\"metrics\"",
@@ -78,4 +109,82 @@ fn smoke_report_shape_is_stable() {
     ] {
         assert!(json.contains(field), "missing {field} in report JSON");
     }
+}
+
+/// The PR's acceptance criterion, end to end: one `.scn` document with
+/// two `[[protocol]]` tables plus `[churn]` *and* `[partition]`
+/// sections produces a single report with per-protocol sections
+/// computed from the same churn realization, byte-identical across
+/// thread counts.
+#[test]
+fn two_protocols_under_stacked_regimes_share_one_realization() {
+    let scn: Scenario = r#"
+[scenario]
+name = "acceptance"
+[topology]
+kind = "random"
+n = 120
+seed = 5
+[query]
+aggregate = "count"
+[[protocol]]
+kind = "wildfire"
+[[protocol]]
+kind = "spanning-tree"
+[churn]
+model = "uniform"
+fraction = 0.1
+[partition]
+fraction = 0.25
+from = 0.2
+heal = 0.8
+[run]
+seeds = [1, 2]
+repetitions = 2
+"#
+    .parse()
+    .expect("valid scenario");
+    assert_eq!(scn.regime(), "uniform+partition");
+    let t1 = run_batch(&scn, 1);
+    let t8 = run_batch(&scn, 8);
+    assert_eq!(
+        t1.to_json().render(),
+        t8.to_json().render(),
+        "threads must not perturb the paired report"
+    );
+    assert_eq!(t1.protocols.len(), 2);
+    // Same realization: swapping the protocol order leaves each
+    // section's records untouched.
+    let mut swapped = scn.clone();
+    swapped.protocols.reverse();
+    let swapped_report = run_batch(&swapped, 2);
+    assert_eq!(
+        t1.section("WILDFIRE").unwrap().records,
+        swapped_report.section("WILDFIRE").unwrap().records
+    );
+    assert_eq!(
+        t1.section("SPANNINGTREE").unwrap().records,
+        swapped_report.section("SPANNINGTREE").unwrap().records
+    );
+}
+
+#[test]
+fn oscillating_scenario_reports_per_window_sections() {
+    let mut scn = load("oscillating.scn");
+    // Trim for debug-mode test time; keep the 3-window registration.
+    scn.n = 150;
+    scn.seeds = vec![1];
+    scn.repetitions = 1;
+    let report = run_batch(&scn, 2);
+    assert_eq!(report.windows, 3);
+    assert_eq!(report.records().len(), 3, "one record per window");
+    assert_eq!(report.churn_model, "oscillating");
+    // Oscillating hosts rejoin: even late windows still see most of the
+    // population at some instant (unlike depart-forever regimes).
+    let last = report.records().last().unwrap();
+    assert!(
+        last.hu > scn.n / 2,
+        "rejoining hosts keep HU fat, got {}",
+        last.hu
+    );
 }

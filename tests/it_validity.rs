@@ -152,33 +152,13 @@ fn randomized_report_cheaper_and_approximately_valid() {
         ProtocolKind::AllReport(pov_core::pov_protocols::allreport::ReportRouting::Direct),
         net.graph(),
         net.values(),
-        &RunConfig {
-            aggregate: Aggregate::Count,
-            d_hat: net.d_hat(),
-            c: 8,
-            medium: Medium::PointToPoint,
-            delay: pov_core::pov_sim::DelayModel::default(),
-            churn: ChurnPlan::none(),
-            partition: None,
-            seed: 1,
-            hq: HostId(0),
-        },
+        &RunPlan::query(Aggregate::Count).d_hat(net.d_hat()).seed(1),
     );
     let sampled = runner::run(
         ProtocolKind::RandomizedReport { p: 0.3 },
         net.graph(),
         net.values(),
-        &RunConfig {
-            aggregate: Aggregate::Count,
-            d_hat: net.d_hat(),
-            c: 8,
-            medium: Medium::PointToPoint,
-            delay: pov_core::pov_sim::DelayModel::default(),
-            churn: ChurnPlan::none(),
-            partition: None,
-            seed: 1,
-            hq: HostId(0),
-        },
+        &RunPlan::query(Aggregate::Count).d_hat(net.d_hat()).seed(1),
     );
     assert_eq!(full.value, Some(500.0));
     let est = sampled.value.unwrap();
@@ -199,17 +179,9 @@ fn randomized_report_cheaper_and_approximately_valid() {
 #[test]
 fn gossip_baseline_contrast() {
     let net = Network::build(TopologyKind::Random, 200, 88);
-    let cfg = RunConfig {
-        aggregate: Aggregate::Average,
-        d_hat: net.d_hat(),
-        c: 8,
-        medium: Medium::PointToPoint,
-        delay: pov_core::pov_sim::DelayModel::default(),
-        churn: ChurnPlan::none(),
-        partition: None,
-        seed: 3,
-        hq: HostId(0),
-    };
+    let cfg = RunPlan::query(Aggregate::Average)
+        .d_hat(net.d_hat())
+        .seed(3);
     let out = runner::run(
         ProtocolKind::Gossip { rounds: 120 },
         net.graph(),

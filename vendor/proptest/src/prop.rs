@@ -7,7 +7,7 @@ use rand::Rng;
 pub mod collection {
     use super::*;
 
-    /// Lengths that [`vec`] accepts: a fixed size or a half-open range.
+    /// Lengths that [`vec()`] accepts: a fixed size or a half-open range.
     #[derive(Clone, Debug)]
     pub enum SizeRange {
         /// Exactly this many elements.
@@ -42,7 +42,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
