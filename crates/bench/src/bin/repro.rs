@@ -15,15 +15,26 @@
 
 use pov_bench::Scale;
 use pov_core::experiments::{
-    ablation, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
+    ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
 };
 use pov_core::report::Table;
 use pov_scenario::{run_batch, table_to_json, Json, Scenario};
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "price",
-    "ablation", "ext",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13a",
+    "fig13b",
+    "price",
+    "ablation",
+    "ext",
+    "adversary",
 ];
 
 const USAGE: &str = "\
@@ -337,6 +348,20 @@ fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
         "ablation" => {
             let cfg = scale.ablation();
             vec![ablation::table(&ablation::run(&cfg))]
+        }
+        "adversary" => {
+            let cfg = scale.adversary();
+            let rows = adversary::run(&cfg);
+            let t = adversary::table(&rows);
+            println!("{t}");
+            // Machine-checkable headline for the CI gate: > 1 means the
+            // adaptive adversary beats oblivious churn at every budget.
+            println!(
+                "targeted/uniform interval deviation min ratio: {:.3}",
+                adversary::min_interval_ratio(&rows)
+            );
+            println!();
+            return vec![t];
         }
         "ext" => {
             let cfg = match scale {

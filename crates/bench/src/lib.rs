@@ -11,7 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pov_core::experiments::{ablation, fig06, fig10, fig11, fig12, fig13, price, validity};
+use pov_core::experiments::{
+    ablation, adversary, fig06, fig10, fig11, fig12, fig13, price, validity,
+};
 use pov_core::pov_protocols::Aggregate;
 use pov_core::pov_topology::generators::TopologyKind;
 
@@ -158,6 +160,14 @@ impl Scale {
                 n: 4_000,
                 ..ablation::Config::paper()
             },
+        }
+    }
+
+    /// Adversary (sketch-targeted vs uniform churn) configuration.
+    pub fn adversary(self) -> adversary::Config {
+        match self {
+            Scale::Paper => adversary::Config::paper(),
+            Scale::Quick => adversary::Config::smoke(),
         }
     }
 }

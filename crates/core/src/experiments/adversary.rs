@@ -1,0 +1,305 @@
+//! Targeted vs uniform churn at equal event budget (ROADMAP:
+//! "adversary targeting the sketch").
+//!
+//! §6.2 evaluates WILDFIRE under an *oblivious* adversary — `R` hosts
+//! drawn uniformly before the run starts. The dynamic
+//! [`SketchAdversary`](pov_sim::SketchAdversary) spends the same `R`
+//! kills adaptively: each wave it inspects the live run and kills the
+//! hosts whose partials currently hold the most sketch mass — the
+//! carriers of the FM maxima as they converge toward `hq`. The hosts
+//! carrying the answer die mid-query, wave after wave.
+//!
+//! The driver judges both regimes against *two* oracle envelopes, and
+//! the split is the finding:
+//!
+//! * **Single-Site deviation** (`[q(HC), q(HU)]`) stays within FM
+//!   noise for both regimes — Theorem 5.3's Approximate SSV really is
+//!   adversary-proof, because every kill also shrinks `HC`: the
+//!   guarantee *adapts* to the damage.
+//! * **Interval deviation** (`[q(HI), q(HU)]`, `HI` = alive
+//!   throughout, §4.1 — no reachability excusal) explodes under the
+//!   targeted adversary while staying near 1 under uniform churn. The
+//!   adversary strangles the convergecast: almost every host stays
+//!   *alive* (still in `HI`) yet its contribution never reaches `hq`,
+//!   so the declared count collapses to `hq`'s neighbourhood. This is
+//!   Theorem 4.2's separation — Interval Validity is unachievable
+//!   against adaptive failures — made constructive at equal budget.
+//!
+//! In other words: the adaptive adversary cannot break the SSV
+//! envelope, but it can hollow it out — the answer degrades by an
+//! order of magnitude while remaining "valid". That asymmetry is the
+//! price of validity under worst-case dynamics (Casteigts' framing in
+//! PAPERS.md: adversarial schedules, not random churn, set the price).
+
+use crate::report::Table;
+use crate::workload;
+use pov_oracle::interval_bounds;
+use pov_protocols::wildfire::WildfireOpts;
+use pov_protocols::{runner, AdversarySpec, Aggregate, ProtocolKind, RunPlan};
+use pov_sim::{ChurnPlan, Time, Trace};
+use pov_topology::generators::TopologyKind;
+use pov_topology::{Graph, HostId};
+
+/// Configuration for the targeted-vs-uniform comparison.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Host count.
+    pub n: usize,
+    /// Kill budgets to sweep, as fractions of `n`.
+    pub budget_fractions: Vec<f64>,
+    /// Hosts the adversary kills per wave.
+    pub kills_per_wave: usize,
+    /// Trials per budget (each with its own uniform draw / seed).
+    pub trials: usize,
+    /// FM repetitions.
+    pub c: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Paper-scale comparison.
+    pub fn paper() -> Self {
+        Config {
+            topology: TopologyKind::Random,
+            n: 10_000,
+            budget_fractions: vec![0.10, 0.20],
+            kills_per_wave: 192,
+            trials: 5,
+            c: 16,
+            seed: 23,
+        }
+    }
+
+    /// A fast configuration for tests/benches.
+    pub fn smoke() -> Self {
+        Config {
+            topology: TopologyKind::Random,
+            n: 300,
+            budget_fractions: vec![0.15, 0.25],
+            kills_per_wave: 6,
+            trials: 4,
+            c: 16,
+            seed: 23,
+        }
+    }
+}
+
+/// One budget's comparison row (all metrics are means over trials).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Topology name.
+    pub topology: String,
+    /// Kill budget (number of hosts, equal for both regimes).
+    pub budget: usize,
+    /// Declared count under the sketch-targeting adversary.
+    pub targeted_value: f64,
+    /// Declared count under uniform churn.
+    pub uniform_value: f64,
+    /// `|HC|` under the adversary (how much the SSV envelope shrank).
+    pub targeted_hc: f64,
+    /// `|HC|` under uniform churn.
+    pub uniform_hc: f64,
+    /// Single-Site (§4.2) deviation under the adversary.
+    pub targeted_ssv_dev: f64,
+    /// Single-Site deviation under uniform churn.
+    pub uniform_ssv_dev: f64,
+    /// Interval-Validity (§4.1) deviation under the adversary.
+    pub targeted_interval_dev: f64,
+    /// Interval-Validity deviation under uniform churn.
+    pub uniform_interval_dev: f64,
+}
+
+impl Row {
+    /// Targeted / uniform *interval* deviation ratio — the constructive
+    /// Theorem 4.2 separation at equal budget.
+    pub fn interval_ratio(&self) -> f64 {
+        self.targeted_interval_dev / self.uniform_interval_dev.max(1e-12)
+    }
+}
+
+/// Multiplicative deviation of `v` from an envelope `[lo, hi]`.
+fn envelope_deviation(v: f64, lo: f64, hi: f64) -> f64 {
+    (lo / v.max(1e-12)).max(v / hi.max(1e-12)).max(1.0)
+}
+
+/// Judge one outcome against both envelopes; returns
+/// `(value, |HC|, ssv_deviation, interval_deviation)`.
+fn judge_both(
+    graph: &Graph,
+    trace: &Trace,
+    values: &[u64],
+    hq: HostId,
+    deadline: Time,
+    value: Option<f64>,
+) -> (f64, f64, f64, f64) {
+    let v = value.unwrap_or(0.0);
+    let sets = pov_oracle::host_sets(graph, trace, hq, Time::ZERO, deadline);
+    let (lo, hi) =
+        pov_oracle::aggregate_bounds(Aggregate::Count, &sets, values).expect("count is bounded");
+    let ssv = envelope_deviation(v, lo, hi);
+    let (ilo, ihi) = interval_bounds(Aggregate::Count, trace, values, Time::ZERO, deadline)
+        .expect("count is bounded");
+    let interval = envelope_deviation(v, ilo, ihi);
+    (v, sets.hc_len() as f64, ssv, interval)
+}
+
+/// Run the comparison.
+pub fn run(cfg: &Config) -> Vec<Row> {
+    let graph = cfg.topology.build(cfg.n, cfg.seed);
+    let n = graph.num_hosts();
+    let values = workload::paper_values(n, cfg.seed ^ 0xad5e);
+    let d = pov_topology::analysis::diameter_estimate(&graph, 2, cfg.seed | 1).max(1);
+    let d_hat = d + 2;
+    let deadline = Time(2 * d_hat as u64);
+    let kind = ProtocolKind::Wildfire(WildfireOpts::default());
+    let mut rows = Vec::new();
+    for &fraction in &cfg.budget_fractions {
+        let budget = ((n as f64) * fraction).round() as usize;
+        let mut acc = [Vec::new(), Vec::new(), Vec::new(), Vec::new()]; // t_val, t_hc, t_ssv, t_int
+        let mut ucc = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for trial in 0..cfg.trials {
+            let seed = cfg.seed.wrapping_add(1 + trial as u64);
+            let base = RunPlan::query(Aggregate::Count)
+                .d_hat(d_hat)
+                .repetitions(cfg.c)
+                .seed(seed);
+            // Both regimes spend exactly `budget` kills inside the same
+            // `[0, deadline]` window; only *who* dies differs.
+            let uniform = base.clone().churn(ChurnPlan::uniform_failures(
+                n,
+                budget,
+                Time::ZERO,
+                deadline,
+                HostId(0),
+                seed,
+            ));
+            let targeted = base.adversary(AdversarySpec::fm_maxima(
+                cfg.kills_per_wave,
+                budget,
+                Time::ZERO,
+                deadline,
+            ));
+            for (plan, out) in [(&uniform, &mut ucc), (&targeted, &mut acc)] {
+                let o = runner::run(kind, &graph, &values, plan);
+                let end = o.declared_at.unwrap_or(deadline);
+                let (v, hc, ssv, interval) =
+                    judge_both(&graph, &o.trace, &values, HostId(0), end, o.value);
+                out[0].push(v);
+                out[1].push(hc);
+                out[2].push(ssv);
+                out[3].push(interval);
+            }
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        rows.push(Row {
+            topology: cfg.topology.name().to_string(),
+            budget,
+            targeted_value: mean(&acc[0]),
+            uniform_value: mean(&ucc[0]),
+            targeted_hc: mean(&acc[1]),
+            uniform_hc: mean(&ucc[1]),
+            targeted_ssv_dev: mean(&acc[2]),
+            uniform_ssv_dev: mean(&ucc[2]),
+            targeted_interval_dev: mean(&acc[3]),
+            uniform_interval_dev: mean(&ucc[3]),
+        });
+    }
+    rows
+}
+
+/// Render the comparison.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Adaptive adversary — sketch-targeted vs uniform churn, WILDFIRE count at equal budget",
+        &[
+            "topology",
+            "budget",
+            "value T/U",
+            "|HC| T/U",
+            "SSV dev T/U",
+            "interval dev T/U",
+            "interval ratio",
+        ],
+    );
+    for r in rows {
+        t.push(vec![
+            r.topology.clone(),
+            r.budget.to_string(),
+            format!("{:.0} / {:.0}", r.targeted_value, r.uniform_value),
+            format!("{:.0} / {:.0}", r.targeted_hc, r.uniform_hc),
+            format!("{:.2}x / {:.2}x", r.targeted_ssv_dev, r.uniform_ssv_dev),
+            format!(
+                "{:.2}x / {:.2}x",
+                r.targeted_interval_dev, r.uniform_interval_dev
+            ),
+            format!("{:.2}", r.interval_ratio()),
+        ]);
+    }
+    t
+}
+
+/// The figure's headline: the smallest targeted/uniform interval-
+/// deviation ratio across the sweep. Strictly above 1.0 means the
+/// adaptive adversary pushes the declared answer further outside the
+/// §4.1 interval envelope than oblivious churn does at *every* equal
+/// budget — the constructive Theorem 4.2 separation.
+pub fn min_interval_ratio(rows: &[Row]) -> f64 {
+    rows.iter()
+        .map(Row::interval_ratio)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_beats_uniform_on_the_interval_envelope() {
+        let rows = run(&Config::smoke());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // The headline: at equal budget the adaptive adversary
+            // pushes the answer strictly (and decisively) further from
+            // the interval envelope than uniform churn.
+            assert!(
+                r.interval_ratio() > 1.5,
+                "budget {}: targeted interval dev {:.2}x vs uniform {:.2}x",
+                r.budget,
+                r.targeted_interval_dev,
+                r.uniform_interval_dev
+            );
+            // It also collapses the declared answer and the SSV
+            // envelope itself.
+            assert!(
+                r.targeted_value < r.uniform_value,
+                "budget {}: value {:.0} vs {:.0}",
+                r.budget,
+                r.targeted_value,
+                r.uniform_value
+            );
+            assert!(r.targeted_hc < r.uniform_hc);
+        }
+        assert!(min_interval_ratio(&rows) > 1.5);
+    }
+
+    #[test]
+    fn ssv_envelope_survives_the_adversary() {
+        // Theorem 5.3's robustness, confirmed adversarially: the
+        // *Single-Site* deviation stays within FM noise for both
+        // regimes — the adversary hollows the envelope out (|HC|
+        // collapses) but cannot push the answer outside it.
+        let rows = run(&Config::smoke());
+        for r in &rows {
+            assert!(
+                r.targeted_ssv_dev < 2.0 && r.uniform_ssv_dev < 2.0,
+                "budget {}: SSV dev {:.2}x / {:.2}x",
+                r.budget,
+                r.targeted_ssv_dev,
+                r.uniform_ssv_dev
+            );
+        }
+    }
+}

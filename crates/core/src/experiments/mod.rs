@@ -15,8 +15,10 @@
 //! | [`fig13`] | Fig 13a/b — time cost; messages per time instant |
 //! | [`price`] | §1.1/§7 headline — the price of validity |
 //! | [`ablation`] | DESIGN.md A1–A3 — §5.3 optimizations, sketch paths |
+//! | [`adversary`] | beyond the paper — sketch-targeted vs uniform churn at equal budget |
 
 pub mod ablation;
+pub mod adversary;
 pub mod ext_accuracy;
 pub mod fig06;
 pub mod fig10;

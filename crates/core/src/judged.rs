@@ -144,6 +144,16 @@ pub fn judged_plan(graph: &Graph, values: &[u64], plan: &RunPlan) -> Vec<Protoco
         !plan.protocols.is_empty(),
         "RunPlan has no protocols to execute; add one with .protocol(..)"
     );
+    // Continuous windows re-express the *pre-materialized* plan in each
+    // window's local time by replaying its history; a dynamic adversary
+    // decides its kills during the run, so its schedule cannot be
+    // replayed into later windows' start states. Reject the combination
+    // rather than judging window 1+ against the wrong membership.
+    assert!(
+        plan.adversary.is_none() || plan.continuous.is_none(),
+        "a dynamic adversary cannot be combined with continuous windows \
+         (its kills are not replayable into window-local churn plans)"
+    );
     // Slice the continuous windows ONCE, then feed every protocol the
     // same local plans: the shared-realization guarantee is structural,
     // and the O(hosts + events) history replays run per window, not per
@@ -207,11 +217,12 @@ fn window_plans(graph: &Graph, plan: &RunPlan, cs: ContinuousSpec) -> Vec<(Time,
 /// events before `start` collapse into the alive/dead state they leave
 /// each host in, events at or after `start` shift left by `start`. A
 /// host dead at `start` is encoded through the engine's initially-dead
-/// convention (its first local event is a join): if it rejoins later
-/// the shifted join already does the job; if it never does, a sentinel
-/// join at `Time(u64::MAX)` — past any horizon — keeps it down for the
-/// whole window without ever being "up at instant 0" in the ORACLE's
-/// eyes. Returns `None` if `hq` itself is dead at `start`.
+/// convention: if it rejoins later the shifted join does the job; if it
+/// never does, it is pinned down for the whole window with the explicit
+/// [`ChurnPlan::with_initially_dead`] marker (a sentinel join at
+/// `Time(u64::MAX)` would keep it down too, but any later shift or
+/// merge arithmetic over such a plan could wrap). Returns `None` if
+/// `hq` itself is dead at `start`.
 fn slice_churn(churn: &ChurnPlan, num_hosts: usize, start: Time, hq: HostId) -> Option<ChurnPlan> {
     // Replay merged history to the window start. At equal instants a
     // join applies after a failure (the host ends the tick alive),
@@ -259,8 +270,8 @@ fn slice_churn(churn: &ChurnPlan, num_hosts: usize, start: Time, hq: HostId) -> 
     // legitimately produce redundant events: a failure scheduled for a
     // host already dead at the window start, or a join for one already
     // alive. Both are no-ops in the full-timeline run and must stay
-    // no-ops after slicing — dropped here, with a sentinel join past any
-    // horizon for dead hosts that never rejoin.
+    // no-ops after slicing — dropped here, with the explicit
+    // initially-dead marker for dead hosts that never rejoin.
     let mut first_fail: Vec<Option<Time>> = vec![None; num_hosts];
     let mut first_join: Vec<Option<Time>> = vec![None; num_hosts];
     for &(t, h) in &local.failures {
@@ -271,15 +282,20 @@ fn slice_churn(churn: &ChurnPlan, num_hosts: usize, start: Time, hq: HostId) -> 
         let slot = &mut first_join[h.index()];
         *slot = Some(slot.map_or(t, |j: Time| j.min(t)));
     }
+    // Strictly after the first join: a dead host's failure *at* the
+    // first-join tick is a no-op (fails apply before joins at equal
+    // instants, and the host is still down), but keeping it would make
+    // the fail the host's first local event — which `initially_dead`'s
+    // fail-before-join tie-break reads as "starts alive".
     local.failures.retain(|&(t, h)| {
-        state[h.index()] == State::Alive || first_join[h.index()].is_some_and(|j| t >= j)
+        state[h.index()] == State::Alive || first_join[h.index()].is_some_and(|j| t > j)
     });
     local.joins.retain(|&(t, h)| {
         state[h.index()] == State::Dead || first_fail[h.index()].is_some_and(|f| t >= f)
     });
     for (i, &s) in state.iter().enumerate() {
         if s == State::Dead && first_join[i].is_none() {
-            local = local.with_join(Time(u64::MAX), HostId(i as u32));
+            local = local.with_initially_dead(HostId(i as u32));
         }
     }
     Some(local)
@@ -287,7 +303,9 @@ fn slice_churn(churn: &ChurnPlan, num_hosts: usize, start: Time, hq: HostId) -> 
 
 /// Shift a partition plan's active windows into a window's local time,
 /// clipping at the window start. Returns `None` when no cut overlaps
-/// the remaining timeline.
+/// the remaining timeline — degenerate (zero-length) windows, whether
+/// present in the source plan or produced by the clamp, are skipped so
+/// a dead cut never masquerades as an active partition downstream.
 fn slice_partition(plan: &PartitionPlan, start: Time) -> Option<PartitionPlan> {
     let mut local = PartitionPlan::new(plan.sides().to_vec());
     let mut any = false;
@@ -297,6 +315,12 @@ fn slice_partition(plan: &PartitionPlan, start: Time) -> Option<PartitionPlan> {
         }
         let f = from.ticks().saturating_sub(start.ticks());
         let u = until.ticks() - start.ticks();
+        if f == u {
+            // A zero-length `[f, f)` cut can never activate; counting
+            // it toward `any` would hand callers a Some(plan) whose
+            // every window is inert.
+            continue;
+        }
         local = local.window(Time(f), Time(u));
         any = true;
     }
@@ -560,6 +584,141 @@ mod tests {
         assert!(v1 < 16.0, "cut window must hide hosts, got {v1}");
         // Window 2 starts at t=48, after the heal: full count again.
         assert_eq!(windows[2].judged.value, Some(16.0));
+    }
+
+    #[test]
+    fn degenerate_partition_window_slices_to_none() {
+        // Regression: a zero-length window survives the `until <= start`
+        // guard (until = 5 > start = 0), clamps to `[5, 5)` and used to
+        // flip `any = true`, handing downstream a Some(plan) whose cut
+        // can never activate — "a partition is active" with no partition.
+        let plan = PartitionPlan::new(vec![0, 1]).window(Time(5), Time(5));
+        assert!(slice_partition(&plan, Time::ZERO).is_none());
+        assert!(slice_partition(&plan, Time(3)).is_none());
+        // Mixed plan: the real window survives, the degenerate one is
+        // dropped rather than contaminating `any`.
+        let plan = PartitionPlan::new(vec![0, 1])
+            .window(Time(5), Time(5))
+            .window(Time(10), Time(20));
+        let local = slice_partition(&plan, Time(8)).expect("real window remains");
+        assert_eq!(local.windows(), &[(Time(2), Time(12))]);
+    }
+
+    #[test]
+    fn sliced_churn_carries_no_sentinel_timestamps() {
+        // Regression: dead-at-start hosts that never rejoin used to be
+        // encoded as a join at Time(u64::MAX); any later shift or merge
+        // over the sliced plan could wrap. They are now pinned with the
+        // explicit initially-dead marker, and no sliced plan carries a
+        // timestamp beyond the original plan's horizon.
+        let n = 30usize;
+        for seed in 0..8u64 {
+            let plan = ChurnPlan::uniform_failures(n, 8, Time(0), Time(60), HostId(0), seed)
+                .merge(ChurnPlan::oscillating(
+                    n,
+                    5,
+                    Time(0),
+                    Time(60),
+                    12,
+                    5,
+                    HostId(0),
+                    seed ^ 0xff,
+                ))
+                .merge(ChurnPlan::flash_crowd(
+                    n,
+                    4,
+                    Time(10),
+                    Time(50),
+                    HostId(0),
+                    seed.wrapping_mul(31),
+                ));
+            for start in [0u64, 15, 30, 45, 60, 75] {
+                let Some(local) = slice_churn(&plan, n, Time(start), HostId(0)) else {
+                    continue;
+                };
+                let horizon = Time(60); // no source event is later
+                for &(t, h) in local.failures.iter().chain(&local.joins) {
+                    assert!(
+                        t <= horizon,
+                        "seed {seed} start {start}: event ({t:?}, {h:?}) past horizon"
+                    );
+                    assert_ne!(t, Time(u64::MAX), "sentinel leaked");
+                }
+                // A merge over the sliced plan must stay sentinel-free
+                // and keep the pinned hosts down.
+                let before: Vec<HostId> = {
+                    let mut d: Vec<HostId> = local.initially_dead().collect();
+                    d.sort_by_key(|h| h.0);
+                    d.dedup();
+                    d
+                };
+                let merged = local.merge(ChurnPlan::none());
+                let mut after: Vec<HostId> = merged.initially_dead().collect();
+                after.sort_by_key(|h| h.0);
+                after.dedup();
+                assert_eq!(after, before, "seed {seed} start {start}");
+                assert!(merged
+                    .failures
+                    .iter()
+                    .chain(&merged.joins)
+                    .all(|&(t, _)| t != Time(u64::MAX)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_tick_fail_join_after_window_start_keeps_host_dead_at_start() {
+        // Regression: h dies at t=5 and has a (no-op) fail plus a
+        // rejoin both at t=20 — the shape merged uniform + oscillating
+        // plans produce. Slicing at t=10 must decode h as dead at the
+        // window start: keeping the local fail@10 would make it h's
+        // first local event, which the fail-before-join tie-break reads
+        // as "starts alive", silently resurrecting the host for local
+        // [0, 10).
+        let h = HostId(3);
+        let churn = ChurnPlan::none()
+            .with_failure(Time(5), h)
+            .with_failure(Time(20), h)
+            .with_join(Time(20), h);
+        let local = slice_churn(&churn, 8, Time(10), HostId(0)).expect("hq alive");
+        assert!(
+            local.initially_dead().any(|d| d == h),
+            "h must start the window dead: {local:?}"
+        );
+        // The rejoin survives in local time; the no-op fail does not.
+        assert!(local.joins.contains(&(Time(10), h)));
+        assert!(!local.failures.contains(&(Time(10), h)));
+    }
+
+    #[test]
+    fn adversary_kills_reach_the_oracle_like_any_churn() {
+        use pov_protocols::AdversarySpec;
+        let g = special::cycle(24);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(13)
+            .adversary(AdversarySpec::fm_maxima(2, 6, Time(2), Time(20)))
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let out = judged_plan(&g, &[1; 24], &plan);
+        let judged = out[0].one();
+        // Six adversary kills: HC loses at least the six dead hosts,
+        // while HU still counts them (alive at the interval's start) —
+        // exactly how statically scheduled failures are judged.
+        assert!(judged.hc_size <= 18, "hc = {}", judged.hc_size);
+        assert_eq!(judged.hu_size, 24);
+        assert!(judged.value.is_some(), "hq is always spared");
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic adversary cannot be combined")]
+    fn adversary_plus_continuous_rejected() {
+        use pov_protocols::AdversarySpec;
+        let g = special::cycle(12);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(7)
+            .adversary(AdversarySpec::fm_maxima(1, 2, Time(0), Time(10)))
+            .continuous(16, 2)
+            .protocol(ProtocolKind::SpanningTree);
+        judged_plan(&g, &[1; 12], &plan);
     }
 
     #[test]

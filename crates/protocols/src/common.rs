@@ -283,6 +283,28 @@ impl Partial {
         }
     }
 
+    /// The scalar "height" of this partial as seen by a protocol-state-
+    /// aware adversary: for FM-sketched aggregates the sketch's own
+    /// estimate — the scalar its bit maxima induce, i.e. how much
+    /// accumulated (and possibly not-yet-relayed) mass the host carries
+    /// — for exact min/max a value-derived proxy (for min, negated: the
+    /// *smallest* value is the answer-carrying one), and the scalar
+    /// estimate otherwise. Higher means "killing this host now hurts
+    /// the query more": mid-convergecast, the top-weighted hosts are
+    /// the relays whose deaths strand other (still-alive, still-valid)
+    /// hosts' contributions.
+    pub fn sketch_weight(&self) -> f64 {
+        match self {
+            Partial::Min(v) => -(*v as f64),
+            Partial::Max(v) => *v as f64,
+            Partial::SketchCount(s) | Partial::SketchSum(s) => s.estimate(),
+            // For averages the count sketch tracks how many hosts'
+            // contributions the partial has absorbed.
+            Partial::SketchAvg { count, .. } => count.estimate(),
+            other => other.value(),
+        }
+    }
+
     /// The merged histogram, if this partial is one (the querying host
     /// reads bucket counts / quantiles / averages from it).
     pub fn as_histogram(&self) -> Option<&HistogramSketch> {

@@ -28,7 +28,8 @@
 //! parent level by level.
 
 use crate::common::{Partial, QuerySpec};
-use pov_sim::{Ctx, NodeLogic, Time};
+use crate::observer::{summary_of, ProtocolObserver};
+use pov_sim::{Ctx, NodeLogic, StateSummary, Time};
 use pov_topology::HostId;
 use std::collections::HashSet;
 
@@ -154,8 +155,18 @@ impl DagNode {
     }
 }
 
+impl ProtocolObserver for DagNode {
+    fn state_summary(&self) -> StateSummary {
+        summary_of(self.partial.as_ref())
+    }
+}
+
 impl NodeLogic for DagNode {
     type Msg = DagMsg;
+
+    fn summary(&self) -> StateSummary {
+        self.state_summary()
+    }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, DagMsg>) {
         if !self.is_query_host {

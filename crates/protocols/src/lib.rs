@@ -22,12 +22,14 @@ pub mod allreport;
 mod common;
 pub mod dag;
 pub mod gossip;
+pub mod observer;
 pub mod runner;
 pub mod spanning_tree;
 pub mod wildfire;
 
 pub use common::{Aggregate, Operator, Partial, QuerySpec};
-pub use runner::{ContinuousSpec, Outcome, ProtocolKind, RunPlan};
+pub use observer::ProtocolObserver;
+pub use runner::{AdversarySpec, AdversaryTarget, ContinuousSpec, Outcome, ProtocolKind, RunPlan};
 
 #[cfg(test)]
 mod smoke {

@@ -12,8 +12,8 @@ use crate::gossip::GossipNode;
 use crate::spanning_tree::SpanningTreeNode;
 use crate::wildfire::{WildfireNode, WildfireOpts};
 use pov_sim::{
-    ChurnPlan, DelayModel, Medium, Metrics, NodeLogic, PartitionPlan, SimBuilder, Simulation, Time,
-    Trace,
+    ChurnPlan, DelayModel, Medium, Metrics, NodeLogic, PartitionPlan, SimBuilder, Simulation,
+    SketchAdversary, Time, Trace,
 };
 use pov_topology::{Graph, HostId};
 
@@ -53,6 +53,68 @@ impl ProtocolKind {
             ProtocolKind::Dag { .. } => "DAG",
             ProtocolKind::Wildfire(_) => "WILDFIRE",
             ProtocolKind::Gossip { .. } => "GOSSIP",
+        }
+    }
+}
+
+/// What a dynamic adversary aims at. Today there is one target — the
+/// hosts holding the current FM sketch maxima — but the enum keeps the
+/// scenario grammar and `RunPlan` stable as further adaptive workloads
+/// (e.g. cut-vertex or convergecast-frontier targeting) land.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdversaryTarget {
+    /// Kill the hosts whose current partials hold the highest FM bit
+    /// ranks (see [`SketchAdversary`]).
+    #[default]
+    FmMaxima,
+}
+
+/// Declarative description of a protocol-state-aware adversary attached
+/// to a [`RunPlan`] via [`RunPlan::adversary`]. Lowered per run into a
+/// fresh [`SketchAdversary`] (full budget each run, sparing `plan.hq`),
+/// so every protocol under a multi-protocol plan faces the same
+/// attacker policy — though, being adaptive, the attacker's realized
+/// kill schedule follows each protocol's own state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdversarySpec {
+    /// What the adversary aims at.
+    pub target: AdversaryTarget,
+    /// Hosts killed per wave.
+    pub kills_per_wave: usize,
+    /// Total kill budget — pick it equal to a
+    /// [`ChurnPlan::uniform_failures`] `r` to compare targeted against
+    /// uniform churn at equal event cost.
+    pub budget: usize,
+    /// First wave instant.
+    pub start: Time,
+    /// Last instant the adversary may strike.
+    pub until: Time,
+}
+
+impl AdversarySpec {
+    /// An FM-maxima adversary with `budget` kills in waves of
+    /// `kills_per_wave` across `[start, until]`.
+    pub fn fm_maxima(kills_per_wave: usize, budget: usize, start: Time, until: Time) -> Self {
+        AdversarySpec {
+            target: AdversaryTarget::FmMaxima,
+            kills_per_wave,
+            budget,
+            start,
+            until,
+        }
+    }
+
+    /// Lower the spec into a runnable churn source sparing `spare`
+    /// (the querying host).
+    pub fn build(&self, spare: HostId) -> SketchAdversary {
+        match self.target {
+            AdversaryTarget::FmMaxima => SketchAdversary::new(
+                self.kills_per_wave,
+                self.budget,
+                self.start,
+                self.until,
+                spare,
+            ),
         }
     }
 }
@@ -125,6 +187,10 @@ pub struct RunPlan {
     /// Optional temporary partition: messages crossing the cut while it
     /// is active are lost in transit (hosts stay alive).
     pub partition: Option<PartitionPlan>,
+    /// Optional dynamic adversary polled during the run (stacks on top
+    /// of the static `churn` plan; its kills reach the oracle through
+    /// the membership trace like any other failure).
+    pub adversary: Option<AdversarySpec>,
     /// Root seed for the run. Protocols sharing one plan share this
     /// stream, so their runs see the *same* churn/delay realization —
     /// the paired-comparison setup the paper's §6 figures need.
@@ -153,6 +219,7 @@ impl RunPlan {
             delay: DelayModel::Fixed(1),
             churn: ChurnPlan::none(),
             partition: None,
+            adversary: None,
             seed: 0,
             hq: HostId(0),
             protocols: Vec::new(),
@@ -194,6 +261,14 @@ impl RunPlan {
     /// Layer a temporary partition over the run.
     pub fn partition(mut self, partition: PartitionPlan) -> Self {
         self.partition = Some(partition);
+        self
+    }
+
+    /// Attach a dynamic adversary (a protocol-state-aware churn source
+    /// polled during the run). Stacks with any static churn plan; the
+    /// querying host is always spared.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -247,11 +322,14 @@ impl RunPlan {
 
     /// The simulation this plan describes, over `graph`.
     fn sim_builder(&self, graph: &Graph) -> SimBuilder {
-        let b = SimBuilder::new(graph.clone())
+        let mut b = SimBuilder::new(graph.clone())
             .medium(self.medium)
             .delay(self.delay)
             .churn(self.churn.clone())
             .seed(self.seed);
+        if let Some(adversary) = &self.adversary {
+            b = b.dynamic_churn(adversary.build(self.hq));
+        }
         match &self.partition {
             Some(p) => b.partition(p.clone()),
             None => b,
@@ -649,6 +727,50 @@ mod tests {
         assert!(plan.partition.is_some());
         assert_eq!(plan.hq, HostId(1));
         assert_eq!(plan.protocols, vec![ProtocolKind::SpanningTree]);
+    }
+
+    #[test]
+    fn adversary_spends_exactly_its_budget_and_spares_hq() {
+        let g = special::cycle(20);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(11)
+            .adversary(AdversarySpec::fm_maxima(3, 7, Time(1), Time(15)));
+        let out = run(
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+            &g,
+            &[1; 20],
+            &plan,
+        );
+        // Exactly `budget` kills land in the trace — the comparability
+        // contract with uniform_failures at r = 7.
+        assert_eq!(out.trace.events.len(), 7);
+        assert_eq!(out.alive_at_end.iter().filter(|&&a| !a).count(), 7);
+        assert!(out.alive_at_end[0], "hq is spared");
+        assert!(out.value.is_some(), "hq declares");
+    }
+
+    #[test]
+    fn adversary_is_deterministic_per_plan() {
+        let g = special::cycle(24);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(13)
+            .seed(9)
+            .adversary(AdversarySpec::fm_maxima(2, 6, Time(0), Time(20)));
+        let a = run(
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+            &g,
+            &[1; 24],
+            &plan,
+        );
+        let b = run(
+            ProtocolKind::Wildfire(WildfireOpts::default()),
+            &g,
+            &[1; 24],
+            &plan,
+        );
+        assert_eq!(a.trace.events, b.trace.events);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
     }
 
     #[test]

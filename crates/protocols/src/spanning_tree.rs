@@ -17,7 +17,8 @@
 //! whole subtrees (Theorem 4.4, Figs 7–9).
 
 use crate::common::{Partial, QuerySpec};
-use pov_sim::{Ctx, NodeLogic, Time};
+use crate::observer::{summary_of, ProtocolObserver};
+use pov_sim::{Ctx, NodeLogic, StateSummary, Time};
 use pov_topology::HostId;
 use std::collections::HashSet;
 
@@ -120,8 +121,18 @@ impl SpanningTreeNode {
     }
 }
 
+impl ProtocolObserver for SpanningTreeNode {
+    fn state_summary(&self) -> StateSummary {
+        summary_of(self.partial.as_ref())
+    }
+}
+
 impl NodeLogic for SpanningTreeNode {
     type Msg = StMsg;
+
+    fn summary(&self) -> StateSummary {
+        self.state_summary()
+    }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, StMsg>) {
         if !self.is_query_host {

@@ -29,7 +29,8 @@
 //!   broadcast message a host forwards.
 
 use crate::common::{Operator, Partial, QuerySpec};
-use pov_sim::{Ctx, Medium, NodeLogic, Time};
+use crate::observer::{summary_of, ProtocolObserver};
+use pov_sim::{Ctx, Medium, NodeLogic, StateSummary, Time};
 use pov_topology::HostId;
 use std::collections::HashMap;
 
@@ -255,8 +256,18 @@ impl WildfireNode {
     }
 }
 
+impl ProtocolObserver for WildfireNode {
+    fn state_summary(&self) -> StateSummary {
+        summary_of(self.partial())
+    }
+}
+
 impl NodeLogic for WildfireNode {
     type Msg = WfMsg;
+
+    fn summary(&self) -> StateSummary {
+        self.state_summary()
+    }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, WfMsg>) {
         if !self.is_query_host {

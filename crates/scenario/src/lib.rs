@@ -16,7 +16,10 @@
 //! * [`ChurnSpec`] — regimes beyond the paper: flash-crowd join bursts,
 //!   correlated cluster failures, oscillating fail-and-rejoin cycles,
 //!   an adaptive adversary nuking the root's neighbourhood — freely
-//!   composed with a [`PartitionSpec`] cut that heals;
+//!   composed with a [`PartitionSpec`] cut that heals and an
+//!   [`AdversarySpec`] *dynamic* sketch-targeting attacker (the
+//!   `[adversary]` section), which is polled mid-run rather than
+//!   pre-materialized;
 //! * [`run_batch`] — a `std::thread::scope` executor fanning the
 //!   `seeds × repetitions` matrix across workers, with per-cell
 //!   [`rand::rngs::SmallRng`] streams and order-independent
@@ -38,7 +41,7 @@ pub mod spec;
 pub use json::{table_to_json, Json};
 pub use parse::ParseError;
 pub use run::{run_batch, Agg, ProtocolSection, Report, RunRecord};
-pub use spec::{ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
+pub use spec::{AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
 
 #[cfg(test)]
 mod smoke {

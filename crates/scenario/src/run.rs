@@ -17,7 +17,7 @@
 use crate::json::Json;
 use crate::spec::{ChurnSpec, Scenario};
 use pov_core::judged::judged_plan;
-use pov_core::pov_protocols::RunPlan;
+use pov_core::pov_protocols::{AdversarySpec as PlanAdversarySpec, RunPlan};
 use pov_core::pov_sim::{ChurnPlan, PartitionPlan, Time};
 use pov_core::pov_topology::{analysis, Graph, HostId};
 use pov_core::workload;
@@ -384,6 +384,15 @@ fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<R
     if let Some(partition) = materialize_partition(scn, &prep.graph, span, churn_seed) {
         plan = plan.partition(partition);
     }
+    if let Some(a) = &scn.adversary {
+        let tick = |frac: f64| Time((frac * span as f64).round() as u64);
+        plan = plan.adversary(PlanAdversarySpec::fm_maxima(
+            a.kills_per_wave,
+            a.budget,
+            tick(a.start),
+            tick(a.until),
+        ));
+    }
     if let Some(c) = &scn.continuous {
         plan = plan.continuous(window_ticks(c, deadline), c.windows);
     }
@@ -554,6 +563,7 @@ mod tests {
             protocols: vec![ProtocolSpec::Wildfire],
             churn,
             partition: None,
+            adversary: None,
             continuous: None,
             seeds: vec![1, 2, 3],
             repetitions: 2,
@@ -691,6 +701,32 @@ mod tests {
             v < report.n as f64 * 0.8,
             "adversary should hide hosts (got {v} of {})",
             report.n
+        );
+    }
+
+    #[test]
+    fn sketch_adversary_scenario_runs_and_reaches_the_oracle() {
+        let mut scn = tiny(ChurnSpec::None);
+        scn.adversary = Some(crate::spec::AdversarySpec {
+            kills_per_wave: 2,
+            budget: 12,
+            start: 0.0,
+            until: 0.6,
+        });
+        let report = run_batch(&scn, 2);
+        assert_eq!(report.churn_model, "adversary");
+        // hq is always spared, so every run declares…
+        assert_eq!(report.declared_fraction, 1.0);
+        for r in report.records() {
+            // …and the 12 kills show up in the oracle sets: HC loses at
+            // least the dead, HU still counts them.
+            assert!(r.hc <= report.n - 12, "hc {} vs n {}", r.hc, report.n);
+            assert_eq!(r.hu, report.n);
+        }
+        // Byte-identical across thread counts, like every other regime.
+        assert_eq!(
+            run_batch(&scn, 1).to_json().render(),
+            run_batch(&scn, 8).to_json().render()
         );
     }
 

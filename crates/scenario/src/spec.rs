@@ -158,6 +158,29 @@ pub struct PartitionSpec {
     pub heal: f64,
 }
 
+/// An `[adversary]` section: a *dynamic*, protocol-state-aware attacker
+/// polled by the engine during the run. Unlike every `[churn]` model —
+/// all pre-materialized before the first event — the adversary decides
+/// each wave from the live run state: `target = "fm_maxima"` kills the
+/// hosts whose current partials carry the most FM sketch mass (the
+/// scalar their bit maxima induce) — the answer's carriers. `budget`
+/// fixes the total number of kills, making the regime comparable to
+/// `[churn] model = "uniform"` at `fraction = budget / n`; `start` /
+/// `until` are fractions of the regime span like every other window.
+/// Composes with any `[churn]` model; incompatible with `[continuous]`
+/// (a dynamic schedule cannot be replayed into window-local plans).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversarySpec {
+    /// Hosts killed per wave.
+    pub kills_per_wave: usize,
+    /// Total kill budget across all waves.
+    pub budget: usize,
+    /// First wave as a fraction of the regime span.
+    pub start: f64,
+    /// Last strike instant as a fraction of the regime span.
+    pub until: f64,
+}
+
 /// A `[continuous]` section: run the query as §4.2 continuous windows
 /// instead of a one-shot. Each window is `window_factor` times the
 /// one-shot deadline `2·D̂·δ` long (the minimum that fits a query
@@ -204,6 +227,9 @@ pub struct Scenario {
     pub churn: ChurnSpec,
     /// Optional partition layered over the churn regime.
     pub partition: Option<PartitionSpec>,
+    /// Optional dynamic sketch-targeting adversary layered over the
+    /// pre-materialized regime.
+    pub adversary: Option<AdversarySpec>,
     /// Optional §4.2 continuous-window execution.
     pub continuous: Option<ContinuousSpec>,
     /// Root seeds; the batch runs `seeds × repetitions`.
@@ -229,13 +255,20 @@ impl Scenario {
     }
 
     /// Human-readable name of the dynamism regime, for reports: the
-    /// churn model, `+partition` when a cut is layered on top, or plain
-    /// `partition` when the cut is the whole regime.
+    /// churn model, `+partition` when a cut is layered on top (plain
+    /// `partition` when the cut is the whole regime), `+adversary` when
+    /// the dynamic sketch-targeting attacker is layered (plain
+    /// `adversary` when it is the whole regime).
     pub fn regime(&self) -> String {
-        match (&self.churn, &self.partition) {
+        let base = match (&self.churn, &self.partition) {
             (ChurnSpec::None, Some(_)) => "partition".to_string(),
             (c, None) => c.model_name().to_string(),
             (c, Some(_)) => format!("{}+partition", c.model_name()),
+        };
+        match (&self.adversary, base.as_str()) {
+            (None, _) => base,
+            (Some(_), "none") => "adversary".to_string(),
+            (Some(_), _) => format!("{base}+adversary"),
         }
     }
 
@@ -248,6 +281,7 @@ impl Scenario {
             "protocol",
             "churn",
             "partition",
+            "adversary",
             "continuous",
             "run",
         ];
@@ -519,6 +553,52 @@ impl Scenario {
             }
         };
 
+        let adversary = match doc.section("adversary") {
+            None => None,
+            Some(section) => {
+                let ad = Keys::over(doc, "adversary")?;
+                match ad.require_str("target")?.as_str() {
+                    "fm_maxima" => {}
+                    other => {
+                        return Err(ad.err(
+                            "target",
+                            format!("unknown adversary target '{other}' (fm_maxima)"),
+                        ))
+                    }
+                }
+                let kills_per_wave = ad.opt_usize("kills_per_wave")?.unwrap_or(1);
+                if kills_per_wave == 0 {
+                    return Err(ad.err("kills_per_wave", "must be >= 1"));
+                }
+                let budget = ad.require_usize("budget")?;
+                if budget == 0 {
+                    return Err(ad.err("budget", "an adversary with no kills is [churn] none"));
+                }
+                let start = ad.opt_f64("start")?.unwrap_or(0.0);
+                let until = ad.opt_f64("until")?.unwrap_or(1.0);
+                if !(0.0..=1.0).contains(&start) || !(0.0..=1.0).contains(&until) || start > until {
+                    return Err(ad.err(
+                        "start",
+                        format!("window [{start}, {until}] must satisfy 0 <= start <= until <= 1"),
+                    ));
+                }
+                if doc.section("continuous").is_some() {
+                    return Err(ParseError::at(
+                        section.line,
+                        "[adversary] cannot be combined with [continuous]: a dynamic kill \
+                         schedule cannot be replayed into window-local churn plans",
+                    ));
+                }
+                ad.finish()?;
+                Some(AdversarySpec {
+                    kills_per_wave,
+                    budget,
+                    start,
+                    until,
+                })
+            }
+        };
+
         let continuous = match doc.section("continuous") {
             None => None,
             Some(_) => {
@@ -571,6 +651,7 @@ impl Scenario {
             protocols,
             churn,
             partition,
+            adversary,
             continuous,
             seeds,
             repetitions,
@@ -619,14 +700,16 @@ impl<'a> Keys<'a> {
     fn over(doc: &'a Doc, name: &'a str) -> Result<Keys<'a>, ParseError> {
         let section = doc.section(name);
         match (name, &section) {
-            // [medium], [churn], [partition] and [continuous] are
-            // optional; the rest must exist.
-            ("medium" | "churn" | "partition" | "continuous", _) | (_, Some(_)) => Ok(Keys {
-                line: section.map_or(0, |s| s.line),
-                section,
-                name,
-                used: std::cell::RefCell::new(Vec::new()),
-            }),
+            // [medium], [churn], [partition], [adversary] and
+            // [continuous] are optional; the rest must exist.
+            ("medium" | "churn" | "partition" | "adversary" | "continuous", _) | (_, Some(_)) => {
+                Ok(Keys {
+                    line: section.map_or(0, |s| s.line),
+                    section,
+                    name,
+                    used: std::cell::RefCell::new(Vec::new()),
+                })
+            }
             _ => Err(ParseError::at(
                 0,
                 format!("missing required section [{name}]"),
@@ -995,6 +1078,90 @@ seeds = [1]
         let bad = text.replace("downtime = 0.1", "downtime = 0.5");
         let err = Scenario::from_str(&bad).expect_err("downtime >= period");
         assert!(err.msg.contains("downtime"), "{}", err.msg);
+    }
+
+    #[test]
+    fn adversary_section_parses_and_validates() {
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[adversary]\ntarget = \"fm_maxima\"\nkills_per_wave = 3\n\
+             budget = 24\nstart = 0.1\nuntil = 0.6"
+        ))
+        .expect("valid");
+        assert_eq!(
+            s.adversary,
+            Some(AdversarySpec {
+                kills_per_wave: 3,
+                budget: 24,
+                start: 0.1,
+                until: 0.6
+            })
+        );
+        // GOOD's legacy churn model is a partition; the adversary layers.
+        assert_eq!(s.regime(), "partition+adversary");
+        // Defaults: one kill per wave, whole-run window.
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[adversary]\ntarget = \"fm_maxima\"\nbudget = 8"
+        ))
+        .expect("valid");
+        assert_eq!(
+            s.adversary,
+            Some(AdversarySpec {
+                kills_per_wave: 1,
+                budget: 8,
+                start: 0.0,
+                until: 1.0
+            })
+        );
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[adversary]\ntarget = \"root\"\nbudget = 8"
+        ))
+        .expect_err("bad target");
+        assert!(err.msg.contains("unknown adversary target"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[adversary]\ntarget = \"fm_maxima\"\nbudget = 0"
+        ))
+        .expect_err("zero budget");
+        assert!(err.msg.contains("no kills"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[adversary]\ntarget = \"fm_maxima\"\nbudget = 8\nstart = 0.9\nuntil = 0.2"
+        ))
+        .expect_err("inverted window");
+        assert!(err.msg.contains("start <= until"), "{}", err.msg);
+    }
+
+    #[test]
+    fn adversary_rejects_continuous_combination() {
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[adversary]\ntarget = \"fm_maxima\"\nbudget = 8\n\
+             [continuous]\nwindows = 2"
+        ))
+        .expect_err("adversary + continuous");
+        assert!(err.msg.contains("[continuous]"), "{}", err.msg);
+    }
+
+    #[test]
+    fn adversary_alone_names_the_regime() {
+        let s = Scenario::from_str(
+            r#"
+[scenario]
+name = "adv"
+[topology]
+kind = "random"
+n = 100
+[query]
+aggregate = "count"
+[protocol]
+kind = "wildfire"
+[adversary]
+target = "fm_maxima"
+budget = 10
+[run]
+seeds = [1]
+"#,
+        )
+        .expect("valid");
+        assert_eq!(s.churn, ChurnSpec::None);
+        assert_eq!(s.regime(), "adversary");
     }
 
     #[test]

@@ -6,11 +6,13 @@
 use pov_core::pov_protocols::Aggregate;
 use pov_core::pov_sim::{DelayModel, Medium};
 use pov_core::pov_topology::generators::TopologyKind;
-use pov_scenario::{run_batch, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
+use pov_scenario::{
+    run_batch, AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario,
+};
 use proptest::prelude::*;
 
 fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) -> Scenario {
-    let churn = match churn_pick % 6 {
+    let churn = match churn_pick % 7 {
         0 => ChurnSpec::None,
         1 => ChurnSpec::Uniform {
             fraction: 0.15,
@@ -27,11 +29,22 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
             downtime: 0.2,
         },
         4 => ChurnSpec::AdversarialRoot { radius: 1, at: 0.3 },
-        _ => ChurnSpec::Uniform {
+        5 => ChurnSpec::Uniform {
             fraction: 0.1,
             window: (0.2, 0.9),
         },
+        // Pick 6 stacks the dynamic sketch adversary on uniform churn.
+        _ => ChurnSpec::Uniform {
+            fraction: 0.1,
+            window: (0.0, 1.0),
+        },
     };
+    let adversary = (churn_pick % 7 == 6).then_some(AdversarySpec {
+        kills_per_wave: 2,
+        budget: 8,
+        start: 0.0,
+        until: 0.8,
+    });
     // Odd churn picks also layer a partition over the regime.
     let partition = (churn_pick % 2 == 1).then_some(PartitionSpec {
         fraction: 0.3,
@@ -44,8 +57,10 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         2 => vec![ProtocolSpec::Dag { k: 2 }],
         _ => vec![ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree],
     };
-    // One pick in four runs as a short continuous registration.
-    let continuous = (proto_pick % 4 == 3).then_some(ContinuousSpec {
+    // One pick in four runs as a short continuous registration — unless
+    // the dynamic adversary is in play (the executor rejects replaying
+    // a dynamic kill schedule into window-local plans).
+    let continuous = (proto_pick % 4 == 3 && adversary.is_none()).then_some(ContinuousSpec {
         windows: 2,
         window_factor: 1.0,
     });
@@ -64,6 +79,7 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         protocols,
         churn,
         partition,
+        adversary,
         continuous,
         seeds: vec![base_seed, base_seed ^ 0xabcd, base_seed.wrapping_add(7)],
         repetitions: 2,
@@ -78,7 +94,7 @@ proptest! {
     fn parallel_report_equals_sequential(
         topo_seed in 1u64..500,
         base_seed in 0u64..10_000,
-        churn_pick in 0u8..6,
+        churn_pick in 0u8..7,
         proto_pick in 0u8..4,
         threads in 2usize..9,
     ) {

@@ -18,6 +18,12 @@ pub struct ChurnPlan {
     pub failures: Vec<(Time, HostId)>,
     /// `(time, host)` join events for hosts that start dead.
     pub joins: Vec<(Time, HostId)>,
+    /// Hosts explicitly marked dead from time 0, independent of any
+    /// events (they rejoin only if a join is scheduled). Window slicers
+    /// use this to say "down for the whole window" without resorting to
+    /// a sentinel join at `Time(u64::MAX)`, which any later shift or
+    /// merge arithmetic could silently wrap.
+    pub dead_from_start: Vec<HostId>,
 }
 
 impl ChurnPlan {
@@ -58,7 +64,7 @@ impl ChurnPlan {
             .collect();
         ChurnPlan {
             failures,
-            joins: Vec::new(),
+            ..ChurnPlan::default()
         }
     }
 
@@ -90,8 +96,8 @@ impl ChurnPlan {
             .map(|(i, &h)| (window_start + (i as u64 * span) / j.max(1) as u64, h))
             .collect();
         ChurnPlan {
-            failures: Vec::new(),
             joins,
+            ..ChurnPlan::default()
         }
     }
 
@@ -149,7 +155,7 @@ impl ChurnPlan {
         failures.sort_by_key(|&(t, h)| (t, h.0));
         ChurnPlan {
             failures,
-            joins: Vec::new(),
+            ..ChurnPlan::default()
         }
     }
 
@@ -167,7 +173,7 @@ impl ChurnPlan {
             .collect();
         ChurnPlan {
             failures,
-            joins: Vec::new(),
+            ..ChurnPlan::default()
         }
     }
 
@@ -233,9 +239,19 @@ impl ChurnPlan {
     /// is the combinator that lets a run stack regimes (uniform failures
     /// plus a flash crowd plus rejoin cycles) that the single-generator
     /// API could only express one at a time.
+    ///
+    /// **Same-tick tie-break.** Merging (and `oscillating` plans in
+    /// particular) can schedule a failure *and* a join for one host at
+    /// the same tick; deduplication is per-stream, so both survive. The
+    /// engine resolves the tie explicitly — failures apply before joins
+    /// at equal instants (the event queue ranks `Fail < Join`, not push
+    /// order) — so such a host dies, restarts via `on_start`, and ends
+    /// the tick **alive**. `initially_dead` and the window slicers
+    /// follow the same fail-before-join convention.
     pub fn merge(mut self, other: ChurnPlan) -> ChurnPlan {
         self.failures.extend(other.failures);
         self.joins.extend(other.joins);
+        self.dead_from_start.extend(other.dead_from_start);
         self.normalize();
         self
     }
@@ -248,6 +264,8 @@ impl ChurnPlan {
         self.failures.dedup();
         self.joins.sort_unstable_by_key(|&(t, h)| (t, h.0));
         self.joins.dedup();
+        self.dead_from_start.sort_unstable_by_key(|h| h.0);
+        self.dead_from_start.dedup();
     }
 
     /// Add a single failure.
@@ -262,14 +280,38 @@ impl ChurnPlan {
         self
     }
 
-    /// Hosts whose *first* scheduled event is a join — they start dead
-    /// and appear later. A host that fails first and rejoins afterwards
-    /// (fail-then-rejoin) starts alive like everyone else.
+    /// Mark a host dead from time 0, independent of any scheduled
+    /// events — it comes back only if a join is also scheduled. This is
+    /// the explicit spelling window slicers use for "down for the whole
+    /// window"; a sentinel join at `Time(u64::MAX)` would expose later
+    /// shift/merge arithmetic to wrap-around.
+    pub fn with_initially_dead(mut self, host: HostId) -> Self {
+        self.dead_from_start.push(host);
+        self
+    }
+
+    /// Hosts that start dead: those explicitly marked via
+    /// [`ChurnPlan::with_initially_dead`], plus hosts whose *first*
+    /// scheduled event is a join — they appear later. A host that fails
+    /// first and rejoins afterwards (fail-then-rejoin) starts alive
+    /// like everyone else; "first" follows the engine's same-tick
+    /// tie-break (failures apply before joins at equal instants), so a
+    /// host with both events at one tick starts alive, blips dead, and
+    /// ends the tick alive.
     pub fn initially_dead(&self) -> impl Iterator<Item = HostId> + '_ {
-        self.joins.iter().filter_map(move |&(jt, h)| {
-            let fails_earlier = self.failures.iter().any(|&(ft, fh)| fh == h && ft < jt);
-            (!fails_earlier).then_some(h)
-        })
+        self.dead_from_start
+            .iter()
+            .copied()
+            .chain(self.joins.iter().filter_map(move |&(jt, h)| {
+                // Hosts already pinned dead are not re-yielded here, so
+                // the iterator stays duplicate-free for count-based
+                // consumers even when a pinned host also rejoins.
+                if self.dead_from_start.contains(&h) {
+                    return None;
+                }
+                let fails_earlier = self.failures.iter().any(|&(ft, fh)| fh == h && ft <= jt);
+                (!fails_earlier).then_some(h)
+            }))
     }
 
     /// Number of scheduled failures.

@@ -103,9 +103,13 @@ impl PartitionPlan {
         PartitionPlan::new(sides)
     }
 
-    /// Add an active window `[from, until)`.
+    /// Add an active window `[from, until)`. A zero-length window
+    /// (`from == until`) is accepted but inert — it never activates the
+    /// cut; window slicers clamp absolute-time windows into local time
+    /// and must be able to represent (and then skip) the degenerate
+    /// result. Inverted windows are rejected.
     pub fn window(mut self, from: Time, until: Time) -> Self {
-        assert!(from < until, "empty partition window");
+        assert!(from <= until, "inverted partition window");
         self.windows.push((from, until));
         self
     }
@@ -223,8 +227,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty partition window")]
-    fn rejects_empty_window() {
-        let _ = PartitionPlan::new(vec![0, 1]).window(Time(5), Time(5));
+    fn zero_length_window_is_inert() {
+        let plan = PartitionPlan::new(vec![0, 1]).window(Time(5), Time(5));
+        assert!(!plan.is_active(Time(5)));
+        assert!(!plan.blocks(Time(5), HostId(0), HostId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted partition window")]
+    fn rejects_inverted_window() {
+        let _ = PartitionPlan::new(vec![0, 1]).window(Time(5), Time(4));
     }
 }

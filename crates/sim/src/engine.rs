@@ -3,6 +3,7 @@
 use crate::churn::ChurnPlan;
 use crate::ctx::Ctx;
 use crate::delay::{DelayModel, PartitionPlan};
+use crate::dynamic::{ChurnEvent, ChurnSource, EngineView, StateSummary};
 use crate::event::{EventQueue, Payload};
 use crate::metrics::Metrics;
 use crate::node::NodeLogic;
@@ -29,6 +30,7 @@ pub struct SimBuilder {
     medium: Medium,
     delay: DelayModel,
     churn: ChurnPlan,
+    dynamic: Option<Box<dyn ChurnSource>>,
     partition: Option<PartitionPlan>,
     seed: u64,
 }
@@ -41,6 +43,7 @@ impl SimBuilder {
             medium: Medium::PointToPoint,
             delay: DelayModel::default(),
             churn: ChurnPlan::none(),
+            dynamic: None,
             partition: None,
             seed: 0,
         }
@@ -61,6 +64,16 @@ impl SimBuilder {
     /// Install a churn plan (default: no churn).
     pub fn churn(mut self, churn: ChurnPlan) -> Self {
         self.churn = churn;
+        self
+    }
+
+    /// Install a *dynamic* churn source, polled by the event loop while
+    /// the run executes (default: none). Composes with a static
+    /// [`ChurnPlan`]: plan events are pre-materialized into the queue,
+    /// source events are injected at poll time — within one tick the
+    /// plan's failures and joins apply first, then the source's.
+    pub fn dynamic_churn(mut self, source: impl ChurnSource + 'static) -> Self {
+        self.dynamic = Some(Box::new(source));
         self
     }
 
@@ -98,6 +111,10 @@ impl SimBuilder {
         for &(t, h) in &self.churn.joins {
             queue.push(t, Payload::Join(h));
         }
+        if self.dynamic.is_some() {
+            // First poll at time 0; each poll schedules the next.
+            queue.push(Time::ZERO, Payload::ChurnPoll);
+        }
         let logic = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
         Simulation {
             trace: Trace::new(alive.clone()),
@@ -108,6 +125,7 @@ impl SimBuilder {
             metrics: Metrics::new(n),
             medium: self.medium,
             delay: self.delay,
+            dynamic: self.dynamic,
             partition: self.partition,
             rng: SmallRng::seed_from_u64(self.seed),
             last_depth: vec![0; n],
@@ -128,6 +146,7 @@ pub struct Simulation<L: NodeLogic> {
     trace: Trace,
     medium: Medium,
     delay: DelayModel,
+    dynamic: Option<Box<dyn ChurnSource>>,
     partition: Option<PartitionPlan>,
     rng: SmallRng,
     /// Deepest causal chain seen by each host; timers continue the chain
@@ -225,7 +244,53 @@ impl<L: NodeLogic> Simulation<L> {
                     self.activate(host, Activation::Timer { key });
                 }
             }
+            Payload::ChurnPoll => self.poll_churn_source(),
         }
+    }
+
+    /// Poll the dynamic churn source: summarize every host's protocol
+    /// state, hand the source an [`EngineView`], apply the events it
+    /// returns (source failures and joins have the same semantics as
+    /// statically scheduled ones, including trace recording), and
+    /// schedule the next poll it asks for.
+    fn poll_churn_source(&mut self) {
+        let Some(mut source) = self.dynamic.take() else {
+            return;
+        };
+        let summaries: Vec<StateSummary> = self
+            .logic
+            .iter()
+            .map(|l| l.as_ref().expect("logic present").summary())
+            .collect();
+        let view = EngineView {
+            now: self.now,
+            graph: &self.graph,
+            alive: &self.alive,
+            summaries: &summaries,
+        };
+        let events = source.next_events(self.now, &view);
+        for ev in events {
+            match ev {
+                ChurnEvent::Fail(h) => {
+                    if self.alive[h.index()] {
+                        self.alive[h.index()] = false;
+                        self.trace.record(TraceEvent::Fail(self.now, h));
+                    }
+                }
+                ChurnEvent::Join(h) => {
+                    if !self.alive[h.index()] {
+                        self.alive[h.index()] = true;
+                        self.trace.record(TraceEvent::Join(self.now, h));
+                        self.activate(h, Activation::Start);
+                    }
+                }
+            }
+        }
+        if let Some(at) = source.next_poll(self.now) {
+            assert!(at > self.now, "churn source must poll strictly forward");
+            self.queue.push(at, Payload::ChurnPoll);
+        }
+        self.dynamic = Some(source);
     }
 
     fn activate(&mut self, h: HostId, activation: Activation<L::Msg>) {
@@ -651,6 +716,105 @@ mod tests {
         // t=1 delivery blocked (window active), t=3 delivery (sent at
         // t=2) arrives exactly as the window closes.
         assert_eq!(sim.logic(HostId(1)).got, Some(Time(3)));
+    }
+
+    #[test]
+    fn plan_through_dynamic_path_matches_static_path() {
+        // The trivial static source: routing a fail/rejoin plan through
+        // the dynamic poll path produces the same trace, metrics and
+        // final membership as the pre-materialized fast path.
+        let plan = ChurnPlan::none()
+            .with_failure(Time(2), HostId(1))
+            .with_failure(Time(3), HostId(4))
+            .with_join(Time(5), HostId(1));
+        let run = |dynamic: bool| {
+            let b = SimBuilder::new(special::chain(6));
+            let b = if dynamic {
+                b.dynamic_churn(plan.clone())
+            } else {
+                b.churn(plan.clone())
+            };
+            let mut sim = b.build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+            sim.run_until(Time(50));
+            let alive: Vec<bool> = (0..6u32).map(|h| sim.is_alive(HostId(h))).collect();
+            (
+                sim.trace().events.clone(),
+                sim.metrics().messages_sent,
+                sim.metrics().total_processed(),
+                alive,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dynamic_source_sees_node_summaries() {
+        use crate::dynamic::StateSummary;
+
+        // Logic that exposes its host id as the sketch weight; a
+        // SketchAdversary must kill the highest ids first and spare h0.
+        #[derive(Debug)]
+        struct Weighted(HostId);
+        impl NodeLogic for Weighted {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+            fn summary(&self) -> StateSummary {
+                StateSummary {
+                    active: true,
+                    sketch_weight: Some(f64::from(self.0 .0)),
+                }
+            }
+        }
+        let adversary = crate::SketchAdversary::new(2, 4, Time(1), Time(9), HostId(0));
+        let mut sim = SimBuilder::new(special::cycle(8))
+            .dynamic_churn(adversary)
+            .build(Weighted);
+        sim.run_until(Time(20));
+        // Budget 4, highest weights first: h7, h6, h5, h4 die; h0 lives.
+        let alive: Vec<bool> = (0..8u32).map(|h| sim.is_alive(HostId(h))).collect();
+        assert_eq!(
+            alive,
+            vec![true, true, true, true, false, false, false, false]
+        );
+        assert_eq!(sim.trace().events.len(), 4);
+    }
+
+    #[test]
+    fn dynamic_source_kills_block_same_tick_deliveries() {
+        // A host killed by a churn-source poll at t misses messages
+        // delivered at t — same semantics as a static failure.
+        struct KillAt(Time, HostId);
+        impl crate::ChurnSource for KillAt {
+            fn next_events(
+                &mut self,
+                now: Time,
+                _: &crate::EngineView<'_>,
+            ) -> Vec<crate::ChurnEvent> {
+                if now == self.0 {
+                    vec![crate::ChurnEvent::Fail(self.1)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn next_poll(&self, now: Time) -> Option<Time> {
+                (now < self.0).then_some(self.0)
+            }
+        }
+        // Flood along a chain: h2 dies exactly when the flood (sent at
+        // t=1 by h1) would arrive at t=2.
+        let mut sim = SimBuilder::new(special::chain(5))
+            .dynamic_churn(KillAt(Time(2), HostId(2)))
+            .build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+        sim.run_until(Time(30));
+        assert_eq!(sim.logic(HostId(1)).seen_at, Some(Time(1)));
+        assert_eq!(sim.logic(HostId(2)).seen_at, None);
+        assert_eq!(sim.logic(HostId(3)).seen_at, None);
     }
 
     #[test]

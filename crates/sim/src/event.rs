@@ -30,19 +30,27 @@ pub(crate) enum Payload<M> {
         /// Protocol-chosen timer key.
         key: u64,
     },
+    /// Poll the installed dynamic churn source
+    /// (`SimBuilder::dynamic_churn`).
+    ChurnPoll,
 }
 
 impl<M> Payload<M> {
     /// Events at the same instant are processed in rank order:
     /// failures first (a host that fails at `t` does not see messages
-    /// delivered at `t`), then joins, then deliveries, then timers (so a
-    /// deadline timer at `t` observes every message arriving at `t`).
+    /// delivered at `t` — and within a tick the static fail-before-join
+    /// tie-break means a host scheduled for both dies, restarts, and
+    /// ends the tick alive), then joins, then churn-source polls (a
+    /// dynamically killed host misses the same tick's deliveries, like
+    /// a static failure), then deliveries, then timers (so a deadline
+    /// timer at `t` observes every message arriving at `t`).
     fn rank(&self) -> u8 {
         match self {
             Payload::Fail(_) => 0,
             Payload::Join(_) => 1,
-            Payload::Deliver { .. } => 2,
-            Payload::Timer { .. } => 3,
+            Payload::ChurnPoll => 2,
+            Payload::Deliver { .. } => 3,
+            Payload::Timer { .. } => 4,
         }
     }
 }

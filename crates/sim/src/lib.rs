@@ -17,6 +17,12 @@
 //!   fail at a uniform rate over an interval, plus optional host joins)
 //!   and richer regimes beyond the paper: flash-crowd join bursts,
 //!   correlated cluster failures, adversarial root-neighbourhood kills.
+//! * [`ChurnSource`] — *dynamic* churn decided during the run: the
+//!   event loop polls the source each announced instant with an
+//!   [`EngineView`] (alive set, per-host protocol state summaries via
+//!   [`NodeLogic::summary`]), which is what adaptive adversaries such
+//!   as the sketch-targeting [`SketchAdversary`] need; every
+//!   [`ChurnPlan`] doubles as the trivial static source.
 //! * [`PartitionPlan`] — temporary cuts severing cross-partition
 //!   messages for a window, then healing (disconnection without
 //!   departure).
@@ -36,6 +42,7 @@
 mod churn;
 mod ctx;
 mod delay;
+mod dynamic;
 mod engine;
 mod event;
 pub mod heartbeat;
@@ -47,6 +54,7 @@ mod trace;
 pub use churn::ChurnPlan;
 pub use ctx::Ctx;
 pub use delay::{DelayModel, PartitionPlan};
+pub use dynamic::{ChurnEvent, ChurnSource, EngineView, SketchAdversary, StateSummary};
 pub use engine::{Medium, SimBuilder, Simulation};
 pub use metrics::Metrics;
 pub use node::NodeLogic;

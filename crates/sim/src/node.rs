@@ -1,5 +1,6 @@
 //! The protocol-side interface: one [`NodeLogic`] instance per host.
 
+use crate::dynamic::StateSummary;
 use crate::Ctx;
 use pov_topology::HostId;
 
@@ -24,5 +25,15 @@ pub trait NodeLogic: Sized {
     /// Called when a timer previously set with [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, key: u64) {
         let _ = (ctx, key);
+    }
+
+    /// Observable protocol state for dynamic churn sources
+    /// ([`ChurnSource`](crate::ChurnSource)): a protocol-state-aware
+    /// adversary sees exactly what this returns, nothing more. The
+    /// default exposes nothing (inactive, no sketch weight), which
+    /// keeps oblivious sources oblivious; protocol crates override it
+    /// through their observer hooks.
+    fn summary(&self) -> StateSummary {
+        StateSummary::default()
     }
 }

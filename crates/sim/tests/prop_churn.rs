@@ -4,7 +4,7 @@
 //! one plan and rejoining in another behaves exactly like a host doing
 //! both in a single plan.
 
-use pov_sim::{ChurnPlan, Time};
+use pov_sim::{ChurnPlan, Time, TraceEvent};
 use pov_topology::HostId;
 use proptest::prelude::*;
 
@@ -109,6 +109,31 @@ proptest! {
         prop_assert_eq!(split, whole);
     }
 
+    /// No combination of generated and merged plans ever carries a
+    /// sentinel `u64::MAX` timestamp — dead-at-start hosts are encoded
+    /// through the explicit initially-dead marker, so shift/merge
+    /// arithmetic over plans can never wrap.
+    #[test]
+    fn merged_plans_never_carry_sentinel_timestamps(
+        a in arb_plan(16),
+        b in arb_plan(16),
+        dead in prop::collection::vec(0u32..16, 0..4),
+    ) {
+        let mut a = a;
+        for h in dead {
+            a = a.with_initially_dead(HostId(h));
+        }
+        let merged = a.merge(b);
+        for &(t, _) in merged.failures.iter().chain(&merged.joins) {
+            prop_assert!(t < Time(u64::MAX), "sentinel timestamp leaked");
+        }
+        // The marker survives the merge (it is part of the canonical
+        // form, not an event), and marked hosts start dead.
+        for &h in &merged.dead_from_start {
+            prop_assert!(merged.initially_dead().any(|d| d == h));
+        }
+    }
+
     /// Stacking an oscillating plan on top of uniform failures keeps
     /// both schedules intact: every event of each constituent appears
     /// in the merge.
@@ -125,5 +150,58 @@ proptest! {
         for &(t, h) in &osc.joins {
             prop_assert!(merged.joins.contains(&(t, h)));
         }
+    }
+}
+
+/// Engine-backed regression for the same-tick tie-break: `merge` can
+/// legally schedule a failure *and* a join for one host at the same
+/// tick (per-stream dedup keeps both, and `oscillating` stacked on a
+/// failure regime makes this easy). The outcome is explicit, not an
+/// accident of push order: failures apply before joins at equal
+/// instants, so the host starts alive, blips dead at the tick, restarts
+/// via `on_start`, and ends the tick alive — identically for either
+/// merge order.
+#[test]
+fn same_tick_fail_plus_join_dies_then_rejoins() {
+    use pov_sim::{Ctx, NodeLogic, SimBuilder};
+    use pov_topology::generators::special;
+
+    #[derive(Debug, Default)]
+    struct Starts {
+        count: u32,
+    }
+    impl NodeLogic for Starts {
+        type Msg = ();
+        fn on_start(&mut self, _: &mut Ctx<'_, ()>) {
+            self.count += 1;
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+    }
+
+    let a = ChurnPlan::none().with_failure(Time(5), HostId(1));
+    let b = ChurnPlan::none().with_join(Time(5), HostId(1));
+    for merged in [a.clone().merge(b.clone()), b.merge(a)] {
+        // The failure is the host's first event under the tie-break, so
+        // it must NOT start dead.
+        assert_eq!(merged.initially_dead().count(), 0);
+        let mut sim = SimBuilder::new(special::chain(3))
+            .churn(merged)
+            .build(|_| Starts::default());
+        sim.run_until(Time(10));
+        assert!(sim.is_alive(HostId(1)), "ends the tick alive");
+        assert_eq!(sim.num_alive(), 3);
+        assert_eq!(
+            sim.logic(HostId(1)).count,
+            2,
+            "started at t=0 and restarted at the same-tick rejoin"
+        );
+        assert_eq!(
+            sim.trace().events,
+            vec![
+                TraceEvent::Fail(Time(5), HostId(1)),
+                TraceEvent::Join(Time(5), HostId(1)),
+            ],
+            "fail recorded before join at the tied instant"
+        );
     }
 }
