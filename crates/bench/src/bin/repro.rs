@@ -13,6 +13,7 @@
 //! repro scenario a.scn --json report.json        # machine-readable report
 //! ```
 
+use pov_bench::engine_bench::{self, BenchMode};
 use pov_bench::Scale;
 use pov_core::experiments::{
     ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
@@ -43,11 +44,14 @@ repro — regenerate the tables and figures of the paper's §6
 USAGE:
     repro [--paper] [--json PATH] [EXPERIMENT]...
     repro scenario FILE... [--threads N] [--json PATH]
+    repro bench [--quick] [--json PATH]
 
 OPTIONS:
     --paper        run experiments at the paper's full §6 sizes (default: quick scale)
     --threads N    worker threads for the scenario batch runner (default: 1)
-    --json PATH    write results as JSON to PATH (experiment rows, or scenario reports)
+    --json PATH    write results as JSON to PATH (experiment rows, scenario reports,
+                   or the bench document — default BENCH_engine.json for `bench`)
+    --quick        run `repro bench` at CI scale instead of the full sizes
     -h, --help     print this help
 
 ARGUMENTS:
@@ -62,6 +66,7 @@ fn fail(msg: &str) -> ! {
 /// Split `args` into flag values and positional arguments.
 struct Opts {
     paper: bool,
+    quick: bool,
     threads: Option<usize>,
     json: Option<String>,
     positional: Vec<String>,
@@ -70,6 +75,7 @@ struct Opts {
 fn parse_opts(args: &[String]) -> Opts {
     let mut opts = Opts {
         paper: false,
+        quick: false,
         threads: None,
         json: None,
         positional: Vec::new(),
@@ -78,6 +84,7 @@ fn parse_opts(args: &[String]) -> Opts {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--paper" => opts.paper = true,
+            "--quick" => opts.quick = true,
             "--threads" => {
                 let v = it
                     .next()
@@ -126,11 +133,63 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if args.first().map(String::as_str) == Some("scenario") {
-        scenario_main(&args[1..]);
-    } else {
-        experiments_main(&args);
+    match args.first().map(String::as_str) {
+        Some("scenario") => scenario_main(&args[1..]),
+        Some("bench") => bench_main(&args[1..]),
+        _ => experiments_main(&args),
     }
+}
+
+// -------------------------------------------------------------------- bench
+
+fn bench_main(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.paper {
+        fail("'--paper' applies to the figure experiments, not `repro bench`");
+    }
+    if opts.threads.is_some() {
+        fail("'--threads' only applies to `repro scenario`; the bench runs single-threaded");
+    }
+    if !opts.positional.is_empty() {
+        fail(&format!(
+            "`repro bench` takes no workload arguments (got '{}')",
+            opts.positional[0]
+        ));
+    }
+    let mode = if opts.quick {
+        BenchMode::Quick
+    } else {
+        BenchMode::Full
+    };
+    eprintln!(
+        "# engine bench ({} scale)",
+        if opts.quick { "quick" } else { "full" }
+    );
+    let results = engine_bench::run(mode);
+    println!(
+        "{:<22} {:>7} {:>6} {:>12} {:>10} {:>12} {:>12} {:>9}",
+        "workload", "n", "runs", "events", "wall_ms", "events/s", "ticks/s", "speedup"
+    );
+    let baseline = engine_bench::recorded_baseline(mode);
+    for r in &results {
+        let speedup = baseline
+            .iter()
+            .find(|&&(name, _)| name == r.name)
+            .map(|&(_, eps)| r.events_per_sec / eps);
+        println!(
+            "{:<22} {:>7} {:>6} {:>12} {:>10.1} {:>12.0} {:>12.0} {:>9}",
+            r.name,
+            r.n,
+            r.runs,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.ticks_per_sec,
+            speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+        );
+    }
+    let path = opts.json.as_deref().unwrap_or("BENCH_engine.json");
+    write_json(path, &engine_bench::to_json(mode, &results));
 }
 
 // ---------------------------------------------------------------- scenarios
@@ -139,6 +198,9 @@ fn scenario_main(args: &[String]) {
     let opts = parse_opts(args);
     if opts.paper {
         fail("'--paper' applies to the figure experiments, not `repro scenario`");
+    }
+    if opts.quick {
+        fail("'--quick' applies to `repro bench`; scenario scale lives in the .scn file");
     }
     if opts.positional.is_empty() {
         fail("`repro scenario` needs at least one .scn file");
@@ -182,9 +244,11 @@ fn scenario_main(args: &[String]) {
 }
 
 /// One table per protocol section — a multi-protocol scenario prints
-/// its paired contenders back to back.
+/// its paired contenders back to back, followed by one paired-difference
+/// table per contender (`contender − baseline`, mean ± 95% CI per cell;
+/// `|mean| > ci95` reads as a significant protocol effect).
 fn summary_tables(report: &pov_scenario::Report) -> Vec<Table> {
-    report
+    let mut tables: Vec<Table> = report
         .protocols
         .iter()
         .map(|section| {
@@ -219,7 +283,31 @@ fn summary_tables(report: &pov_scenario::Report) -> Vec<Table> {
             }
             t
         })
-        .collect()
+        .collect();
+    for paired in &report.paired {
+        let title = format!(
+            "scenario '{}' — paired difference {} − {} per (seed, rep, window) cell",
+            report.scenario, paired.protocol, paired.baseline,
+        );
+        let mut t = Table::new(title, &["metric", "mean", "ci95", "significant", "count"]);
+        for d in &paired.diffs {
+            t.push(vec![
+                d.metric.to_string(),
+                format!("{:.2}", d.mean),
+                format!("±{:.2}", d.ci95),
+                // A single cell has no variance estimate (ci95
+                // degenerates to 0); refuse to call that significant.
+                if d.count < 2 {
+                    "-".to_string()
+                } else {
+                    (d.mean.abs() > d.ci95).to_string()
+                },
+                d.count.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
 }
 
 // -------------------------------------------------------------- experiments
@@ -228,6 +316,9 @@ fn experiments_main(args: &[String]) {
     let opts = parse_opts(args);
     if opts.threads.is_some() {
         fail("'--threads' only applies to `repro scenario` (experiments run one trial at a time)");
+    }
+    if opts.quick {
+        fail("'--quick' applies to `repro bench`; experiments default to quick scale already");
     }
     let scale = if opts.paper {
         Scale::Paper

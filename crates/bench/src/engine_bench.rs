@@ -1,0 +1,323 @@
+//! `repro bench` — a deterministic wall-clock harness for the engine
+//! hot path.
+//!
+//! Three fixed workloads mirror the scenario library's regimes
+//! (`paper_baseline`, `churn_plus_partition`, `adversarial_sketch`) but
+//! run straight through [`runner::run_all`], so what is measured is the
+//! simulator itself: event-queue throughput, delivery fan-out, churn
+//! and partition checks — not the oracle or the report aggregation.
+//! Every workload is a pure function of its hard-coded seeds: the
+//! *event counts* are asserted stable (`runs`, `events`, `messages`
+//! never change unless engine semantics change), only the wall-clock
+//! numbers vary per machine.
+//!
+//! The harness emits `BENCH_engine.json` (schema documented in the
+//! README) carrying, per workload:
+//!
+//! * `events` / `events_per_sec` — engine-loop dispatches (fails, joins,
+//!   deliveries, timers, churn polls) and their wall-clock rate;
+//! * `ticks` / `ticks_per_sec` — simulated virtual ticks and their rate;
+//! * `peak_rss_kb` — the process peak RSS (`VmHWM`) after the workload,
+//!   a monotone proxy for the engine's high-water memory;
+//!
+//! plus the **recorded pre-refactor baseline** (`baseline` object): the
+//! same workloads measured on the reference machine with the PR-5
+//! pre-refactor engine (`BinaryHeap` event queue, per-run graph clones,
+//! per-wave buffer allocations). The `speedup_events_per_sec` ratios
+//! make the perf trajectory of this and every future PR explicit;
+//! absolute numbers shift with hardware, the *ratio between two runs on
+//! one machine* is the signal.
+
+use pov_core::pov_protocols::wildfire::WildfireOpts;
+use pov_core::pov_protocols::{runner, AdversarySpec, Aggregate, ProtocolKind, RunPlan};
+use pov_core::pov_sim::{ChurnPlan, PartitionPlan, Time};
+use pov_core::pov_topology::generators::TopologyKind;
+use pov_core::pov_topology::{analysis, HostId};
+use pov_core::workload;
+use pov_scenario::Json;
+use std::time::Instant;
+
+/// One workload's measured result.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Workload name (`paper_baseline`, `churn_plus_partition`,
+    /// `adversarial_sketch`).
+    pub name: &'static str,
+    /// Hosts in the topology.
+    pub n: usize,
+    /// Simulations executed (seeds × protocols).
+    pub runs: usize,
+    /// Virtual ticks simulated across all runs.
+    pub ticks: u64,
+    /// Engine events dispatched across all runs (deterministic).
+    pub events: u64,
+    /// Messages sent across all runs (deterministic).
+    pub messages: u64,
+    /// Wall-clock milliseconds for the whole workload.
+    pub wall_ms: f64,
+    /// `events / wall seconds`.
+    pub events_per_sec: f64,
+    /// `ticks / wall seconds`.
+    pub ticks_per_sec: f64,
+    /// Peak RSS (`VmHWM`, kB) observed after the workload; `None` when
+    /// `/proc/self/status` is unavailable (non-Linux).
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// Scale preset for the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchMode {
+    /// CI-sized: a few seconds end to end.
+    Quick,
+    /// Default: large enough that per-event costs dominate setup.
+    Full,
+}
+
+impl BenchMode {
+    fn label(self) -> &'static str {
+        match self {
+            BenchMode::Quick => "quick",
+            BenchMode::Full => "full",
+        }
+    }
+}
+
+/// The recorded pre-refactor baseline (events/sec per workload), in
+/// workload order. Measured on the reference machine at quick/full
+/// scale with the pre-refactor engine — `BinaryHeap<Event>` queue,
+/// `graph.clone()` per run, fresh per-wave buffers — immediately before
+/// the hot-path refactor landed, using this exact harness.
+pub fn recorded_baseline(mode: BenchMode) -> [(&'static str, f64); 3] {
+    match mode {
+        BenchMode::Quick => [
+            ("paper_baseline", 2.58e6),
+            ("churn_plus_partition", 3.17e6),
+            ("adversarial_sketch", 2.57e6),
+        ],
+        BenchMode::Full => [
+            ("paper_baseline", 1.59e6),
+            ("churn_plus_partition", 2.11e6),
+            ("adversarial_sketch", 1.71e6),
+        ],
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    n: usize,
+    seeds: u64,
+    protocols: Vec<ProtocolKind>,
+    regime: Regime,
+}
+
+enum Regime {
+    Static,
+    ChurnPlusPartition,
+    AdversarialSketch,
+}
+
+fn workloads(mode: BenchMode) -> Vec<Workload> {
+    let (n1, n2, n3, seeds) = match mode {
+        BenchMode::Quick => (1_000, 800, 800, 3),
+        BenchMode::Full => (6_000, 4_000, 4_000, 5),
+    };
+    let wf = ProtocolKind::Wildfire(WildfireOpts::default());
+    vec![
+        Workload {
+            name: "paper_baseline",
+            n: n1,
+            seeds,
+            protocols: vec![wf],
+            regime: Regime::Static,
+        },
+        Workload {
+            name: "churn_plus_partition",
+            n: n2,
+            seeds,
+            protocols: vec![wf, ProtocolKind::SpanningTree],
+            regime: Regime::ChurnPlusPartition,
+        },
+        Workload {
+            name: "adversarial_sketch",
+            n: n3,
+            seeds,
+            protocols: vec![wf],
+            regime: Regime::AdversarialSketch,
+        },
+    ]
+}
+
+/// Run one workload and measure it.
+fn run_workload(w: &Workload) -> BenchResult {
+    // Setup (topology, values, diameter probe) happens outside the
+    // timed region: the harness measures the event loop, not graph
+    // construction.
+    let graph = TopologyKind::Random.build(w.n, 1);
+    let n = graph.num_hosts();
+    let values = workload::paper_values(n, 0x5eed_0001);
+    let d_hat = analysis::diameter_estimate(&graph, 4, 1) + 2;
+    let hq = HostId(0);
+    let base = RunPlan::query(Aggregate::Count)
+        .d_hat(d_hat)
+        .from_host(hq)
+        .protocols(w.protocols.iter().copied());
+    let deadline = base.deadline();
+
+    let mut events = 0u64;
+    let mut messages = 0u64;
+    let mut runs = 0usize;
+    let start = Instant::now();
+    for seed in 0..w.seeds {
+        let mut plan = base.clone().seed(seed);
+        match w.regime {
+            Regime::Static => {}
+            Regime::ChurnPlusPartition => {
+                plan = plan
+                    .churn(ChurnPlan::uniform_failures(
+                        n,
+                        n / 10,
+                        Time(0),
+                        Time(deadline),
+                        hq,
+                        seed ^ 0x00c0_ffee,
+                    ))
+                    .partition(
+                        PartitionPlan::split_bfs(&graph, HostId(n as u32 / 3), 0.3)
+                            .window(Time(deadline / 10), Time(deadline * 2 / 3)),
+                    );
+            }
+            Regime::AdversarialSketch => {
+                plan = plan.adversary(AdversarySpec::fm_maxima(
+                    4,
+                    n / 20,
+                    Time(1),
+                    Time(deadline * 3 / 4),
+                ));
+            }
+        }
+        for (_, out) in runner::run_all(&graph, &values, &plan) {
+            events += out.metrics.events_dispatched;
+            messages += out.metrics.messages_sent;
+            runs += 1;
+        }
+    }
+    let wall = start.elapsed();
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let ticks = (deadline + 2) * runs as u64;
+    BenchResult {
+        name: w.name,
+        n,
+        runs,
+        ticks,
+        events,
+        messages,
+        wall_ms: wall_s * 1e3,
+        events_per_sec: events as f64 / wall_s,
+        ticks_per_sec: ticks as f64 / wall_s,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Execute all three workloads at `mode` scale.
+pub fn run(mode: BenchMode) -> Vec<BenchResult> {
+    workloads(mode).iter().map(run_workload).collect()
+}
+
+/// The `BENCH_engine.json` document: schema version, mode, per-workload
+/// measurements, the recorded pre-refactor baseline, and the speedup
+/// ratio of each workload against it.
+pub fn to_json(mode: BenchMode, results: &[BenchResult]) -> Json {
+    let baseline = recorded_baseline(mode);
+    let mut base_obj = Json::obj();
+    for &(name, eps) in &baseline {
+        base_obj = base_obj.with(name, Json::obj().with("events_per_sec", eps));
+    }
+    Json::obj()
+        .with("schema", "bench_engine/v1")
+        .with("mode", mode.label())
+        .with(
+            "workloads",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        let base = baseline
+                            .iter()
+                            .find(|&&(name, _)| name == r.name)
+                            .map(|&(_, eps)| eps);
+                        Json::obj()
+                            .with("name", r.name)
+                            .with("n", r.n)
+                            .with("runs", r.runs)
+                            .with("ticks", r.ticks)
+                            .with("events", r.events)
+                            .with("messages", r.messages)
+                            .with("wall_ms", r.wall_ms)
+                            .with("events_per_sec", r.events_per_sec)
+                            .with("ticks_per_sec", r.ticks_per_sec)
+                            .with("peak_rss_kb", r.peak_rss_kb)
+                            .with(
+                                "speedup_events_per_sec",
+                                base.map(|eps| r.events_per_sec / eps),
+                            )
+                    })
+                    .collect(),
+            ),
+        )
+        .with(
+            "baseline",
+            Json::obj()
+                .with(
+                    "recorded",
+                    "pre-refactor engine (BinaryHeap queue, per-run graph clones), \
+                     reference machine, release build",
+                )
+                .with("workloads", base_obj),
+        )
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), the
+/// cheapest portable-enough RSS proxy; `None` off Linux.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_is_deterministic_in_event_counts() {
+        let a = run(BenchMode::Quick);
+        let b = run(BenchMode::Quick);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.events, y.events, "{}", x.name);
+            assert_eq!(x.messages, y.messages, "{}", x.name);
+            assert_eq!(x.ticks, y.ticks, "{}", x.name);
+            assert!(x.events > 0 && x.runs > 0, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn json_schema_has_all_sections() {
+        let results = run(BenchMode::Quick);
+        let doc = to_json(BenchMode::Quick, &results).render();
+        for needle in [
+            "\"schema\": \"bench_engine/v1\"",
+            "\"mode\": \"quick\"",
+            "\"workloads\"",
+            "\"events_per_sec\"",
+            "\"baseline\"",
+            "\"speedup_events_per_sec\"",
+            "\"paper_baseline\"",
+            "\"churn_plus_partition\"",
+            "\"adversarial_sketch\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+}

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_bench;
+
 use pov_core::experiments::{
     ablation, adversary, fig06, fig10, fig11, fig12, fig13, price, validity,
 };

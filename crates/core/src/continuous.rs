@@ -119,9 +119,7 @@ pub fn hc_decay(
         fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
     }
     let horizon = Time(window * windows as u64);
-    let mut sim = SimBuilder::new(graph.clone())
-        .churn(churn.clone())
-        .build(|_| Idle);
+    let mut sim = SimBuilder::over(graph).churn(churn.clone()).build(|_| Idle);
     sim.run_until(horizon);
     let trace = sim.trace();
     (0..windows)

@@ -302,29 +302,40 @@ fn slice_churn(churn: &ChurnPlan, num_hosts: usize, start: Time, hq: HostId) -> 
 }
 
 /// Shift a partition plan's active windows into a window's local time,
-/// clipping at the window start. Returns `None` when no cut overlaps
-/// the remaining timeline — degenerate (zero-length) windows, whether
-/// present in the source plan or produced by the clamp, are skipped so
-/// a dead cut never masquerades as an active partition downstream.
+/// clipping at the window start — cut by cut, so cascading (stacked)
+/// partitions slice like single ones. Returns `None` when no cut
+/// overlaps the remaining timeline — degenerate (zero-length) windows,
+/// whether present in the source plan or produced by the clamp, are
+/// skipped so a dead cut never masquerades as an active partition
+/// downstream; cuts left without windows are dropped entirely.
 fn slice_partition(plan: &PartitionPlan, start: Time) -> Option<PartitionPlan> {
-    let mut local = PartitionPlan::new(plan.sides().to_vec());
-    let mut any = false;
-    for &(from, until) in plan.windows() {
-        if until <= start {
-            continue;
+    let mut sliced: Option<PartitionPlan> = None;
+    for (sides, windows) in plan.cuts() {
+        let mut local = PartitionPlan::new(sides.to_vec());
+        let mut any = false;
+        for &(from, until) in windows {
+            if until <= start {
+                continue;
+            }
+            let f = from.ticks().saturating_sub(start.ticks());
+            let u = until.ticks() - start.ticks();
+            if f == u {
+                // A zero-length `[f, f)` cut can never activate;
+                // counting it would hand callers a Some(plan) whose
+                // every window is inert.
+                continue;
+            }
+            local = local.window(Time(f), Time(u));
+            any = true;
         }
-        let f = from.ticks().saturating_sub(start.ticks());
-        let u = until.ticks() - start.ticks();
-        if f == u {
-            // A zero-length `[f, f)` cut can never activate; counting
-            // it toward `any` would hand callers a Some(plan) whose
-            // every window is inert.
-            continue;
+        if any {
+            sliced = Some(match sliced {
+                None => local,
+                Some(acc) => acc.stack(local),
+            });
         }
-        local = local.window(Time(f), Time(u));
-        any = true;
     }
-    any.then_some(local)
+    sliced
 }
 
 #[cfg(test)]
@@ -688,6 +699,46 @@ mod tests {
         // The rejoin survives in local time; the no-op fail does not.
         assert!(local.joins.contains(&(Time(10), h)));
         assert!(!local.failures.contains(&(Time(10), h)));
+    }
+
+    #[test]
+    fn stacked_cuts_slice_cut_by_cut() {
+        // Cut A lives in [0, 6) (gone by the slice point); cut B spans
+        // it. Slicing at t=10 must keep only cut B, shifted.
+        let a = PartitionPlan::new(vec![0, 1]).window(Time(0), Time(6));
+        let b = PartitionPlan::new(vec![1, 0]).window(Time(4), Time(30));
+        let local = slice_partition(&a.stack(b), Time(10)).expect("cut B survives");
+        let cuts: Vec<_> = local.cuts().collect();
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].0, &[1, 0]);
+        assert_eq!(cuts[0].1, &[(Time(0), Time(20))]);
+        // Both cuts expired: nothing survives.
+        let a = PartitionPlan::new(vec![0, 1]).window(Time(0), Time(6));
+        let b = PartitionPlan::new(vec![1, 0]).window(Time(4), Time(8));
+        assert!(slice_partition(&a.stack(b), Time(10)).is_none());
+    }
+
+    #[test]
+    fn cascading_partitions_run_through_judged_plan() {
+        // Two overlapping regional cuts on a cycle: while either is
+        // active its far side is unreachable; the declared count drops
+        // below the static-network 16 even though nobody fails.
+        let g = special::cycle(16);
+        let first = (0..16u8).map(|i| u8::from(i >= 8)).collect();
+        let second = (0..16u8).map(|i| u8::from((4..12).contains(&i))).collect();
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(9)
+            .partition(
+                PartitionPlan::new(first)
+                    .window(Time(0), Time(8))
+                    .stack(PartitionPlan::new(second).window(Time(5), Time(1_000))),
+            )
+            .protocol(ProtocolKind::SpanningTree);
+        let judged = judged_plan(&g, &[1; 16], &plan);
+        let out = judged[0].one();
+        let v = out.value.expect("hq alive");
+        assert!(v < 16.0, "cascading cuts must hide hosts, got {v}");
+        assert_eq!(out.hu_size, 16, "everyone stays alive");
     }
 
     #[test]

@@ -220,7 +220,7 @@ mod tests {
         d_hat: u32,
         routing: ReportRouting,
         churn: ChurnPlan,
-    ) -> Simulation<AllReportNode> {
+    ) -> Simulation<'static, AllReportNode> {
         let spec = QuerySpec {
             aggregate,
             d_hat,

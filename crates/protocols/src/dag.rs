@@ -287,7 +287,7 @@ mod tests {
         d_hat: u32,
         churn: ChurnPlan,
         seed: u64,
-    ) -> Simulation<DagNode> {
+    ) -> Simulation<'static, DagNode> {
         let spec = QuerySpec {
             aggregate,
             d_hat,

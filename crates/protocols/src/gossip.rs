@@ -175,7 +175,7 @@ mod tests {
         aggregate: Aggregate,
         rounds: u32,
         churn: ChurnPlan,
-    ) -> Simulation<GossipNode> {
+    ) -> Simulation<'static, GossipNode> {
         let values = values.to_vec();
         let mut sim = SimBuilder::new(graph)
             .churn(churn)

@@ -320,9 +320,12 @@ impl RunPlan {
         }
     }
 
-    /// The simulation this plan describes, over `graph`.
-    fn sim_builder(&self, graph: &Graph) -> SimBuilder {
-        let mut b = SimBuilder::new(graph.clone())
+    /// The simulation this plan describes, over `graph`. The builder
+    /// *borrows* the graph: every protocol of a multi-run plan (and
+    /// every cell of a batch sweep) shares one CSR neighbour arena
+    /// instead of cloning the adjacency per run.
+    fn sim_builder<'g>(&self, graph: &'g Graph) -> SimBuilder<'g> {
+        let mut b = SimBuilder::over(graph)
             .medium(self.medium)
             .delay(self.delay)
             .churn(self.churn.clone())
@@ -361,7 +364,7 @@ impl Outcome {
 }
 
 fn finish<L: NodeLogic>(
-    mut sim: Simulation<L>,
+    mut sim: Simulation<'_, L>,
     horizon: Time,
     read_result: impl Fn(&L) -> Option<(f64, Time)>,
     hq: HostId,
@@ -400,7 +403,9 @@ pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], plan: &RunPlan) ->
     let spec = cfg.spec();
     let horizon = Time(spec.deadline() + 2);
     let hq = cfg.hq;
-    let vals = values.to_vec();
+    // Factories borrow the caller's value slice: per-run clones of the
+    // whole attribute table were pure allocation churn in batch sweeps.
+    let vals = values;
     let builder = || cfg.sim_builder(graph);
     match kind {
         ProtocolKind::AllReport(routing) => {
@@ -520,7 +525,7 @@ pub fn run_wildfire_operator(
     );
     let spec = cfg.spec();
     let hq = cfg.hq;
-    let vals = values.to_vec();
+    let vals = values;
     let mut sim = cfg.sim_builder(graph).build(move |h| {
         if h == hq {
             WildfireNode::query_host_with_operator(vals[h.index()], spec, opts, operator)

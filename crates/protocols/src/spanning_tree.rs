@@ -211,7 +211,7 @@ mod tests {
         aggregate: Aggregate,
         d_hat: u32,
         churn: ChurnPlan,
-    ) -> Simulation<SpanningTreeNode> {
+    ) -> Simulation<'static, SpanningTreeNode> {
         let spec = QuerySpec {
             aggregate,
             d_hat,

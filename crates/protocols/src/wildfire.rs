@@ -32,7 +32,7 @@ use crate::common::{Operator, Partial, QuerySpec};
 use crate::observer::{summary_of, ProtocolObserver};
 use pov_sim::{Ctx, Medium, NodeLogic, StateSummary, Time};
 use pov_topology::HostId;
-use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Timer key for the declaration deadline at `hq`.
 const TIMER_DECLARE: u64 = 0;
@@ -59,6 +59,12 @@ impl Default for WildfireOpts {
 }
 
 /// WILDFIRE messages.
+///
+/// Partials travel as `Rc<Partial>`: a fan-out to `d` neighbours is `d`
+/// reference bumps on one sketch allocation instead of `d` deep clones
+/// of the FM registers (the engine is single-threaded per simulation,
+/// so `Rc` is safe). Receivers copy-on-write via [`Rc::make_mut`] only
+/// when a combine actually has to mutate.
 #[derive(Clone, Debug)]
 pub enum WfMsg {
     /// Phase-I flood: query spec, hop count so far, and (optionally)
@@ -69,25 +75,52 @@ pub enum WfMsg {
         /// Hops travelled so far (sender's depth).
         hops: u32,
         /// Piggybacked partial aggregate of the sender.
-        partial: Option<Partial>,
+        partial: Option<Rc<Partial>>,
     },
     /// Phase-II convergecast: the sender's current partial aggregate.
     Converge {
         /// Sender's partial aggregate `A_{h'}`.
-        partial: Partial,
+        partial: Rc<Partial>,
     },
 }
 
 /// Active-phase state.
 #[derive(Debug)]
 struct Active {
-    partial: Partial,
+    partial: Rc<Partial>,
     depth: u32,
     spec: QuerySpec,
     /// Last partial each neighbour is known to hold (either because it
-    /// sent it to us, or because we sent ours to it).
-    knowledge: HashMap<HostId, Partial>,
+    /// sent it to us, or because we sent ours to it), indexed by the
+    /// neighbour's position in this host's sorted CSR neighbour slice —
+    /// a dense array instead of the former `HashMap<HostId, Partial>`,
+    /// so the flush path does no hashing and the "we sent ours" entries
+    /// share the partial's allocation instead of deep-cloning it per
+    /// neighbour.
+    knowledge: Vec<Option<Rc<Partial>>>,
     flush_scheduled: bool,
+}
+
+impl Active {
+    /// Whether the neighbour at `slot` is known to already hold exactly
+    /// the current partial (Example 5.1's skip rule). Pointer equality
+    /// catches the overwhelmingly common case — the entry aliases the
+    /// partial we last sent — before falling back to deep comparison.
+    fn synced(&self, slot: usize) -> bool {
+        self.knowledge[slot]
+            .as_ref()
+            .is_some_and(|k| Rc::ptr_eq(k, &self.partial) || **k == *self.partial)
+    }
+
+    /// Join `incoming` into what neighbour `slot` is known to hold
+    /// (copy-on-write: don't overwrite — reliable links mean the sender
+    /// still holds everything we sent it earlier).
+    fn absorb(&mut self, slot: usize, incoming: &Rc<Partial>) {
+        match &mut self.knowledge[slot] {
+            Some(k) => Rc::make_mut(k).combine(incoming),
+            slot @ None => *slot = Some(Rc::clone(incoming)),
+        }
+    }
 }
 
 /// Per-host WILDFIRE state.
@@ -152,7 +185,7 @@ impl WildfireNode {
 
     /// Current partial aggregate (diagnostics/tests).
     pub fn partial(&self) -> Option<&Partial> {
-        self.active.as_ref().map(|a| &a.partial)
+        self.active.as_ref().map(|a| a.partial.as_ref())
     }
 
     /// Hop depth at which this host was activated.
@@ -175,10 +208,10 @@ impl WildfireNode {
             .operator
             .init(spec.aggregate, self.value, spec.c, ctx.rng());
         self.active = Some(Active {
-            partial,
+            partial: Rc::new(partial),
             depth,
             spec,
-            knowledge: HashMap::new(),
+            knowledge: vec![None; ctx.degree()],
             flush_scheduled: false,
         });
         self.query = Some(spec);
@@ -186,7 +219,7 @@ impl WildfireNode {
 
     /// Fig 4's receive-a-partial step (batched: combine now, send at the
     /// end of the tick).
-    fn receive_partial(&mut self, ctx: &mut Ctx<'_, WfMsg>, from: HostId, incoming: Partial) {
+    fn receive_partial(&mut self, ctx: &mut Ctx<'_, WfMsg>, from: HostId, incoming: Rc<Partial>) {
         let Some(active) = self.active.as_mut() else {
             return;
         };
@@ -198,15 +231,13 @@ impl WildfireNode {
         if ctx.now().ticks() > deadline {
             return; // Fig 4: "else Terminate"
         }
-        active.partial.combine_check(&incoming);
+        Rc::make_mut(&mut active.partial).combine_check(&incoming);
         // Join, don't overwrite: the sender still holds everything we
         // sent it earlier (reliable links), even if this message was in
         // flight before ours arrived.
-        active
-            .knowledge
-            .entry(from)
-            .and_modify(|k| k.combine(&incoming))
-            .or_insert(incoming);
+        if let Ok(slot) = ctx.neighbors().binary_search(&from) {
+            active.absorb(slot, &incoming);
+        }
         if !active.flush_scheduled {
             active.flush_scheduled = true;
             ctx.set_timer_at_tick_end(TIMER_FLUSH);
@@ -230,27 +261,29 @@ impl WildfireNode {
             return;
         }
         let neighbors = ctx.neighbors();
-        let stale: Vec<HostId> = neighbors
-            .iter()
-            .copied()
-            .filter(|n| active.knowledge.get(n) != Some(&active.partial))
-            .collect();
-        if stale.is_empty() {
-            return;
-        }
-        let msg = WfMsg::Converge {
-            partial: active.partial.clone(),
-        };
         if ctx.medium() == Medium::Radio {
+            if (0..neighbors.len()).all(|slot| active.synced(slot)) {
+                return;
+            }
             // One transmission reaches everyone; all neighbours now know.
-            ctx.broadcast(msg);
-            for &n in neighbors {
-                active.knowledge.insert(n, active.partial.clone());
+            ctx.broadcast(WfMsg::Converge {
+                partial: Rc::clone(&active.partial),
+            });
+            for slot in active.knowledge.iter_mut() {
+                *slot = Some(Rc::clone(&active.partial));
             }
         } else {
-            for n in stale {
-                ctx.send(n, msg.clone());
-                active.knowledge.insert(n, active.partial.clone());
+            for (slot, &n) in neighbors.iter().enumerate() {
+                if active.synced(slot) {
+                    continue;
+                }
+                ctx.send(
+                    n,
+                    WfMsg::Converge {
+                        partial: Rc::clone(&active.partial),
+                    },
+                );
+                active.knowledge[slot] = Some(Rc::clone(&active.partial));
             }
         }
     }
@@ -278,24 +311,20 @@ impl NodeLogic for WildfireNode {
         ctx.set_timer(spec.deadline(), TIMER_DECLARE);
         let active = self.active.as_mut().expect("just activated");
         let piggyback = self.opts.piggyback;
-        let partial = piggyback.then(|| active.partial.clone());
+        let partial = piggyback.then(|| Rc::clone(&active.partial));
         ctx.broadcast(WfMsg::Broadcast {
             spec,
             hops: 0,
             partial,
         });
-        if piggyback {
-            // Everyone we just reached has our current partial.
-            for &n in ctx.neighbors() {
-                active.knowledge.insert(n, active.partial.clone());
-            }
-        } else {
+        if !piggyback {
             ctx.broadcast(WfMsg::Converge {
-                partial: active.partial.clone(),
+                partial: Rc::clone(&active.partial),
             });
-            for &n in ctx.neighbors() {
-                active.knowledge.insert(n, active.partial.clone());
-            }
+        }
+        // Everyone we just reached has our current partial.
+        for slot in active.knowledge.iter_mut() {
+            *slot = Some(Rc::clone(&active.partial));
         }
     }
 
@@ -317,27 +346,24 @@ impl NodeLogic for WildfireNode {
                     // (Example 5.1: x forwards A_x = 15, already combined).
                     if let Some(p) = partial {
                         let active = self.active.as_mut().expect("just activated");
-                        active.partial.combine_check(&p);
-                        active
-                            .knowledge
-                            .entry(from)
-                            .and_modify(|k| k.combine(&p))
-                            .or_insert(p);
+                        Rc::make_mut(&mut active.partial).combine_check(&p);
+                        if let Ok(slot) = ctx.neighbors().binary_search(&from) {
+                            active.absorb(slot, &p);
+                        }
                     }
                     let piggyback = self.opts.piggyback;
                     let active = self.active.as_mut().expect("just activated");
                     let fwd = WfMsg::Broadcast {
                         spec,
                         hops: depth,
-                        partial: piggyback.then(|| active.partial.clone()),
+                        partial: piggyback.then(|| Rc::clone(&active.partial)),
                     };
                     let radio = ctx.medium() == Medium::Radio;
                     ctx.broadcast_except(Some(from), fwd);
                     if piggyback {
-                        let partial = active.partial.clone();
-                        for &n in ctx.neighbors() {
+                        for (slot, &n) in ctx.neighbors().iter().enumerate() {
                             if n != from || radio {
-                                active.knowledge.insert(n, partial.clone());
+                                active.knowledge[slot] = Some(Rc::clone(&active.partial));
                             }
                         }
                     }
@@ -403,7 +429,7 @@ mod tests {
         aggregate: Aggregate,
         d_hat: u32,
         churn: ChurnPlan,
-    ) -> Simulation<WildfireNode> {
+    ) -> Simulation<'static, WildfireNode> {
         let spec = QuerySpec {
             aggregate,
             d_hat,

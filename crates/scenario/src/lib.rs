@@ -40,7 +40,7 @@ pub mod spec;
 
 pub use json::{table_to_json, Json};
 pub use parse::ParseError;
-pub use run::{run_batch, Agg, ProtocolSection, Report, RunRecord};
+pub use run::{run_batch, Agg, PairedDiff, PairedSection, ProtocolSection, Report, RunRecord};
 pub use spec::{AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
 
 #[cfg(test)]

@@ -159,6 +159,65 @@ impl ProtocolSection {
     }
 }
 
+/// One metric's paired per-cell difference between a contender and the
+/// baseline protocol: `mean ± ci95` of `contender − baseline` over the
+/// `(seed, rep, window)` cells where both produced the metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairedDiff {
+    /// Metric name (`value`, `deviation`, `messages`, …).
+    pub metric: &'static str,
+    /// Mean per-cell difference (contender − baseline).
+    pub mean: f64,
+    /// 95% confidence half-width, `1.96·σ/√n` (normal approximation —
+    /// the batch matrices are large enough that the t correction is
+    /// noise, and the offline environment carries no t-tables).
+    pub ci95: f64,
+    /// Number of cells both protocols produced the metric in.
+    pub count: usize,
+}
+
+/// Paired comparison of one `[[protocol]]` contender against the
+/// *first* (baseline) table — e.g. `WILDFIRE − SPANNINGTREE` when
+/// SPANNINGTREE is listed first. Because every cell of the batch runs
+/// all protocols against the same churn/partition realization, these
+/// are true paired differences: the per-cell draw variance cancels, so
+/// `|mean| > ci95` is a significance statement about the protocols, not
+/// about the seeds — the §6 trade-off claims become statistical rather
+/// than eyeballed.
+#[derive(Clone, Debug)]
+pub struct PairedSection {
+    /// The contender protocol's display label.
+    pub protocol: String,
+    /// The baseline protocol's display label (first `[[protocol]]`).
+    pub baseline: String,
+    /// One paired difference per metric, in fixed metric order.
+    pub diffs: Vec<PairedDiff>,
+}
+
+impl PairedSection {
+    /// One metric's paired difference by name.
+    pub fn diff(&self, metric: &str) -> Option<PairedDiff> {
+        self.diffs.iter().find(|d| d.metric == metric).copied()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut diffs = Json::obj();
+        for d in &self.diffs {
+            diffs = diffs.with(
+                d.metric,
+                Json::obj()
+                    .with("mean", d.mean)
+                    .with("ci95", d.ci95)
+                    .with("count", d.count),
+            );
+        }
+        Json::obj()
+            .with("protocol", self.protocol.as_str())
+            .with("baseline", self.baseline.as_str())
+            .with("diffs", diffs)
+    }
+}
+
 /// The aggregated result of one scenario batch: shared run facts plus
 /// one [`ProtocolSection`] per `[[protocol]]` contender, all computed
 /// from the same per-cell churn realizations.
@@ -184,6 +243,9 @@ pub struct Report {
     pub valid_fraction: f64,
     /// One section per protocol, in `[[protocol]]` file order.
     pub protocols: Vec<ProtocolSection>,
+    /// Paired per-cell differences of every later protocol against the
+    /// first (empty for single-protocol scenarios).
+    pub paired: Vec<PairedSection>,
 }
 
 impl Report {
@@ -223,6 +285,10 @@ impl Report {
             .with(
                 "protocols",
                 Json::Arr(self.protocols.iter().map(|s| s.to_json()).collect()),
+            )
+            .with(
+                "paired",
+                Json::Arr(self.paired.iter().map(|p| p.to_json()).collect()),
             )
     }
 }
@@ -324,37 +390,48 @@ fn materialize_churn(scn: &Scenario, graph: &Graph, span: u64, churn_seed: u64) 
     }
 }
 
-/// Derive the partition plan for one cell, if the scenario layers one.
+/// Derive the partition plan for one cell: one cut per
+/// `[[partition]]` table, overlaid into a single cascading
+/// [`PartitionPlan`]. All cuts draw their pivots from one RNG stream in
+/// table order, so a one-table scenario materializes exactly the cut it
+/// always did.
 fn materialize_partition(
     scn: &Scenario,
     graph: &Graph,
     span: u64,
     churn_seed: u64,
 ) -> Option<PartitionPlan> {
-    let spec = scn.partition.as_ref()?;
     let hq = HostId(scn.hq);
     let n = graph.num_hosts();
     let tick = |frac: f64| Time((frac * span as f64).round() as u64);
-    // Pivot the cut away from hq so the querying side is the majority; a
-    // random non-hq pivot keeps per-seed variety. The partition draw uses
-    // its own stream off `churn_seed` so stacking a churn model on top
-    // does not shift the cut.
+    // Pivot each cut away from hq so the querying side is the majority;
+    // a random non-hq pivot keeps per-seed variety. The partition draws
+    // use their own stream off `churn_seed` so stacking a churn model
+    // on top does not shift the cuts.
     let mut rng = SmallRng::seed_from_u64(churn_seed ^ 0x51de_c0de);
-    let pivot = loop {
-        let h = HostId(rng.gen_range(0..n as u32));
-        if h != hq {
-            break h;
+    let mut stacked: Option<PartitionPlan> = None;
+    for spec in &scn.partitions {
+        let pivot = loop {
+            let h = HostId(rng.gen_range(0..n as u32));
+            if h != hq {
+                break h;
+            }
+        };
+        let mut plan = PartitionPlan::split_bfs(graph, pivot, spec.fraction);
+        // If hq landed on the severed side, flip the cut's meaning by
+        // re-splitting from hq itself — the minority must be remote.
+        if plan.sides()[hq.index()] == 1 {
+            plan = PartitionPlan::split_bfs(graph, hq, 1.0 - spec.fraction);
+            let flipped: Vec<u8> = plan.sides().iter().map(|&s| 1 - s).collect();
+            plan = PartitionPlan::new(flipped);
         }
-    };
-    let mut plan = PartitionPlan::split_bfs(graph, pivot, spec.fraction);
-    // If hq landed on the severed side, flip the cut's meaning by
-    // re-splitting from hq itself — the minority must be remote.
-    if plan.sides()[hq.index()] == 1 {
-        plan = PartitionPlan::split_bfs(graph, hq, 1.0 - spec.fraction);
-        let flipped: Vec<u8> = plan.sides().iter().map(|&s| 1 - s).collect();
-        plan = PartitionPlan::new(flipped);
+        let plan = plan.window(tick(spec.from), tick(spec.heal).max(tick(spec.from) + 1));
+        stacked = Some(match stacked {
+            None => plan,
+            Some(acc) => acc.stack(plan),
+        });
     }
-    Some(plan.window(tick(spec.from), tick(spec.heal).max(tick(spec.from) + 1)))
+    stacked
 }
 
 /// Lower one `(seed, rep)` cell to a [`RunPlan`] and execute it: every
@@ -525,6 +602,14 @@ fn aggregate(
         .flat_map(|s| &s.records)
         .filter(|r| r.valid)
         .count();
+    let paired = sections
+        .split_first()
+        .map(|(baseline, rest)| {
+            rest.iter()
+                .map(|section| paired_section(baseline, section))
+                .collect()
+        })
+        .unwrap_or_default();
     Report {
         scenario: scn.name.clone(),
         topology: scn.topology.name().to_string(),
@@ -536,6 +621,43 @@ fn aggregate(
         declared_fraction: declared as f64 / all.max(1) as f64,
         valid_fraction: valid as f64 / all.max(1) as f64,
         protocols: sections,
+        paired,
+    }
+}
+
+/// Per-cell paired differences `section − baseline` over the matched
+/// record streams (both sections run the same `(seed, rep, window)`
+/// cells in the same order — the batch runner's pairing guarantee).
+fn paired_section(baseline: &ProtocolSection, section: &ProtocolSection) -> PairedSection {
+    debug_assert_eq!(baseline.records.len(), section.records.len());
+    let diff_of = |metric: &'static str, f: &dyn Fn(&RunRecord) -> Option<f64>| {
+        let diffs: Vec<f64> = section
+            .records
+            .iter()
+            .zip(&baseline.records)
+            .filter_map(|(s, b)| {
+                debug_assert_eq!((s.seed, s.rep, s.window), (b.seed, b.rep, b.window));
+                Some(f(s)? - f(b)?)
+            })
+            .collect();
+        let agg = Agg::of(&diffs);
+        PairedDiff {
+            metric,
+            mean: agg.mean,
+            ci95: 1.96 * agg.stddev / (agg.count.max(1) as f64).sqrt(),
+            count: agg.count,
+        }
+    };
+    PairedSection {
+        protocol: section.protocol.clone(),
+        baseline: baseline.protocol.clone(),
+        diffs: vec![
+            diff_of("value", &|r| r.value),
+            diff_of("deviation", &|r| r.deviation),
+            diff_of("messages", &|r| Some(r.messages as f64)),
+            diff_of("computation", &|r| Some(r.computation as f64)),
+            diff_of("time_cost", &|r| r.time_cost.map(|t| t as f64)),
+        ],
     }
 }
 
@@ -562,7 +684,7 @@ mod tests {
             delay: DelayModel::Fixed(1),
             protocols: vec![ProtocolSpec::Wildfire],
             churn,
-            partition: None,
+            partitions: vec![],
             adversary: None,
             continuous: None,
             seeds: vec![1, 2, 3],
@@ -733,11 +855,11 @@ mod tests {
     #[test]
     fn partition_is_majority_side_for_hq() {
         let mut scn = tiny(ChurnSpec::None);
-        scn.partition = Some(PartitionSpec {
+        scn.partitions = vec![PartitionSpec {
             fraction: 0.4,
             from: 0.0,
             heal: 1.0,
-        });
+        }];
         let report = run_batch(&scn, 3);
         assert_eq!(report.churn_model, "partition");
         for r in report.records() {
@@ -745,6 +867,43 @@ mod tests {
             // the unhealed full-window cut hides the minority side.
             assert!(r.value.is_some());
         }
+    }
+
+    #[test]
+    fn cascading_partitions_overlay_and_stay_deterministic() {
+        // Two overlapping cuts must hurt validity at least as much as
+        // the first cut alone, and the batch must stay byte-identical
+        // across thread counts like every other regime.
+        let mut one = tiny(ChurnSpec::None);
+        one.partitions = vec![PartitionSpec {
+            fraction: 0.3,
+            from: 0.0,
+            heal: 0.6,
+        }];
+        let mut two = one.clone();
+        two.partitions.push(PartitionSpec {
+            fraction: 0.2,
+            from: 0.4,
+            heal: 1.0,
+        });
+        assert_eq!(two.regime(), "partition");
+        let single = run_batch(&one, 2);
+        let cascade = run_batch(&two, 2);
+        assert_eq!(cascade.runs, single.runs);
+        // hq sits on the majority side of every cut, so it declares.
+        assert_eq!(cascade.declared_fraction, 1.0);
+        let dev_one = single.metric("deviation").unwrap().mean;
+        let dev_two = cascade.metric("deviation").unwrap().mean;
+        assert!(
+            dev_two >= dev_one * 0.99,
+            "a second cut cannot improve validity: {dev_two} vs {dev_one}"
+        );
+        // The first cut's realization is unchanged by adding a second
+        // table: the pivot stream is drawn in table order.
+        assert_eq!(
+            run_batch(&two, 1).to_json().render(),
+            run_batch(&two, 8).to_json().render()
+        );
     }
 
     #[test]
@@ -756,11 +915,11 @@ mod tests {
             window: (0.0, 1.0),
         };
         let mut stacked = tiny(churn.clone());
-        stacked.partition = Some(PartitionSpec {
+        stacked.partitions = vec![PartitionSpec {
             fraction: 0.3,
             from: 0.1,
             heal: 0.8,
-        });
+        }];
         let alone = run_batch(&tiny(churn), 2);
         let both = run_batch(&stacked, 2);
         assert_eq!(both.churn_model, "uniform+partition");
@@ -798,6 +957,51 @@ mod tests {
         solo.protocols = vec![ProtocolSpec::SpanningTree];
         let solo_report = run_batch(&solo, 2);
         assert_eq!(st.records, solo_report.records());
+    }
+
+    #[test]
+    fn paired_difference_column_contrasts_protocols() {
+        let mut scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.15,
+            window: (0.0, 1.0),
+        });
+        scn.protocols = vec![ProtocolSpec::SpanningTree, ProtocolSpec::Wildfire];
+        let report = run_batch(&scn, 2);
+        // One paired section per non-baseline contender.
+        assert_eq!(report.paired.len(), 1);
+        let p = &report.paired[0];
+        assert_eq!(p.protocol, "WILDFIRE");
+        assert_eq!(p.baseline, "SPANNINGTREE");
+        // Hand-computed per-cell message differences must match.
+        let wf = report.section("WILDFIRE").unwrap();
+        let st = report.section("SPANNINGTREE").unwrap();
+        let diffs: Vec<f64> = wf
+            .records
+            .iter()
+            .zip(&st.records)
+            .map(|(a, b)| a.messages as f64 - b.messages as f64)
+            .collect();
+        let msgs = p.diff("messages").expect("messages diff");
+        assert_eq!(msgs.count, diffs.len());
+        let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!((msgs.mean - mean).abs() < 1e-9);
+        assert!(msgs.ci95 >= 0.0);
+        // WILDFIRE floods; the paired effect on messages is large and
+        // positive — and under churn, significantly so.
+        assert!(
+            msgs.mean > msgs.ci95,
+            "WILDFIRE must pay significantly more messages: {} ± {}",
+            msgs.mean,
+            msgs.ci95
+        );
+        // Single-protocol reports carry no paired sections.
+        let solo = run_batch(&tiny(ChurnSpec::None), 1);
+        assert!(solo.paired.is_empty());
+        // The column lands in the JSON document deterministically.
+        let json = report.to_json().render();
+        assert!(json.contains("\"paired\""), "{json}");
+        assert!(json.contains("\"ci95\""), "{json}");
+        assert_eq!(json, run_batch(&scn, 8).to_json().render());
     }
 
     #[test]

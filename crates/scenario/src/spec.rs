@@ -225,8 +225,10 @@ pub struct Scenario {
     pub protocols: Vec<ProtocolSpec>,
     /// Dynamism regime.
     pub churn: ChurnSpec,
-    /// Optional partition layered over the churn regime.
-    pub partition: Option<PartitionSpec>,
+    /// Partitions layered over the churn regime — one cut per
+    /// `[partition]` / `[[partition]]` table, overlaid (cascading) when
+    /// there are several.
+    pub partitions: Vec<PartitionSpec>,
     /// Optional dynamic sketch-targeting adversary layered over the
     /// pre-materialized regime.
     pub adversary: Option<AdversarySpec>,
@@ -260,10 +262,10 @@ impl Scenario {
     /// the dynamic sketch-targeting attacker is layered (plain
     /// `adversary` when it is the whole regime).
     pub fn regime(&self) -> String {
-        let base = match (&self.churn, &self.partition) {
-            (ChurnSpec::None, Some(_)) => "partition".to_string(),
-            (c, None) => c.model_name().to_string(),
-            (c, Some(_)) => format!("{}+partition", c.model_name()),
+        let base = match (&self.churn, self.partitions.is_empty()) {
+            (ChurnSpec::None, false) => "partition".to_string(),
+            (c, true) => c.model_name().to_string(),
+            (c, false) => format!("{}+partition", c.model_name()),
         };
         match (&self.adversary, base.as_str()) {
             (None, _) => base,
@@ -296,16 +298,17 @@ impl Scenario {
                     ),
                 ));
             }
-            // Only [[protocol]] may repeat: every other reader consumes
-            // a single section, so a second [[run]]/[[churn]]/… table
-            // would be silently ignored — exactly the "typo falls back
-            // to a default" failure mode this validator exists to stop.
-            if s.array && s.name != "protocol" {
+            // Only [[protocol]] and [[partition]] may repeat: every
+            // other reader consumes a single section, so a second
+            // [[run]]/[[churn]]/… table would be silently ignored —
+            // exactly the "typo falls back to a default" failure mode
+            // this validator exists to stop.
+            if s.array && s.name != "protocol" && s.name != "partition" {
                 return Err(ParseError::at(
                     s.line,
                     format!(
-                        "[[{}]] is not repeatable; only [[protocol]] tables may repeat \
-                         (write [{}] instead)",
+                        "[[{}]] is not repeatable; only [[protocol]] and [[partition]] \
+                         tables may repeat (write [{}] instead)",
                         s.name, s.name
                     ),
                 ));
@@ -453,12 +456,14 @@ impl Scenario {
             ));
         }
 
-        // [partition] may stand alone or co-occur with any [churn] model;
-        // `[churn] model = "partition"` remains as legacy sugar for it.
-        let mut partition: Option<PartitionSpec> = None;
-        if doc.section("partition").is_some() {
-            let pa = Keys::over(doc, "partition")?;
-            partition = Some(partition_spec(&pa)?);
+        // [partition] may stand alone or co-occur with any [churn]
+        // model; repeated [[partition]] tables overlay cascading cuts;
+        // `[churn] model = "partition"` remains as legacy sugar for a
+        // single cut.
+        let mut partitions: Vec<PartitionSpec> = Vec::new();
+        for section in doc.sections_named("partition") {
+            let pa = Keys::for_section(section);
+            partitions.push(partition_spec(&pa)?);
             pa.finish()?;
         }
 
@@ -517,14 +522,14 @@ impl Scenario {
                     "partition" => {
                         // Legacy spelling: `[churn] model = "partition"` is
                         // sugar for a dedicated [partition] section.
-                        if partition.is_some() {
+                        if !partitions.is_empty() {
                             return Err(ch.err(
                                 "model",
                                 "churn model 'partition' conflicts with the [partition] \
                                  section; put the cut in [partition] and pick a real churn model",
                             ));
                         }
-                        partition = Some(partition_spec(&ch)?);
+                        partitions.push(partition_spec(&ch)?);
                         ChurnSpec::None
                     }
                     "adversarial-root" => ChurnSpec::AdversarialRoot {
@@ -650,7 +655,7 @@ impl Scenario {
             delay,
             protocols,
             churn,
-            partition,
+            partitions,
             adversary,
             continuous,
             seeds,
@@ -902,12 +907,12 @@ repetitions = 2
         // [partition] spec with no additional churn.
         assert_eq!(s.churn, ChurnSpec::None);
         assert_eq!(
-            s.partition,
-            Some(PartitionSpec {
+            s.partitions,
+            vec![PartitionSpec {
                 fraction: 0.4,
                 from: 0.1,
                 heal: 0.6
-            })
+            }]
         );
         assert_eq!(s.regime(), "partition");
         assert_eq!(s.continuous, None);
@@ -939,7 +944,7 @@ seeds = [9]
         assert_eq!(s.medium, Medium::PointToPoint);
         assert_eq!(s.delay, DelayModel::Fixed(1));
         assert_eq!(s.churn, ChurnSpec::None);
-        assert_eq!(s.partition, None);
+        assert_eq!(s.partitions, vec![]);
         assert_eq!(s.continuous, None);
         assert_eq!(s.regime(), "none");
         assert_eq!(s.repetitions, 1);
@@ -1041,14 +1046,58 @@ seeds = [1]
             }
         );
         assert_eq!(
-            s.partition,
-            Some(PartitionSpec {
+            s.partitions,
+            vec![PartitionSpec {
                 fraction: 0.3,
                 from: 0.2,
                 heal: 0.7
-            })
+            }]
         );
         assert_eq!(s.regime(), "uniform+partition");
+    }
+
+    #[test]
+    fn repeated_partition_tables_cascade() {
+        let s = Scenario::from_str(
+            r#"
+[scenario]
+name = "cascade"
+[topology]
+kind = "random"
+n = 200
+[query]
+aggregate = "count"
+[protocol]
+kind = "wildfire"
+[[partition]]
+fraction = 0.3
+from = 0.0
+heal = 0.5
+[[partition]]
+fraction = 0.2
+from = 0.3
+heal = 0.9
+[run]
+seeds = [1]
+"#,
+        )
+        .expect("valid");
+        assert_eq!(
+            s.partitions,
+            vec![
+                PartitionSpec {
+                    fraction: 0.3,
+                    from: 0.0,
+                    heal: 0.5
+                },
+                PartitionSpec {
+                    fraction: 0.2,
+                    from: 0.3,
+                    heal: 0.9
+                },
+            ]
+        );
+        assert_eq!(s.regime(), "partition");
     }
 
     #[test]

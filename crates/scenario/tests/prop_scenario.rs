@@ -46,11 +46,11 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         until: 0.8,
     });
     // Odd churn picks also layer a partition over the regime.
-    let partition = (churn_pick % 2 == 1).then_some(PartitionSpec {
+    let partitions = Vec::from_iter((churn_pick % 2 == 1).then_some(PartitionSpec {
         fraction: 0.3,
         from: 0.1,
         heal: 0.7,
-    });
+    }));
     let protocols = match proto_pick % 4 {
         0 => vec![ProtocolSpec::Wildfire],
         1 => vec![ProtocolSpec::SpanningTree],
@@ -78,7 +78,7 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         delay: DelayModel::Fixed(1),
         protocols,
         churn,
-        partition,
+        partitions,
         adversary,
         continuous,
         seeds: vec![base_seed, base_seed ^ 0xabcd, base_seed.wrapping_add(7)],

@@ -1,0 +1,116 @@
+//! A thread-local arena of recycled host-indexed buffers.
+//!
+//! Batch drivers (the scenario runner, the experiment sweeps, `repro
+//! bench`) build and drop thousands of [`Simulation`](crate::Simulation)
+//! values per worker thread, each needing the same handful of
+//! `O(hosts)` vectors: alive flags, causal depths, per-host message
+//! counters, per-tick send counters, churn-poll scratch. Rather than
+//! hitting the allocator per cell, the engine *takes* those buffers
+//! from this pool at build time and *returns* them on drop — one engine
+//! arena per worker thread, reused across every `(seed, rep)` cell it
+//! executes.
+//!
+//! Determinism is unaffected: every buffer is cleared and re-initialized
+//! on take, so a pooled run is bit-identical to a fresh-allocation run.
+//! The pool keeps at most [`KEEP`] buffers per shape to bound memory on
+//! long-lived threads.
+
+use crate::dynamic::{ChurnEvent, StateSummary};
+use std::cell::RefCell;
+
+/// Maximum recycled buffers retained per shape.
+const KEEP: usize = 16;
+
+#[derive(Default)]
+struct Pool {
+    bools: Vec<Vec<bool>>,
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    summaries: Vec<Vec<StateSummary>>,
+    churn: Vec<Vec<ChurnEvent>>,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+macro_rules! pooled {
+    ($take:ident, $put:ident, $field:ident, $t:ty) => {
+        /// Take a cleared buffer of `n` default elements from the pool
+        /// (allocating only if the pool is empty).
+        pub(crate) fn $take(n: usize) -> Vec<$t> {
+            let mut v = POOL
+                .with(|p| p.borrow_mut().$field.pop())
+                .unwrap_or_default();
+            v.clear();
+            v.resize(n, Default::default());
+            v
+        }
+
+        /// Return a buffer to the pool for reuse.
+        pub(crate) fn $put(v: Vec<$t>) {
+            if v.capacity() == 0 {
+                return;
+            }
+            POOL.with(|p| {
+                let pool = &mut p.borrow_mut().$field;
+                if pool.len() < KEEP {
+                    pool.push(v);
+                }
+            });
+        }
+    };
+}
+
+pooled!(take_bools, put_bools, bools, bool);
+pooled!(take_u32s, put_u32s, u32s, u32);
+pooled!(take_u64s, put_u64s, u64s, u64);
+pooled!(take_summaries, put_summaries, summaries, StateSummary);
+
+/// Take an empty (but capacity-retaining) churn wave buffer.
+pub(crate) fn take_churn() -> Vec<ChurnEvent> {
+    let mut v = POOL
+        .with(|p| p.borrow_mut().churn.pop())
+        .unwrap_or_default();
+    v.clear();
+    v
+}
+
+/// Return a churn wave buffer to the pool for reuse.
+pub(crate) fn put_churn(v: Vec<ChurnEvent>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    POOL.with(|p| {
+        let pool = &mut p.borrow_mut().churn;
+        if pool.len() < KEEP {
+            pool.push(v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_cleared_resized_buffers() {
+        let mut v = take_bools(3);
+        v[0] = true;
+        put_bools(v);
+        let v = take_bools(5);
+        assert_eq!(v, vec![false; 5], "recycled buffer must be re-zeroed");
+        put_bools(v);
+        let v = take_bools(0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn pool_bounds_retention() {
+        for _ in 0..100 {
+            put_u64s(vec![0; 8]);
+        }
+        let kept = POOL.with(|p| p.borrow().u64s.len());
+        assert!(kept <= KEEP);
+    }
+}

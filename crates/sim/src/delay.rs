@@ -53,6 +53,26 @@ impl Default for DelayModel {
     }
 }
 
+/// One cut of a [`PartitionPlan`]: a side assignment plus the windows
+/// during which it severs cross-side traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Cut {
+    /// Per-host side assignment (index = host id).
+    sides: Vec<u8>,
+    /// Half-open windows `[from, until)` during which the cut is active.
+    windows: Vec<(Time, Time)>,
+}
+
+impl Cut {
+    fn is_active(&self, at: Time) -> bool {
+        self.windows.iter().any(|&(f, u)| at >= f && at < u)
+    }
+
+    fn blocks(&self, at: Time, a: HostId, b: HostId) -> bool {
+        self.sides[a.index()] != self.sides[b.index()] && self.is_active(at)
+    }
+}
+
 /// A temporary network partition: while one of its windows is active,
 /// messages whose endpoints sit on opposite sides of the cut are lost in
 /// transit (the sender has already paid their communication cost, exactly
@@ -61,26 +81,31 @@ impl Default for DelayModel {
 /// possibly-disconnected dynamic networks that the paper's §6.2 churn
 /// model cannot express.
 ///
-/// A message is dropped iff the cut is active at its *delivery* instant:
-/// traffic already in flight when the links are severed is lost with
-/// them, and traffic sent during the last `δ` before the heal completes
-/// normally.
+/// A plan holds one or more **cuts** — independent side assignments,
+/// each with its own active windows. A single `new`/`split_bfs` plan is
+/// one cut; [`PartitionPlan::stack`] overlays further cuts, which is how
+/// the scenario grammar's repeated `[[partition]]` tables lower to
+/// *cascading* partitions (overlapping outages with different
+/// geometry). A message is dropped iff **any** cut both separates its
+/// endpoints and is active at the *delivery* instant: traffic already
+/// in flight when the links are severed is lost with them, and traffic
+/// sent during the last `δ` before the heal completes normally.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PartitionPlan {
-    /// Per-host side assignment (index = host id).
-    sides: Vec<u8>,
-    /// Half-open windows `[from, until)` during which the cut is active.
-    windows: Vec<(Time, Time)>,
+    cuts: Vec<Cut>,
 }
 
 impl PartitionPlan {
-    /// A partition over an explicit side assignment (one entry per host).
-    /// Add active windows with [`PartitionPlan::window`]; a plan with no
-    /// windows never blocks anything.
+    /// A single-cut partition over an explicit side assignment (one
+    /// entry per host). Add active windows with
+    /// [`PartitionPlan::window`]; a plan with no windows never blocks
+    /// anything.
     pub fn new(sides: Vec<u8>) -> Self {
         PartitionPlan {
-            sides,
-            windows: Vec::new(),
+            cuts: vec![Cut {
+                sides,
+                windows: Vec::new(),
+            }],
         }
     }
 
@@ -103,42 +128,79 @@ impl PartitionPlan {
         PartitionPlan::new(sides)
     }
 
-    /// Add an active window `[from, until)`. A zero-length window
-    /// (`from == until`) is accepted but inert — it never activates the
-    /// cut; window slicers clamp absolute-time windows into local time
-    /// and must be able to represent (and then skip) the degenerate
-    /// result. Inverted windows are rejected.
+    /// Add an active window `[from, until)` to the most recently added
+    /// cut. A zero-length window (`from == until`) is accepted but
+    /// inert — it never activates the cut; window slicers clamp
+    /// absolute-time windows into local time and must be able to
+    /// represent (and then skip) the degenerate result. Inverted
+    /// windows are rejected.
     pub fn window(mut self, from: Time, until: Time) -> Self {
         assert!(from <= until, "inverted partition window");
-        self.windows.push((from, until));
+        self.cuts
+            .last_mut()
+            .expect("PartitionPlan::window on a cut-less plan")
+            .windows
+            .push((from, until));
         self
     }
 
-    /// Whether any window covers instant `at`.
+    /// Overlay every cut of `other` on top of this plan — the cascading
+    /// composition: each cut keeps its own side map and windows, and a
+    /// message is lost if *any* of them severs it at delivery time.
+    ///
+    /// # Panics
+    /// Panics if the two plans disagree on the host count.
+    pub fn stack(mut self, other: PartitionPlan) -> Self {
+        assert_eq!(
+            self.num_hosts(),
+            other.num_hosts(),
+            "stacked partitions must cover the same host set"
+        );
+        self.cuts.extend(other.cuts);
+        self
+    }
+
+    /// Number of hosts every cut's side map covers (0 for a cut-less
+    /// plan).
+    pub fn num_hosts(&self) -> usize {
+        self.cuts.first().map_or(0, |c| c.sides.len())
+    }
+
+    /// Whether any cut's window covers instant `at`.
     pub fn is_active(&self, at: Time) -> bool {
-        self.windows.iter().any(|&(f, u)| at >= f && at < u)
+        self.cuts.iter().any(|c| c.is_active(at))
     }
 
-    /// Whether a message between `a` and `b` delivered at `at` is lost.
+    /// Whether a message between `a` and `b` delivered at `at` is lost
+    /// (some active cut separates them).
     pub fn blocks(&self, at: Time, a: HostId, b: HostId) -> bool {
-        self.sides[a.index()] != self.sides[b.index()] && self.is_active(at)
+        self.cuts.iter().any(|c| c.blocks(at, a, b))
     }
 
-    /// Side assignment (index = host id).
+    /// Side assignment of the *primary* (first) cut — the whole story
+    /// for single-cut plans, which every constructor produces.
     pub fn sides(&self) -> &[u8] {
-        &self.sides
+        self.cuts.first().map_or(&[], |c| &c.sides)
     }
 
-    /// Active windows `[from, until)`, in insertion order. Exposed so
-    /// window-slicing executors (continuous queries) can re-express an
-    /// absolute-time plan in a sub-interval's local time.
+    /// Active windows `[from, until)` of the primary cut, in insertion
+    /// order. Exposed so window-slicing executors (continuous queries)
+    /// can re-express an absolute-time plan in a sub-interval's local
+    /// time; multi-cut plans are sliced via [`PartitionPlan::cuts`].
     pub fn windows(&self) -> &[(Time, Time)] {
-        &self.windows
+        self.cuts.first().map_or(&[], |c| &c.windows)
     }
 
-    /// Number of hosts on side 1 of the cut.
+    /// Every cut as `(sides, windows)`, in stacking order.
+    pub fn cuts(&self) -> impl Iterator<Item = (&[u8], &[(Time, Time)])> + '_ {
+        self.cuts
+            .iter()
+            .map(|c| (c.sides.as_slice(), c.windows.as_slice()))
+    }
+
+    /// Number of hosts on side 1 of the primary cut.
     pub fn minority_len(&self) -> usize {
-        self.sides.iter().filter(|&&s| s == 1).count()
+        self.sides().iter().filter(|&&s| s == 1).count()
     }
 }
 
@@ -237,5 +299,41 @@ mod tests {
     #[should_panic(expected = "inverted partition window")]
     fn rejects_inverted_window() {
         let _ = PartitionPlan::new(vec![0, 1]).window(Time(5), Time(4));
+    }
+
+    #[test]
+    fn stacked_cuts_block_independently() {
+        // Cut A separates {0,1} | {2,3} during [0, 10); cut B separates
+        // {0,2} | {1,3} during [5, 15). Overlap [5, 10) blocks both.
+        let a = PartitionPlan::new(vec![0, 0, 1, 1]).window(Time(0), Time(10));
+        let b = PartitionPlan::new(vec![0, 1, 0, 1]).window(Time(5), Time(15));
+        let plan = a.stack(b);
+        assert_eq!(plan.num_hosts(), 4);
+        assert_eq!(plan.cuts().count(), 2);
+        // t=2: only cut A active.
+        assert!(plan.blocks(Time(2), HostId(0), HostId(2)));
+        assert!(!plan.blocks(Time(2), HostId(0), HostId(1)));
+        // t=7: both active — 0↔1 (cut B) and 0↔2 (cut A) both severed,
+        // while 0↔3 crosses both.
+        assert!(plan.blocks(Time(7), HostId(0), HostId(1)));
+        assert!(plan.blocks(Time(7), HostId(0), HostId(2)));
+        assert!(plan.blocks(Time(7), HostId(0), HostId(3)));
+        // t=12: only cut B remains.
+        assert!(!plan.blocks(Time(12), HostId(0), HostId(2)));
+        assert!(plan.blocks(Time(12), HostId(0), HostId(1)));
+        // t=15: everything healed.
+        assert!(!plan.is_active(Time(15)));
+        // The primary-cut accessors still describe cut A.
+        assert_eq!(plan.sides(), &[0, 0, 1, 1]);
+        assert_eq!(plan.windows(), &[(Time(0), Time(10))]);
+        assert_eq!(plan.minority_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same host set")]
+    fn stack_rejects_host_count_mismatch() {
+        let a = PartitionPlan::new(vec![0, 1]);
+        let b = PartitionPlan::new(vec![0, 1, 1]);
+        let _ = a.stack(b);
     }
 }

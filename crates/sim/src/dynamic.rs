@@ -86,9 +86,13 @@ impl EngineView<'_> {
 ///
 /// [`Payload::ChurnPoll`]: crate::Simulation
 pub trait ChurnSource {
-    /// The membership changes to apply at `now`. Called exactly once
-    /// per polled instant; the returned events are applied in order.
-    fn next_events(&mut self, now: Time, view: &EngineView<'_>) -> Vec<ChurnEvent>;
+    /// Write the membership changes to apply at `now` into `out`
+    /// (cleared by the engine before the call; events are applied in
+    /// `out` order). Called exactly once per polled instant. The
+    /// out-parameter shape lets the engine reuse one pooled wave buffer
+    /// across every poll of a run instead of allocating a `Vec` per
+    /// wave.
+    fn next_events(&mut self, now: Time, view: &EngineView<'_>, out: &mut Vec<ChurnEvent>);
 
     /// The next instant this source wants to be polled, strictly after
     /// `now`; `None` once the source is exhausted (lets
@@ -105,23 +109,24 @@ pub trait ChurnSource {
 /// builder's static path can seed the time-0 alive set, and silently
 /// dropping the pin would resurrect hosts a window slicer put down.
 impl ChurnSource for ChurnPlan {
-    fn next_events(&mut self, now: Time, _view: &EngineView<'_>) -> Vec<ChurnEvent> {
+    fn next_events(&mut self, now: Time, _view: &EngineView<'_>, out: &mut Vec<ChurnEvent>) {
         assert!(
             self.dead_from_start.is_empty(),
             "a ChurnPlan with initially-dead hosts cannot run as a dynamic source; \
              install it with SimBuilder::churn instead"
         );
-        self.failures
-            .iter()
-            .filter(|&&(t, _)| t == now)
-            .map(|&(_, h)| ChurnEvent::Fail(h))
-            .chain(
-                self.joins
-                    .iter()
-                    .filter(|&&(t, _)| t == now)
-                    .map(|&(_, h)| ChurnEvent::Join(h)),
-            )
-            .collect()
+        out.extend(
+            self.failures
+                .iter()
+                .filter(|&&(t, _)| t == now)
+                .map(|&(_, h)| ChurnEvent::Fail(h))
+                .chain(
+                    self.joins
+                        .iter()
+                        .filter(|&&(t, _)| t == now)
+                        .map(|&(_, h)| ChurnEvent::Join(h)),
+                ),
+        );
     }
 
     fn next_poll(&self, now: Time) -> Option<Time> {
@@ -220,13 +225,13 @@ impl SketchAdversary {
 }
 
 impl ChurnSource for SketchAdversary {
-    fn next_events(&mut self, now: Time, view: &EngineView<'_>) -> Vec<ChurnEvent> {
+    fn next_events(&mut self, now: Time, view: &EngineView<'_>, out: &mut Vec<ChurnEvent>) {
         let quota = match self.waves.iter().find(|&&(t, _)| t == now) {
             Some(&(_, q)) => q.min(self.budget - self.killed),
-            None => return Vec::new(),
+            None => return,
         };
         if quota == 0 {
-            return Vec::new();
+            return;
         }
         // Rank alive, non-spare hosts: weighted targets first (highest
         // sketch weight wins), then active-but-weightless, then the
@@ -247,13 +252,9 @@ impl ChurnSource for SketchAdversary {
                 .then(ab.cmp(&aa))
                 .then(a.0.cmp(&b.0))
         });
-        let wave: Vec<ChurnEvent> = targets
-            .into_iter()
-            .take(quota)
-            .map(ChurnEvent::Fail)
-            .collect();
-        self.killed += wave.len();
-        wave
+        let before = out.len();
+        out.extend(targets.into_iter().take(quota).map(ChurnEvent::Fail));
+        self.killed += out.len() - before;
     }
 
     fn next_poll(&self, now: Time) -> Option<Time> {
@@ -283,6 +284,14 @@ mod tests {
         }
     }
 
+    /// Collect one poll's wave into a fresh buffer (tests only; the
+    /// engine reuses a pooled buffer instead).
+    fn events_of(src: &mut impl ChurnSource, now: Time, view: &EngineView<'_>) -> Vec<ChurnEvent> {
+        let mut out = Vec::new();
+        src.next_events(now, view, &mut out);
+        out
+    }
+
     #[test]
     fn plan_as_source_yields_fails_before_joins() {
         let g = special::chain(4);
@@ -295,7 +304,7 @@ mod tests {
         assert_eq!(plan.next_poll(Time(0)), Some(Time(3)));
         let view = view_of(&g, &alive, &summaries, Time(3));
         assert_eq!(
-            plan.next_events(Time(3), &view),
+            events_of(&mut plan, Time(3), &view),
             vec![ChurnEvent::Fail(HostId(1)), ChurnEvent::Join(HostId(2))]
         );
         assert_eq!(plan.next_poll(Time(3)), Some(Time(7)));
@@ -310,7 +319,7 @@ mod tests {
         let summaries = vec![StateSummary::default(); 3];
         let mut plan = ChurnPlan::none().with_initially_dead(HostId(1));
         let view = view_of(&g, &alive, &summaries, Time::ZERO);
-        plan.next_events(Time::ZERO, &view);
+        events_of(&mut plan, Time::ZERO, &view);
     }
 
     #[test]
@@ -338,7 +347,7 @@ mod tests {
         // hq (weight 50) is spared; the two weight-30 hosts die, the
         // tie broken by ascending id.
         assert_eq!(
-            adv.next_events(Time(0), &view),
+            events_of(&mut adv, Time(0), &view),
             vec![ChurnEvent::Fail(HostId(3)), ChurnEvent::Fail(HostId(4))]
         );
         assert_eq!(adv.kills(), 2);
@@ -361,7 +370,7 @@ mod tests {
         let mut t = Time(0);
         loop {
             let view = view_of(&g, &alive, &summaries, t);
-            killed.extend(adv.next_events(t, &view));
+            killed.extend(events_of(&mut adv, t, &view));
             match adv.next_poll(t) {
                 Some(next) => t = next,
                 None => break,
@@ -386,7 +395,7 @@ mod tests {
         let mut t = Time(0);
         loop {
             let view = view_of(&g, &alive, &summaries, t);
-            killed += adv.next_events(t, &view).len();
+            killed += events_of(&mut adv, t, &view).len();
             match adv.next_poll(t) {
                 Some(next) => t = next,
                 None => break,
@@ -398,7 +407,7 @@ mod tests {
         // all-budget wave.
         let mut adv = SketchAdversary::new(3, 7, Time(4), Time(4), HostId(0));
         let view = view_of(&g, &alive, &summaries, Time(4));
-        assert_eq!(adv.next_events(Time(4), &view).len(), 7);
+        assert_eq!(events_of(&mut adv, Time(4), &view).len(), 7);
         assert_eq!(adv.next_poll(Time(4)), None);
     }
 
@@ -409,7 +418,7 @@ mod tests {
         let summaries = vec![StateSummary::default(); 4];
         let mut adv = SketchAdversary::new(1, 2, Time(4), Time(8), HostId(0));
         let view = view_of(&g, &alive, &summaries, Time(0));
-        assert!(adv.next_events(Time(0), &view).is_empty());
+        assert!(events_of(&mut adv, Time(0), &view).is_empty());
         assert_eq!(adv.next_poll(Time(0)), Some(Time(4)));
     }
 }

@@ -1,5 +1,6 @@
 //! The simulation engine: deterministic event loop over a dynamic network.
 
+use crate::arena;
 use crate::churn::ChurnPlan;
 use crate::ctx::Ctx;
 use crate::delay::{DelayModel, PartitionPlan};
@@ -12,6 +13,7 @@ use crate::trace::{Trace, TraceEvent};
 use pov_topology::{Graph, HostId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::borrow::Cow;
 
 /// The physical communication medium (§3.1 examples).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -25,19 +27,34 @@ pub enum Medium {
 }
 
 /// Builder for [`Simulation`].
-pub struct SimBuilder {
-    graph: Graph,
+pub struct SimBuilder<'g> {
+    graph: Cow<'g, Graph>,
     medium: Medium,
     delay: DelayModel,
     churn: ChurnPlan,
     dynamic: Option<Box<dyn ChurnSource>>,
     partition: Option<PartitionPlan>,
     seed: u64,
+    #[cfg(test)]
+    heap_queue_oracle: bool,
 }
 
-impl SimBuilder {
-    /// Start building a simulation over `graph`.
+impl SimBuilder<'static> {
+    /// Start building a simulation that owns `graph`.
     pub fn new(graph: Graph) -> Self {
+        SimBuilder::with_graph(Cow::Owned(graph))
+    }
+}
+
+impl<'g> SimBuilder<'g> {
+    /// Start building a simulation that *borrows* `graph` — the batch
+    /// entry point: a thousand-cell sweep over one topology shares a
+    /// single CSR arena instead of cloning the adjacency per run.
+    pub fn over(graph: &'g Graph) -> Self {
+        SimBuilder::with_graph(Cow::Borrowed(graph))
+    }
+
+    fn with_graph(graph: Cow<'g, Graph>) -> Self {
         SimBuilder {
             graph,
             medium: Medium::PointToPoint,
@@ -46,6 +63,8 @@ impl SimBuilder {
             dynamic: None,
             partition: None,
             seed: 0,
+            #[cfg(test)]
+            heap_queue_oracle: false,
         }
     }
 
@@ -77,11 +96,12 @@ impl SimBuilder {
         self
     }
 
-    /// Install a temporary partition: messages crossing the cut while one
-    /// of its windows is active are lost in transit (default: none).
+    /// Install a temporary partition: messages crossing any of its cuts
+    /// while one of that cut's windows is active are lost in transit
+    /// (default: none).
     pub fn partition(mut self, partition: PartitionPlan) -> Self {
         assert_eq!(
-            partition.sides().len(),
+            partition.num_hosts(),
             self.graph.num_hosts(),
             "one partition side per host"
         );
@@ -95,15 +115,39 @@ impl SimBuilder {
         self
     }
 
+    /// Route the event queue through the pre-refactor `BinaryHeap`
+    /// implementation — the oracle side of the engine-level equivalence
+    /// property tests.
+    #[cfg(test)]
+    pub(crate) fn heap_queue_oracle(mut self) -> Self {
+        self.heap_queue_oracle = true;
+        self
+    }
+
     /// Instantiate per-host logic with `factory` and produce a runnable
     /// [`Simulation`]. `on_start` has not run yet — call
     /// [`Simulation::start`] (or one of the `run_*` helpers).
-    pub fn build<L: NodeLogic>(self, mut factory: impl FnMut(HostId) -> L) -> Simulation<L> {
+    ///
+    /// All host-indexed engine buffers come from the crate's
+    /// thread-local arena pool and return to it when the simulation
+    /// drops, so a batch worker reuses one engine arena across every
+    /// cell it runs.
+    pub fn build<L: NodeLogic>(self, mut factory: impl FnMut(HostId) -> L) -> Simulation<'g, L> {
         let n = self.graph.num_hosts();
-        let mut alive = vec![true; n];
+        let mut alive = arena::take_bools(n);
+        for flag in alive.iter_mut() {
+            *flag = true;
+        }
         for h in self.churn.initially_dead() {
             alive[h.index()] = false;
         }
+        #[cfg(test)]
+        let mut queue = if self.heap_queue_oracle {
+            EventQueue::heap_oracle()
+        } else {
+            EventQueue::new()
+        };
+        #[cfg(not(test))]
         let mut queue = EventQueue::new();
         for &(t, h) in &self.churn.failures {
             queue.push(t, Payload::Fail(h));
@@ -116,31 +160,96 @@ impl SimBuilder {
             queue.push(Time::ZERO, Payload::ChurnPoll);
         }
         let logic = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
+        let mut initially_alive = arena::take_bools(n);
+        initially_alive.copy_from_slice(&alive);
         Simulation {
-            trace: Trace::new(alive.clone()),
+            trace: Trace::new(initially_alive),
             graph: self.graph,
-            logic,
-            alive,
+            hosts: Hosts {
+                logic,
+                alive,
+                last_depth: arena::take_u32s(n),
+            },
             queue,
-            metrics: Metrics::new(n),
+            metrics: Metrics::from_arena(n),
             medium: self.medium,
             delay: self.delay,
             dynamic: self.dynamic,
             partition: self.partition,
             rng: SmallRng::seed_from_u64(self.seed),
-            last_depth: vec![0; n],
+            summaries: arena::take_summaries(n),
+            churn_buf: arena::take_churn(),
             now: Time::ZERO,
             started: false,
         }
     }
 }
 
-/// A running simulation: the network graph, per-host logic, the event
-/// queue and the collected metrics/trace.
-pub struct Simulation<L: NodeLogic> {
-    graph: Graph,
+/// Per-host engine state in struct-of-arrays layout: the three arrays
+/// every dispatch touches (`logic`, `alive`, `last_depth`), flattened
+/// behind one accessor so the hot path indexes parallel dense arrays
+/// rather than chasing per-host structs.
+struct Hosts<L> {
     logic: Vec<Option<L>>,
     alive: Vec<bool>,
+    /// Deepest causal chain seen by each host; timers continue the
+    /// chain from here.
+    last_depth: Vec<u32>,
+}
+
+impl<L> Hosts<L> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.logic.len()
+    }
+
+    #[inline]
+    fn is_alive(&self, h: HostId) -> bool {
+        self.alive[h.index()]
+    }
+
+    #[inline]
+    fn set_alive(&mut self, h: HostId, alive: bool) {
+        self.alive[h.index()] = alive;
+    }
+
+    #[inline]
+    fn logic(&self, h: HostId) -> &L {
+        self.logic[h.index()].as_ref().expect("logic present")
+    }
+
+    #[inline]
+    fn take_logic(&mut self, h: HostId) -> L {
+        self.logic[h.index()].take().expect("logic present")
+    }
+
+    #[inline]
+    fn put_logic(&mut self, h: HostId, logic: L) {
+        self.logic[h.index()] = Some(logic);
+    }
+
+    #[inline]
+    fn last_depth(&self, h: HostId) -> u32 {
+        self.last_depth[h.index()]
+    }
+
+    #[inline]
+    fn raise_depth(&mut self, h: HostId, depth: u32) {
+        let slot = &mut self.last_depth[h.index()];
+        *slot = (*slot).max(depth);
+    }
+
+    fn num_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+/// A running simulation: the network graph (owned or borrowed from the
+/// batch driver), per-host logic, the event queue and the collected
+/// metrics/trace.
+pub struct Simulation<'g, L: NodeLogic> {
+    graph: Cow<'g, Graph>,
+    hosts: Hosts<L>,
     queue: EventQueue<L::Msg>,
     metrics: Metrics,
     trace: Trace,
@@ -149,14 +258,29 @@ pub struct Simulation<L: NodeLogic> {
     dynamic: Option<Box<dyn ChurnSource>>,
     partition: Option<PartitionPlan>,
     rng: SmallRng,
-    /// Deepest causal chain seen by each host; timers continue the chain
-    /// from here.
-    last_depth: Vec<u32>,
+    /// Reused per-poll scratch: one summary slot per host.
+    summaries: Vec<StateSummary>,
+    /// Reused per-poll scratch: the churn source's event wave.
+    churn_buf: Vec<ChurnEvent>,
     now: Time,
     started: bool,
 }
 
-impl<L: NodeLogic> Simulation<L> {
+impl<'g, L: NodeLogic> Drop for Simulation<'g, L> {
+    fn drop(&mut self) {
+        // Hand the host-indexed buffers back to the thread-local arena
+        // for the next cell of the batch.
+        arena::put_bools(std::mem::take(&mut self.hosts.alive));
+        arena::put_u32s(std::mem::take(&mut self.hosts.last_depth));
+        arena::put_bools(std::mem::take(&mut self.trace.initially_alive));
+        arena::put_u64s(std::mem::take(&mut self.metrics.processed_per_host));
+        arena::put_u64s(std::mem::take(&mut self.metrics.sent_per_tick));
+        arena::put_summaries(std::mem::take(&mut self.summaries));
+        arena::put_churn(std::mem::take(&mut self.churn_buf));
+    }
+}
+
+impl<'g, L: NodeLogic> Simulation<'g, L> {
     /// Fire `on_start` for every initially-alive host (ascending id
     /// order). Idempotent.
     pub fn start(&mut self) {
@@ -164,8 +288,8 @@ impl<L: NodeLogic> Simulation<L> {
             return;
         }
         self.started = true;
-        for i in 0..self.logic.len() {
-            if self.alive[i] {
+        for i in 0..self.hosts.len() {
+            if self.hosts.alive[i] {
                 self.activate(HostId(i as u32), Activation::Start);
             }
         }
@@ -179,9 +303,9 @@ impl<L: NodeLogic> Simulation<L> {
             if t > horizon {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event exists");
-            self.now = ev.at;
-            self.dispatch(ev.payload);
+            let (at, payload) = self.queue.pop().expect("peeked event exists");
+            self.now = at;
+            self.dispatch(payload);
         }
         // Advance the clock to the horizon so callers polling `now()` see
         // time progress even across event-free stretches.
@@ -193,9 +317,9 @@ impl<L: NodeLogic> Simulation<L> {
     pub fn run_to_quiescence(&mut self, max_events: u64) {
         self.start();
         let mut n = 0u64;
-        while let Some(ev) = self.queue.pop() {
-            self.now = ev.at;
-            self.dispatch(ev.payload);
+        while let Some((at, payload)) = self.queue.pop() {
+            self.now = at;
+            self.dispatch(payload);
             n += 1;
             assert!(
                 n <= max_events,
@@ -205,16 +329,17 @@ impl<L: NodeLogic> Simulation<L> {
     }
 
     fn dispatch(&mut self, payload: Payload<L::Msg>) {
+        self.metrics.record_dispatch();
         match payload {
             Payload::Fail(h) => {
-                if self.alive[h.index()] {
-                    self.alive[h.index()] = false;
+                if self.hosts.is_alive(h) {
+                    self.hosts.set_alive(h, false);
                     self.trace.record(TraceEvent::Fail(self.now, h));
                 }
             }
             Payload::Join(h) => {
-                if !self.alive[h.index()] {
-                    self.alive[h.index()] = true;
+                if !self.hosts.is_alive(h) {
+                    self.hosts.set_alive(h, true);
                     self.trace.record(TraceEvent::Join(self.now, h));
                     self.activate(h, Activation::Start);
                 }
@@ -232,14 +357,14 @@ impl<L: NodeLogic> Simulation<L> {
                     .partition
                     .as_ref()
                     .is_some_and(|p| p.blocks(self.now, from, to));
-                if self.alive[to.index()] && !severed {
+                if self.hosts.is_alive(to) && !severed {
                     self.metrics.record_processed(to, depth);
-                    self.last_depth[to.index()] = self.last_depth[to.index()].max(depth);
+                    self.hosts.raise_depth(to, depth);
                     self.activate(to, Activation::Message { from, msg, depth });
                 }
             }
             Payload::Timer { host, key } => {
-                if self.alive[host.index()] {
+                if self.hosts.is_alive(host) {
                     self.metrics.record_timer();
                     self.activate(host, Activation::Timer { key });
                 }
@@ -250,42 +375,44 @@ impl<L: NodeLogic> Simulation<L> {
 
     /// Poll the dynamic churn source: summarize every host's protocol
     /// state, hand the source an [`EngineView`], apply the events it
-    /// returns (source failures and joins have the same semantics as
-    /// statically scheduled ones, including trace recording), and
-    /// schedule the next poll it asks for.
+    /// writes into the (pooled, reused) wave buffer — source failures
+    /// and joins have the same semantics as statically scheduled ones,
+    /// including trace recording — and schedule the next poll it asks
+    /// for.
     fn poll_churn_source(&mut self) {
         let Some(mut source) = self.dynamic.take() else {
             return;
         };
-        let summaries: Vec<StateSummary> = self
-            .logic
-            .iter()
-            .map(|l| l.as_ref().expect("logic present").summary())
-            .collect();
+        for (slot, logic) in self.summaries.iter_mut().zip(&self.hosts.logic) {
+            *slot = logic.as_ref().expect("logic present").summary();
+        }
+        let mut wave = std::mem::take(&mut self.churn_buf);
+        wave.clear();
         let view = EngineView {
             now: self.now,
             graph: &self.graph,
-            alive: &self.alive,
-            summaries: &summaries,
+            alive: &self.hosts.alive,
+            summaries: &self.summaries,
         };
-        let events = source.next_events(self.now, &view);
-        for ev in events {
+        source.next_events(self.now, &view, &mut wave);
+        for &ev in &wave {
             match ev {
                 ChurnEvent::Fail(h) => {
-                    if self.alive[h.index()] {
-                        self.alive[h.index()] = false;
+                    if self.hosts.is_alive(h) {
+                        self.hosts.set_alive(h, false);
                         self.trace.record(TraceEvent::Fail(self.now, h));
                     }
                 }
                 ChurnEvent::Join(h) => {
-                    if !self.alive[h.index()] {
-                        self.alive[h.index()] = true;
+                    if !self.hosts.is_alive(h) {
+                        self.hosts.set_alive(h, true);
                         self.trace.record(TraceEvent::Join(self.now, h));
                         self.activate(h, Activation::Start);
                     }
                 }
             }
         }
+        self.churn_buf = wave;
         if let Some(at) = source.next_poll(self.now) {
             assert!(at > self.now, "churn source must poll strictly forward");
             self.queue.push(at, Payload::ChurnPoll);
@@ -294,10 +421,10 @@ impl<L: NodeLogic> Simulation<L> {
     }
 
     fn activate(&mut self, h: HostId, activation: Activation<L::Msg>) {
-        let mut logic = self.logic[h.index()].take().expect("logic present");
+        let mut logic = self.hosts.take_logic(h);
         let chain_depth = match &activation {
             Activation::Message { depth, .. } => *depth,
-            _ => self.last_depth[h.index()],
+            _ => self.hosts.last_depth(h),
         };
         let mut ctx = Ctx {
             now: self.now,
@@ -316,13 +443,13 @@ impl<L: NodeLogic> Simulation<L> {
             Activation::Message { from, msg, .. } => logic.on_message(&mut ctx, from, msg),
             Activation::Timer { key } => logic.on_timer(&mut ctx, key),
         }
-        self.logic[h.index()] = Some(logic);
+        self.hosts.put_logic(h, logic);
     }
 
     /// Immutable view of a host's logic (alive or failed — failed hosts
     /// retain their last state for post-mortem inspection).
     pub fn logic(&self, h: HostId) -> &L {
-        self.logic[h.index()].as_ref().expect("logic present")
+        self.hosts.logic(h)
     }
 
     /// Whether `h` is currently alive. This is the omniscient view used
@@ -330,12 +457,12 @@ impl<L: NodeLogic> Simulation<L> {
     /// estimator models probes as ping/ack pairs; account for their cost
     /// with [`Simulation::charge_messages`]).
     pub fn is_alive(&self, h: HostId) -> bool {
-        self.alive[h.index()]
+        self.hosts.is_alive(h)
     }
 
     /// Number of currently alive hosts.
     pub fn num_alive(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.hosts.num_alive()
     }
 
     /// Account for `n` out-of-band messages (e.g. probe traffic of
@@ -414,7 +541,7 @@ mod tests {
         }
     }
 
-    fn flood_sim(graph: Graph, medium: Medium) -> Simulation<Flood> {
+    fn flood_sim(graph: Graph, medium: Medium) -> Simulation<'static, Flood> {
         SimBuilder::new(graph).medium(medium).build(|h| Flood {
             origin: h == HostId(0),
             seen_at: None,
@@ -792,11 +919,10 @@ mod tests {
                 &mut self,
                 now: Time,
                 _: &crate::EngineView<'_>,
-            ) -> Vec<crate::ChurnEvent> {
+                out: &mut Vec<crate::ChurnEvent>,
+            ) {
                 if now == self.0 {
-                    vec![crate::ChurnEvent::Fail(self.1)]
-                } else {
-                    Vec::new()
+                    out.push(crate::ChurnEvent::Fail(self.1));
                 }
             }
             fn next_poll(&self, now: Time) -> Option<Time> {
@@ -815,6 +941,85 @@ mod tests {
         assert_eq!(sim.logic(HostId(1)).seen_at, Some(Time(1)));
         assert_eq!(sim.logic(HostId(2)).seen_at, None);
         assert_eq!(sim.logic(HostId(3)).seen_at, None);
+    }
+
+    /// The tentpole equivalence bar at the engine level: across random
+    /// churn plans (and an optional partition), a simulation driven by
+    /// the bucketed calendar queue produces the *identical* trace,
+    /// metrics and final state as one driven by the pre-refactor
+    /// `BinaryHeap` oracle.
+    mod heap_oracle_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_churn(n: u32) -> impl Strategy<Value = ChurnPlan> {
+            (
+                prop::collection::vec((0u64..30, 1..n), 0..10),
+                prop::collection::vec((0u64..30, 1..n), 0..10),
+            )
+                .prop_map(|(fails, joins)| {
+                    let mut plan = ChurnPlan::none();
+                    for (t, h) in fails {
+                        plan = plan.with_failure(Time(t), HostId(h));
+                    }
+                    for (t, h) in joins {
+                        plan = plan.with_join(Time(t), HostId(h));
+                    }
+                    plan
+                })
+        }
+
+        #[derive(Debug, PartialEq)]
+        struct Fingerprint {
+            trace: Vec<TraceEvent>,
+            seen: Vec<Option<Time>>,
+            alive: Vec<bool>,
+            messages: u64,
+            processed: u64,
+            chain: u32,
+            dispatched: u64,
+        }
+
+        fn run(n: u32, plan: &ChurnPlan, cut: bool, heap: bool) -> Fingerprint {
+            let graph = pov_topology::generators::special::cycle(n as usize);
+            let mut b = SimBuilder::new(graph).churn(plan.clone()).seed(7);
+            if cut {
+                let sides = (0..n).map(|i| u8::from(i >= n / 2)).collect();
+                b = b.partition(PartitionPlan::new(sides).window(Time(3), Time(11)));
+            }
+            if heap {
+                b = b.heap_queue_oracle();
+            }
+            let mut sim = b.build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+            sim.run_until(Time(60));
+            Fingerprint {
+                trace: sim.trace().events.clone(),
+                seen: (0..n).map(|h| sim.logic(HostId(h)).seen_at).collect(),
+                alive: (0..n).map(|h| sim.is_alive(HostId(h))).collect(),
+                messages: sim.metrics().messages_sent,
+                processed: sim.metrics().total_processed(),
+                chain: sim.metrics().longest_chain,
+                dispatched: sim.metrics().events_dispatched,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn identical_trace_and_metrics(
+                (n, plan, cut) in (4u32..24).prop_flat_map(|n| {
+                    (Just(n), arb_churn(n), 0u8..2)
+                }),
+            ) {
+                let bucket = run(n, &plan, cut == 1, false);
+                let heap = run(n, &plan, cut == 1, true);
+                prop_assert_eq!(bucket, heap);
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,21 @@
 //! The event queue driving the simulation.
+//!
+//! Events are totally ordered by `(time, rank, seq)` — instant first,
+//! then the same-instant rank of the payload (fails < joins < churn
+//! polls < deliveries < timers), then insertion order. The production
+//! implementation is a **bucketed calendar queue** ([`BucketQueue`]):
+//! simulation events are overwhelmingly near-future (a send lands
+//! `1..=δ` ticks ahead, a timer at most a deadline ahead), so a ring of
+//! per-tick buckets — each a rank-sorted FIFO — turns every push and
+//! pop into `O(1)` bucket ops instead of a `BinaryHeap`'s `O(log n)`
+//! sift that repeatedly moves whole payloads. The original heap
+//! implementation survives as the `#[cfg(test)]` oracle
+//! ([`HeapQueue`]); property tests assert the two pop identical event
+//! sequences.
 
 use crate::Time;
 use pov_topology::HostId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// What happens when an event fires.
 #[derive(Clone, Debug)]
@@ -55,48 +67,316 @@ impl<M> Payload<M> {
     }
 }
 
-pub(crate) struct Event<M> {
-    pub at: Time,
-    pub seq: u64,
-    pub payload: Payload<M>,
+/// The deterministic event queue: ties broken by (rank, insertion
+/// order). Dispatches to the bucketed production implementation, or —
+/// in test builds only — to the heap oracle a simulation was explicitly
+/// built with (`SimBuilder::heap_queue_oracle`).
+pub(crate) enum EventQueue<M> {
+    /// The bucketed calendar queue (always used outside tests).
+    Bucket(BucketQueue<M>),
+    /// The pre-refactor `BinaryHeap` implementation, kept as the
+    /// equivalence oracle.
+    #[cfg(test)]
+    Heap(HeapQueue<M>),
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp_key() == other.cmp_key()
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue::Bucket(BucketQueue::new())
+    }
+
+    /// A queue backed by the original `BinaryHeap` ordering — the
+    /// oracle side of the equivalence property tests.
+    #[cfg(test)]
+    pub fn heap_oracle() -> Self {
+        EventQueue::Heap(HeapQueue::new())
+    }
+
+    #[inline]
+    pub fn push(&mut self, at: Time, payload: Payload<M>) {
+        match self {
+            EventQueue::Bucket(q) => q.push(at, payload),
+            #[cfg(test)]
+            EventQueue::Heap(q) => q.push(at, payload),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, Payload<M>)> {
+        match self {
+            EventQueue::Bucket(q) => q.pop(),
+            #[cfg(test)]
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Instant of the next event, if any. `&mut` because the bucketed
+    /// queue advances its ring to the next non-empty bucket here (the
+    /// amortized-O(1) part of the calendar-queue contract).
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            EventQueue::Bucket(q) => q.peek_time(),
+            #[cfg(test)]
+            EventQueue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Bucket(q) => q.len(),
+            #[cfg(test)]
+            EventQueue::Heap(q) => q.len(),
+        }
     }
 }
-impl<M> Eq for Event<M> {}
 
+/// How many ticks ahead of the ring base an event may land and still be
+/// bucketed; anything further goes to the `far` overflow heap until the
+/// ring catches up. Covers every per-hop delay and protocol timer the
+/// workloads use; only pre-materialized churn plans over long horizons
+/// routinely overflow.
+const WINDOW: u64 = 1 << 12;
+
+/// One tick's events: pushed in seq order, rank-sorted once when the
+/// tick becomes current, then drained from the front.
+type Bucket<M> = VecDeque<(u8, Payload<M>)>;
+
+/// The bucketed calendar queue.
+///
+/// # Ordering invariants
+///
+/// * `buckets[i]` holds the events of tick `base + i`; the ring is
+///   rotated (never reallocated) as ticks drain, so steady-state
+///   operation is allocation-free.
+/// * Within a bucket, events are appended in push order, which **is**
+///   `seq` order; a single *stable* sort by rank when the tick becomes
+///   current yields exactly the `(rank, seq)` order the heap produced.
+/// * After the current bucket is rank-sorted, the engine may still push
+///   into it — but only tick-end timers can target the current instant
+///   (sends have delay ≥ 1, `set_timer` clamps to ≥ 1, churn polls move
+///   strictly forward). A timer's rank (4) is the maximum, so appending
+///   keeps the bucket sorted; the debug assertion in `push` enforces
+///   this so any future same-tick event class fails loudly instead of
+///   silently reordering.
+/// * Events at or beyond `base + WINDOW` wait in the `far` min-heap,
+///   ordered by `(time, rank, seq)`, and migrate into the ring the
+///   moment the base advances to within `WINDOW` of them — i.e. before
+///   any ring push could target their tick, preserving FIFO.
+pub(crate) struct BucketQueue<M> {
+    buckets: VecDeque<Bucket<M>>,
+    /// Tick of `buckets[0]`.
+    base: u64,
+    /// Whether `buckets[0]` has been rank-sorted for draining.
+    prepared: bool,
+    /// Events in `buckets`, excluding `far`.
+    in_buckets: usize,
+    /// Far-future overflow, min-ordered by `(time, rank, seq)`.
+    far: std::collections::BinaryHeap<FarEvent<M>>,
+    /// Insertion counter for `far` ordering.
+    far_seq: u64,
+}
+
+struct FarEvent<M> {
+    at: u64,
+    rank: u8,
+    seq: u64,
+    payload: Payload<M>,
+}
+
+impl<M> FarEvent<M> {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.at, self.rank, self.seq)
+    }
+}
+
+impl<M> PartialEq for FarEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for FarEvent<M> {}
+impl<M> PartialOrd for FarEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for FarEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl<M> BucketQueue<M> {
+    pub fn new() -> Self {
+        BucketQueue {
+            buckets: VecDeque::new(),
+            base: 0,
+            prepared: false,
+            in_buckets: 0,
+            far: std::collections::BinaryHeap::new(),
+            far_seq: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.in_buckets + self.far.len()
+    }
+
+    pub fn push(&mut self, at: Time, payload: Payload<M>) {
+        debug_assert!(at.0 >= self.base, "event scheduled in the past");
+        let offset = at.0 - self.base;
+        if offset >= WINDOW {
+            self.far.push(FarEvent {
+                at: at.0,
+                rank: payload.rank(),
+                seq: self.far_seq,
+                payload,
+            });
+            self.far_seq += 1;
+            return;
+        }
+        let idx = offset as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize_with(idx + 1, VecDeque::new);
+        }
+        let rank = payload.rank();
+        if idx == 0 && self.prepared {
+            // The current tick is mid-drain: appending is only correct
+            // if the new event sorts after everything still in the
+            // bucket (see the ordering invariants above).
+            debug_assert!(
+                self.buckets[0].back().is_none_or(|&(r, _)| r <= rank),
+                "same-tick push would reorder the current bucket"
+            );
+        }
+        self.buckets[idx].push_back((rank, payload));
+        self.in_buckets += 1;
+    }
+
+    /// Advance the ring so `buckets[0]` is the earliest non-empty tick
+    /// (rank-sorted, ready to drain), migrating far-future events as
+    /// the window slides over them.
+    fn settle(&mut self) {
+        loop {
+            if self.in_buckets == 0 {
+                if self.far.is_empty() {
+                    return;
+                }
+                // Jump the base straight to the earliest far event — no
+                // point rotating through an empty window one tick at a
+                // time.
+                self.base = self.far.peek().expect("non-empty").at;
+                self.prepared = false;
+                self.migrate_far();
+                continue;
+            }
+            if self.buckets.front().is_some_and(|b| !b.is_empty()) {
+                if !self.prepared {
+                    // Stable sort: equal ranks keep push (= seq) order.
+                    self.buckets[0]
+                        .make_contiguous()
+                        .sort_by_key(|&(rank, _)| rank);
+                    self.prepared = true;
+                }
+                return;
+            }
+            // Rotate the drained front bucket to the back, retaining
+            // its capacity for a future tick.
+            let mut spent = self.buckets.pop_front().expect("in_buckets > 0");
+            spent.clear();
+            self.buckets.push_back(spent);
+            self.base += 1;
+            self.prepared = false;
+            self.migrate_far();
+        }
+    }
+
+    /// Move every far event whose tick now falls inside the ring window
+    /// into its bucket. Popped in `(time, rank, seq)` order, so same-
+    /// bucket appends preserve the global FIFO contract.
+    fn migrate_far(&mut self) {
+        while self.far.peek().is_some_and(|fe| fe.at < self.base + WINDOW) {
+            let fe = self.far.pop().expect("peeked");
+            let idx = (fe.at - self.base) as usize;
+            if self.buckets.len() <= idx {
+                self.buckets.resize_with(idx + 1, VecDeque::new);
+            }
+            self.buckets[idx].push_back((fe.rank, fe.payload));
+            self.in_buckets += 1;
+        }
+    }
+
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.settle();
+        (self.len() > 0).then_some(Time(self.base))
+    }
+
+    pub fn pop(&mut self) -> Option<(Time, Payload<M>)> {
+        self.settle();
+        let (_, payload) = self.buckets.front_mut()?.pop_front()?;
+        self.in_buckets -= 1;
+        Some((Time(self.base), payload))
+    }
+}
+
+// ---------------------------------------------------------------- oracle
+
+/// The pre-refactor implementation: a `BinaryHeap` over explicit
+/// `(time, rank, seq)` keys. Kept (test builds only) as the ordering
+/// oracle the bucketed queue is property-tested against.
+#[cfg(test)]
+pub(crate) struct HeapQueue<M> {
+    heap: std::collections::BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+#[cfg(test)]
+struct Event<M> {
+    at: Time,
+    seq: u64,
+    payload: Payload<M>,
+}
+
+#[cfg(test)]
 impl<M> Event<M> {
     fn cmp_key(&self) -> (Time, u8, u64) {
         (self.at, self.payload.rank(), self.seq)
     }
 }
 
+#[cfg(test)]
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+#[cfg(test)]
+impl<M> Eq for Event<M> {}
+#[cfg(test)]
 impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-
+#[cfg(test)]
 impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first ordering.
         other.cmp_key().cmp(&self.cmp_key())
     }
 }
 
-/// Deterministic priority queue: ties broken by (rank, insertion order).
-pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
-    next_seq: u64,
-}
-
-impl<M> EventQueue<M> {
+#[cfg(test)]
+impl<M> HeapQueue<M> {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
+        HeapQueue {
+            heap: std::collections::BinaryHeap::new(),
             next_seq: 0,
         }
     }
@@ -107,16 +387,12 @@ impl<M> EventQueue<M> {
         self.heap.push(Event { at, seq, payload });
     }
 
-    pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+    pub fn pop(&mut self) -> Option<(Time, Payload<M>)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
     }
 
-    pub fn peek_time(&self) -> Option<Time> {
+    pub fn peek_time(&mut self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
     }
 
     pub fn len(&self) -> usize {
@@ -127,6 +403,7 @@ impl<M> EventQueue<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn pops_in_time_order() {
@@ -134,7 +411,7 @@ mod tests {
         q.push(Time(5), Payload::Fail(HostId(0)));
         q.push(Time(1), Payload::Fail(HostId(1)));
         q.push(Time(3), Payload::Fail(HostId(2)));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 
@@ -159,11 +436,11 @@ mod tests {
         );
         q.push(Time(1), Payload::Fail(HostId(2)));
         let first = q.pop().unwrap();
-        assert!(matches!(first.payload, Payload::Fail(_)));
+        assert!(matches!(first.1, Payload::Fail(_)));
         let second = q.pop().unwrap();
-        assert!(matches!(second.payload, Payload::Deliver { .. }));
+        assert!(matches!(second.1, Payload::Deliver { .. }));
         let third = q.pop().unwrap();
-        assert!(matches!(third.payload, Payload::Timer { .. }));
+        assert!(matches!(third.1, Payload::Timer { .. }));
     }
 
     #[test]
@@ -181,7 +458,7 @@ mod tests {
             );
         }
         let msgs: Vec<u8> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.payload {
+            .map(|(_, p)| match p {
                 Payload::Deliver { msg, .. } => msg,
                 _ => unreachable!(),
             })
@@ -197,5 +474,154 @@ mod tests {
         q.push(Time(7), Payload::Join(HostId(0)));
         assert_eq!(q.peek_time(), Some(Time(7)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_window() {
+        // Events far past the ring window detour through the overflow
+        // heap and still pop in exact (time, rank, seq) order.
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let far = WINDOW * 3 + 17;
+        q.push(
+            Time(far),
+            Payload::Timer {
+                host: HostId(0),
+                key: 2,
+            },
+        );
+        q.push(Time(far), Payload::Fail(HostId(1)));
+        q.push(Time(2), Payload::Join(HostId(2)));
+        q.push(Time(far + WINDOW), Payload::Join(HostId(3)));
+        assert_eq!(q.peek_time(), Some(Time(2)));
+        assert!(matches!(q.pop(), Some((Time(2), Payload::Join(_)))));
+        // Jumps straight to the far tick: fail (rank 0) before timer.
+        let (t, p) = q.pop().unwrap();
+        assert_eq!(t, Time(far));
+        assert!(matches!(p, Payload::Fail(_)));
+        assert!(matches!(q.pop(), Some((_, Payload::Timer { .. }))));
+        assert_eq!(q.pop().unwrap().0, Time(far + WINDOW));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_timer_push_mid_drain() {
+        // The tick-end-timer idiom: while draining tick 3's deliveries,
+        // a timer lands on the same tick and must fire after them.
+        let mut q: EventQueue<u8> = EventQueue::new();
+        for i in 0..3u8 {
+            q.push(
+                Time(3),
+                Payload::Deliver {
+                    to: HostId(0),
+                    from: HostId(1),
+                    msg: i,
+                    depth: 0,
+                },
+            );
+        }
+        assert!(matches!(
+            q.pop(),
+            Some((_, Payload::Deliver { msg: 0, .. }))
+        ));
+        q.push(
+            Time(3),
+            Payload::Timer {
+                host: HostId(0),
+                key: 9,
+            },
+        );
+        assert!(matches!(
+            q.pop(),
+            Some((_, Payload::Deliver { msg: 1, .. }))
+        ));
+        assert!(matches!(
+            q.pop(),
+            Some((_, Payload::Deliver { msg: 2, .. }))
+        ));
+        assert!(matches!(
+            q.pop(),
+            Some((Time(3), Payload::Timer { key: 9, .. }))
+        ));
+    }
+
+    /// A compact encodable action stream for the equivalence property:
+    /// interleaved pushes (time offset, payload class) and pops.
+    fn arb_actions() -> impl Strategy<Value = Vec<(u16, u8, u8)>> {
+        prop::collection::vec((0u16..2_000, 0u8..5, 0u8..2), 1..400)
+    }
+
+    fn payload_of(class: u8, tag: u8) -> Payload<u8> {
+        match class {
+            0 => Payload::Fail(HostId(u32::from(tag))),
+            1 => Payload::Join(HostId(u32::from(tag))),
+            2 => Payload::ChurnPoll,
+            3 => Payload::Deliver {
+                to: HostId(u32::from(tag)),
+                from: HostId(0),
+                msg: tag,
+                depth: 0,
+            },
+            _ => Payload::Timer {
+                host: HostId(u32::from(tag)),
+                key: u64::from(tag),
+            },
+        }
+    }
+
+    fn fingerprint(t: Time, p: &Payload<u8>) -> (u64, u8, u32, u8) {
+        let (host, msg) = match *p {
+            Payload::Fail(h) | Payload::Join(h) => (h.0, 0),
+            Payload::ChurnPoll => (0, 0),
+            Payload::Deliver { to, msg, .. } => (to.0, msg),
+            Payload::Timer { host, key } => (host.0, key as u8),
+        };
+        (t.0, p.rank(), host, msg)
+    }
+
+    proptest! {
+        /// The tentpole equivalence bar at the queue level: for any
+        /// interleaving of pushes and pops (with monotone lower bounds
+        /// on push times, as the engine guarantees), the bucketed queue
+        /// and the BinaryHeap oracle emit the identical event sequence.
+        #[test]
+        fn bucket_queue_matches_heap_oracle(actions in arb_actions()) {
+            let mut bucket: EventQueue<u8> = EventQueue::new();
+            let mut heap: EventQueue<u8> = EventQueue::heap_oracle();
+            let mut now = 0u64; // events may never be pushed in the past
+            let mut tag = 0u8;
+            for (dt, class, do_pop) in actions {
+                let at = Time(now + u64::from(dt));
+                tag = tag.wrapping_add(1);
+                bucket.push(at, payload_of(class, tag));
+                heap.push(at, payload_of(class, tag));
+                prop_assert_eq!(bucket.len(), heap.len());
+                if do_pop == 1 {
+                    let b = bucket.pop();
+                    let h = heap.pop();
+                    match (b, h) {
+                        (Some((bt, bp)), Some((ht, hp))) => {
+                            prop_assert_eq!(
+                                fingerprint(bt, &bp),
+                                fingerprint(ht, &hp)
+                            );
+                            now = bt.0;
+                        }
+                        (None, None) => {}
+                        _ => prop_assert!(false, "one queue emptied before the other"),
+                    }
+                }
+            }
+            // Drain both to the end.
+            loop {
+                prop_assert_eq!(bucket.peek_time(), heap.peek_time());
+                match (bucket.pop(), heap.pop()) {
+                    (Some((bt, bp)), Some((ht, hp))) => {
+                        prop_assert_eq!(fingerprint(bt, &bp), fingerprint(ht, &hp));
+                    }
+                    (None, None) => break,
+                    _ => prop_assert!(false, "one queue emptied before the other"),
+                }
+            }
+        }
     }
 }

@@ -35,10 +35,19 @@
 //!
 //! Time is measured in ticks of `δ`: a message sent at `t` to an alive
 //! neighbour arrives at `t + d` with `1 ≤ d ≤ delay_bound` (default 1).
+//!
+//! The hot path is engineered for batch sweeps: the event loop runs on
+//! a bucketed calendar queue (O(1) push/pop; ordering invariants
+//! documented in `event.rs`, equivalence to the original binary heap
+//! property-tested), [`SimBuilder::over`] borrows a topology so a
+//! thousand cells share one CSR neighbour arena, and every host-indexed
+//! engine buffer recycles through a thread-local pool across the
+//! simulations a worker thread builds and drops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod churn;
 mod ctx;
 mod delay;

@@ -28,17 +28,30 @@ pub struct Metrics {
     /// Timer events fired (not part of any paper metric; useful for
     /// sanity checks).
     pub timers_fired: u64,
+    /// Total events dispatched by the engine loop (fails, joins,
+    /// deliveries, timers, churn polls). Not a paper metric — it is the
+    /// denominator-free throughput counter the `repro bench` harness
+    /// divides by wall time to get events/sec.
+    pub events_dispatched: u64,
 }
 
 impl Metrics {
-    pub(crate) fn new(num_hosts: usize) -> Self {
+    /// Fresh counters with the host-indexed buffers drawn from the
+    /// thread-local [`arena`](crate::arena) pool (the engine returns
+    /// them on drop).
+    pub(crate) fn from_arena(num_hosts: usize) -> Self {
         Metrics {
             messages_sent: 0,
-            processed_per_host: vec![0; num_hosts],
-            sent_per_tick: Vec::new(),
+            processed_per_host: crate::arena::take_u64s(num_hosts),
+            sent_per_tick: crate::arena::take_u64s(0),
             longest_chain: 0,
             timers_fired: 0,
+            events_dispatched: 0,
         }
+    }
+
+    pub(crate) fn record_dispatch(&mut self) {
+        self.events_dispatched += 1;
     }
 
     pub(crate) fn record_send(&mut self, at: Time) {
@@ -97,7 +110,7 @@ mod tests {
 
     #[test]
     fn send_accounting() {
-        let mut m = Metrics::new(3);
+        let mut m = Metrics::from_arena(3);
         m.record_send(Time(0));
         m.record_send(Time(2));
         m.record_send(Time(2));
@@ -108,7 +121,7 @@ mod tests {
 
     #[test]
     fn processed_accounting() {
-        let mut m = Metrics::new(3);
+        let mut m = Metrics::from_arena(3);
         m.record_processed(HostId(1), 4);
         m.record_processed(HostId(1), 2);
         m.record_processed(HostId(2), 7);
@@ -120,7 +133,7 @@ mod tests {
 
     #[test]
     fn histogram() {
-        let mut m = Metrics::new(4);
+        let mut m = Metrics::from_arena(4);
         m.record_processed(HostId(0), 1);
         m.record_processed(HostId(0), 1);
         m.record_processed(HostId(1), 1);
@@ -131,7 +144,7 @@ mod tests {
 
     #[test]
     fn empty_metrics() {
-        let m = Metrics::new(0);
+        let m = Metrics::from_arena(0);
         assert_eq!(m.computation_cost(), 0);
         assert_eq!(m.last_active_tick(), None);
         assert_eq!(m.computation_histogram(), vec![0]);

@@ -37,14 +37,25 @@ impl From<u32> for HostId {
     }
 }
 
-/// An undirected simple graph `G = (H, E)` (§3.1).
+/// An undirected simple graph `G = (H, E)` (§3.1), stored in
+/// **compressed sparse row** (CSR) form.
 ///
-/// Hosts are identified by dense ids `0..n`. Adjacency lists are kept
-/// sorted and deduplicated so iteration order (and therefore every
-/// simulation built on top) is deterministic.
+/// Hosts are identified by dense ids `0..n`. All adjacency lists live in
+/// one contiguous `targets` arena; `offsets[h]..offsets[h + 1]` indexes
+/// host `h`'s slice of it. Compared to the former `Vec<Vec<HostId>>`
+/// layout this is one allocation instead of `n + 1`, neighbour walks are
+/// cache-linear across hosts (BFS, flood fan-out), and cloning a graph —
+/// or refusing to, see `pov_sim::SimBuilder::over` — is two `memcpy`s.
+///
+/// Lists are kept sorted and deduplicated so iteration order (and
+/// therefore every simulation built on top) is deterministic.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct Graph {
-    adjacency: Vec<Vec<HostId>>,
+    /// `offsets[h]..offsets[h + 1]` bounds host `h`'s slice of
+    /// `targets`; length `n + 1`, `offsets[0] == 0`, non-decreasing.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour lists, each sorted ascending.
+    targets: Vec<HostId>,
     num_edges: usize,
 }
 
@@ -52,7 +63,8 @@ impl Graph {
     /// An empty graph with `n` isolated hosts.
     pub fn with_hosts(n: usize) -> Self {
         Graph {
-            adjacency: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
             num_edges: 0,
         }
     }
@@ -60,7 +72,7 @@ impl Graph {
     /// Number of hosts `|H|`.
     #[inline]
     pub fn num_hosts(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `|E|`.
@@ -71,40 +83,43 @@ impl Graph {
 
     /// Average degree `2|E| / |H|`.
     pub fn average_degree(&self) -> f64 {
-        if self.adjacency.is_empty() {
+        if self.num_hosts() == 0 {
             return 0.0;
         }
-        2.0 * self.num_edges as f64 / self.adjacency.len() as f64
+        2.0 * self.num_edges as f64 / self.num_hosts() as f64
     }
 
-    /// Neighbours `N(h)` of a host, sorted ascending.
+    /// Neighbours `N(h)` of a host, sorted ascending — a borrow of the
+    /// CSR arena, so engines and protocols can hold the slice without
+    /// copying the list (the hot-path accessor: every send, broadcast
+    /// and BFS expansion goes through here).
     #[inline]
     pub fn neighbors(&self, h: HostId) -> &[HostId] {
-        &self.adjacency[h.index()]
+        &self.targets[self.offsets[h.index()] as usize..self.offsets[h.index() + 1] as usize]
     }
 
     /// Degree of a host.
     #[inline]
     pub fn degree(&self, h: HostId) -> usize {
-        self.adjacency[h.index()].len()
+        (self.offsets[h.index() + 1] - self.offsets[h.index()]) as usize
     }
 
     /// Whether `(a, b)` is an edge. `O(log deg(a))`.
     pub fn has_edge(&self, a: HostId, b: HostId) -> bool {
-        self.adjacency[a.index()].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Iterator over all hosts.
     pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
-        (0..self.adjacency.len() as u32).map(HostId)
+        (0..self.num_hosts() as u32).map(HostId)
     }
 
     /// Iterator over all undirected edges, each reported once with
     /// `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (HostId, HostId)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(a, nbrs)| {
-            let a = HostId(a as u32);
-            nbrs.iter()
+        self.hosts().flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
                 .copied()
                 .filter(move |&b| a < b)
                 .map(move |b| (a, b))
@@ -113,10 +128,10 @@ impl Graph {
 
     /// Degree histogram: `hist[d]` = number of hosts with degree `d`.
     pub fn degree_histogram(&self) -> Vec<usize> {
-        let max_deg = self.adjacency.iter().map(Vec::len).max().unwrap_or(0);
+        let max_deg = self.hosts().map(|h| self.degree(h)).max().unwrap_or(0);
         let mut hist = vec![0usize; max_deg + 1];
-        for nbrs in &self.adjacency {
-            hist[nbrs.len()] += 1;
+        for h in self.hosts() {
+            hist[self.degree(h)] += 1;
         }
         hist
     }
@@ -166,17 +181,26 @@ impl GraphBuilder {
         self.adjacency[h.index()].len()
     }
 
-    /// Finalize: sort adjacency lists, drop duplicate edges.
+    /// Finalize: sort adjacency lists, drop duplicate edges, and pack
+    /// the lists into the CSR arena.
     pub fn build(mut self) -> Graph {
-        let mut num_edges = 0;
+        let mut num_half_edges = 0;
         for nbrs in &mut self.adjacency {
             nbrs.sort_unstable();
             nbrs.dedup();
-            num_edges += nbrs.len();
+            num_half_edges += nbrs.len();
+        }
+        let mut offsets = Vec::with_capacity(self.adjacency.len() + 1);
+        let mut targets = Vec::with_capacity(num_half_edges);
+        offsets.push(0u32);
+        for nbrs in &self.adjacency {
+            targets.extend_from_slice(nbrs);
+            offsets.push(targets.len() as u32);
         }
         Graph {
-            adjacency: self.adjacency,
-            num_edges: num_edges / 2,
+            offsets,
+            targets,
+            num_edges: num_half_edges / 2,
         }
     }
 }

@@ -43,6 +43,7 @@ fn every_shipped_scenario_parses() {
         vec![
             "adversarial-root",
             "adversarial-sketch",
+            "cascading-partitions",
             "churn-plus-partition",
             "correlated-failure",
             "flash-crowd",
@@ -87,9 +88,16 @@ fn smoke_report_has_one_paired_section_per_protocol() {
     let json = report.to_json().render();
     assert_eq!(
         json.matches("\"protocol\": ").count(),
-        2,
-        "one JSON section per protocol"
+        3,
+        "one JSON section per protocol plus one paired-difference entry"
     );
+    // The paired-difference column: exactly one contender-vs-baseline
+    // entry for the two-protocol smoke, in file order.
+    assert_eq!(report.paired.len(), 1);
+    assert_eq!(report.paired[0].protocol, "SPANNINGTREE");
+    assert_eq!(report.paired[0].baseline, "WILDFIRE");
+    assert!(json.contains("\"paired\""));
+    assert!(json.contains("\"ci95\""));
 }
 
 #[test]
