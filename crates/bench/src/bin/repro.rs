@@ -11,10 +11,14 @@
 //! repro scenario scenarios/smoke.scn             # one scenario batch
 //! repro scenario a.scn b.scn --threads 8         # parallel batch runner
 //! repro scenario a.scn --json report.json        # machine-readable report
+//!
+//! repro bench --quick --threads 4                # parallel engine bench
+//! repro bench --quick --check BASELINE.json      # perf regression gate
+//! repro soak --quick                             # long-horizon endurance run
 //! ```
 
 use pov_bench::engine_bench::{self, BenchMode};
-use pov_bench::Scale;
+use pov_bench::{soak, trajectory, Scale};
 use pov_core::experiments::{
     ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
 };
@@ -44,14 +48,20 @@ repro — regenerate the tables and figures of the paper's §6
 USAGE:
     repro [--paper] [--json PATH] [EXPERIMENT]...
     repro scenario FILE... [--threads N] [--json PATH]
-    repro bench [--quick] [--json PATH]
+    repro bench [--quick] [--threads N] [--json PATH] [--check BASELINE]
+    repro soak [--quick] [--json PATH]
 
 OPTIONS:
     --paper        run experiments at the paper's full §6 sizes (default: quick scale)
-    --threads N    worker threads for the scenario batch runner (default: 1)
+    --threads N    worker threads for the scenario batch runner or the engine
+                   bench (default: 1)
     --json PATH    write results as JSON to PATH (experiment rows, scenario reports,
-                   or the bench document — default BENCH_engine.json for `bench`)
-    --quick        run `repro bench` at CI scale instead of the full sizes
+                   or the bench document — default BENCH_engine.json for `bench`;
+                   the bench document's per-PR history grows by one entry per run)
+    --check PATH   `repro bench` only: compare this run against the baseline
+                   document at PATH and exit non-zero on a >10% events/sec drop
+                   or an RSS-ceiling breach (see docs/BENCHMARKING.md)
+    --quick        run `repro bench` / `repro soak` at CI scale instead of full
     -h, --help     print this help
 
 ARGUMENTS:
@@ -69,6 +79,7 @@ struct Opts {
     quick: bool,
     threads: Option<usize>,
     json: Option<String>,
+    check: Option<String>,
     positional: Vec<String>,
 }
 
@@ -78,6 +89,7 @@ fn parse_opts(args: &[String]) -> Opts {
         quick: false,
         threads: None,
         json: None,
+        check: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -96,6 +108,12 @@ fn parse_opts(args: &[String]) -> Opts {
                     .next()
                     .unwrap_or_else(|| fail("'--json' expects a file path (e.g. --json out.json)"));
                 opts.json = Some(v.clone());
+            }
+            "--check" => {
+                let v = it.next().unwrap_or_else(|| {
+                    fail("'--check' expects a baseline path (e.g. --check BENCH_engine.json)")
+                });
+                opts.check = Some(v.clone());
             }
             other if other.starts_with('-') => {
                 fail(&format!("unknown option '{other}'"));
@@ -136,6 +154,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("scenario") => scenario_main(&args[1..]),
         Some("bench") => bench_main(&args[1..]),
+        Some("soak") => soak_main(&args[1..]),
         _ => experiments_main(&args),
     }
 }
@@ -146,9 +165,6 @@ fn bench_main(args: &[String]) {
     let opts = parse_opts(args);
     if opts.paper {
         fail("'--paper' applies to the figure experiments, not `repro bench`");
-    }
-    if opts.threads.is_some() {
-        fail("'--threads' only applies to `repro scenario`; the bench runs single-threaded");
     }
     if !opts.positional.is_empty() {
         fail(&format!(
@@ -161,11 +177,14 @@ fn bench_main(args: &[String]) {
     } else {
         BenchMode::Full
     };
+    let threads = opts.threads.unwrap_or(1);
     eprintln!(
-        "# engine bench ({} scale)",
-        if opts.quick { "quick" } else { "full" }
+        "# engine bench ({} scale, {} thread{})",
+        mode.label(),
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
-    let results = engine_bench::run(mode);
+    let results = engine_bench::run_threaded(mode, threads);
     println!(
         "{:<22} {:>7} {:>6} {:>12} {:>10} {:>12} {:>12} {:>9}",
         "workload", "n", "runs", "events", "wall_ms", "events/s", "ticks/s", "speedup"
@@ -188,8 +207,116 @@ fn bench_main(args: &[String]) {
             speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
         );
     }
-    let path = opts.json.as_deref().unwrap_or("BENCH_engine.json");
-    write_json(path, &engine_bench::to_json(mode, &results));
+    // A pure `--check` run measures and compares without touching any
+    // file; `--json PATH` (or the plain default) appends this run to
+    // the target document's history instead of discarding it.
+    let json_path = match (&opts.json, &opts.check) {
+        (Some(p), _) => Some(p.clone()),
+        (None, None) => Some("BENCH_engine.json".to_string()),
+        (None, Some(_)) => None,
+    };
+    if let Some(path) = json_path {
+        let prior = std::fs::read_to_string(&path).ok();
+        let entry =
+            trajectory::history_entry(&trajectory::git_sha(), mode.label(), threads, &results);
+        let history = trajectory::appended_history(prior.as_deref(), entry);
+        write_json(
+            &path,
+            &engine_bench::to_json(mode, threads, &results, history),
+        );
+    }
+    if let Some(baseline_path) = &opts.check {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline '{baseline_path}': {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("baseline '{baseline_path}' is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        let failures = trajectory::check_against(&doc, &results);
+        if failures.is_empty() {
+            eprintln!("[--check passed against {baseline_path}]");
+        } else {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+// --------------------------------------------------------------------- soak
+
+fn soak_main(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.paper {
+        fail("'--paper' applies to the figure experiments, not `repro soak`");
+    }
+    if opts.threads.is_some() {
+        fail("'--threads' applies to `repro bench` and `repro scenario`, not `repro soak`");
+    }
+    if opts.check.is_some() {
+        fail("'--check' applies to `repro bench`; the soak carries its own limits");
+    }
+    if !opts.positional.is_empty() {
+        fail(&format!(
+            "`repro soak` takes no workload arguments (got '{}')",
+            opts.positional[0]
+        ));
+    }
+    let mode = if opts.quick {
+        BenchMode::Quick
+    } else {
+        BenchMode::Full
+    };
+    eprintln!("# soak ({} scale)", mode.label());
+    let results = soak::run(mode);
+    println!(
+        "{:<28} {:>6} {:>8} {:>8} {:>12} {:>10} {:>12} {:>10} {:>9}",
+        "workload",
+        "n",
+        "horizon",
+        "windows",
+        "events",
+        "wall_ms",
+        "events/s",
+        "declared",
+        "rss_kb"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>6} {:>8} {:>8} {:>12} {:>10.1} {:>12.0} {:>9.0}% {:>9}",
+            r.name,
+            r.n,
+            r.horizon_ticks,
+            r.windows,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.declared_fraction * 100.0,
+            r.peak_rss_kb.map_or("-".to_string(), |k| k.to_string()),
+        );
+    }
+    if let Some(path) = &opts.json {
+        write_json(path, &soak::to_json(mode, &results));
+    }
+    let failures = soak::assert_limits(&results, mode);
+    if failures.is_empty() {
+        let (min_eps, max_rss) = soak::limits(mode);
+        eprintln!("[soak passed: events/s floor {min_eps:.0}, RSS ceiling {max_rss} kB]");
+    } else {
+        for f in &failures {
+            eprintln!("SOAK FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------- scenarios
@@ -201,6 +328,9 @@ fn scenario_main(args: &[String]) {
     }
     if opts.quick {
         fail("'--quick' applies to `repro bench`; scenario scale lives in the .scn file");
+    }
+    if opts.check.is_some() {
+        fail("'--check' applies to `repro bench`; scenario reports have no perf baseline");
     }
     if opts.positional.is_empty() {
         fail("`repro scenario` needs at least one .scn file");
@@ -319,6 +449,9 @@ fn experiments_main(args: &[String]) {
     }
     if opts.quick {
         fail("'--quick' applies to `repro bench`; experiments default to quick scale already");
+    }
+    if opts.check.is_some() {
+        fail("'--check' applies to `repro bench`; experiments have no perf baseline");
     }
     let scale = if opts.paper {
         Scale::Paper

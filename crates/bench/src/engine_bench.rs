@@ -74,7 +74,8 @@ pub enum BenchMode {
 }
 
 impl BenchMode {
-    fn label(self) -> &'static str {
+    /// The mode's name as it appears in the JSON document.
+    pub fn label(self) -> &'static str {
         match self {
             BenchMode::Quick => "quick",
             BenchMode::Full => "full",
@@ -147,8 +148,52 @@ fn workloads(mode: BenchMode) -> Vec<Workload> {
     ]
 }
 
-/// Run one workload and measure it.
-fn run_workload(w: &Workload) -> BenchResult {
+/// The plan for one seed of a workload (pure in its arguments — what
+/// makes the per-seed work freely distributable across threads).
+fn seed_plan(
+    w: &Workload,
+    base: &RunPlan,
+    graph: &pov_core::pov_topology::Graph,
+    n: usize,
+    deadline: u64,
+    hq: HostId,
+    seed: u64,
+) -> RunPlan {
+    let mut plan = base.clone().seed(seed);
+    match w.regime {
+        Regime::Static => {}
+        Regime::ChurnPlusPartition => {
+            plan = plan
+                .churn(ChurnPlan::uniform_failures(
+                    n,
+                    n / 10,
+                    Time(0),
+                    Time(deadline),
+                    hq,
+                    seed ^ 0x00c0_ffee,
+                ))
+                .partition(
+                    PartitionPlan::split_bfs(graph, HostId(n as u32 / 3), 0.3)
+                        .window(Time(deadline / 10), Time(deadline * 2 / 3)),
+                );
+        }
+        Regime::AdversarialSketch => {
+            plan = plan.adversary(AdversarySpec::fm_maxima(
+                4,
+                n / 20,
+                Time(1),
+                Time(deadline * 3 / 4),
+            ));
+        }
+    }
+    plan
+}
+
+/// Run one workload on `threads` workers and measure it. Seeds fan out
+/// across the workers; each seed's counts land in its own slot, so the
+/// summed `events` / `messages` / `runs` are identical for every thread
+/// count — only the wall-clock rates change.
+fn run_workload(w: &Workload, threads: usize) -> BenchResult {
     // Setup (topology, values, diameter probe) happens outside the
     // timed region: the harness measures the event loop, not graph
     // construction.
@@ -163,45 +208,32 @@ fn run_workload(w: &Workload) -> BenchResult {
         .protocols(w.protocols.iter().copied());
     let deadline = base.deadline();
 
-    let mut events = 0u64;
-    let mut messages = 0u64;
-    let mut runs = 0usize;
+    let seeds: Vec<u64> = (0..w.seeds).collect();
+    let mut slots: Vec<(u64, u64, usize)> = vec![(0, 0, 0); seeds.len()];
+    let chunk = seeds.len().div_ceil(threads.max(1));
     let start = Instant::now();
-    for seed in 0..w.seeds {
-        let mut plan = base.clone().seed(seed);
-        match w.regime {
-            Regime::Static => {}
-            Regime::ChurnPlusPartition => {
-                plan = plan
-                    .churn(ChurnPlan::uniform_failures(
-                        n,
-                        n / 10,
-                        Time(0),
-                        Time(deadline),
-                        hq,
-                        seed ^ 0x00c0_ffee,
-                    ))
-                    .partition(
-                        PartitionPlan::split_bfs(&graph, HostId(n as u32 / 3), 0.3)
-                            .window(Time(deadline / 10), Time(deadline * 2 / 3)),
-                    );
-            }
-            Regime::AdversarialSketch => {
-                plan = plan.adversary(AdversarySpec::fm_maxima(
-                    4,
-                    n / 20,
-                    Time(1),
-                    Time(deadline * 3 / 4),
-                ));
-            }
+    std::thread::scope(|scope| {
+        let (graph, values, base, w) = (&graph, &values, &base, &w);
+        for (seed_chunk, slot_chunk) in seeds.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (&seed, slot) in seed_chunk.iter().zip(slot_chunk) {
+                    let plan = seed_plan(w, base, graph, n, deadline, hq, seed);
+                    for (_, out) in runner::run_all(graph, values, &plan) {
+                        slot.0 += out.metrics.events_dispatched;
+                        slot.1 += out.metrics.messages_sent;
+                        slot.2 += 1;
+                    }
+                }
+            });
         }
-        for (_, out) in runner::run_all(&graph, &values, &plan) {
-            events += out.metrics.events_dispatched;
-            messages += out.metrics.messages_sent;
-            runs += 1;
-        }
-    }
+    });
     let wall = start.elapsed();
+    let (mut events, mut messages, mut runs) = (0u64, 0u64, 0usize);
+    for (e, m, r) in slots {
+        events += e;
+        messages += m;
+        runs += r;
+    }
     let wall_s = wall.as_secs_f64().max(1e-9);
     let ticks = (deadline + 2) * runs as u64;
     BenchResult {
@@ -218,23 +250,74 @@ fn run_workload(w: &Workload) -> BenchResult {
     }
 }
 
-/// Execute all three workloads at `mode` scale.
-pub fn run(mode: BenchMode) -> Vec<BenchResult> {
-    workloads(mode).iter().map(run_workload).collect()
+/// Timed repetitions per workload: the reported rates are the *best*
+/// of these. Quick workloads finish in tens of milliseconds, where
+/// scheduler noise alone swings a single measurement by 20%+ — far past
+/// the `--check` gate's 10% budget. Noise is one-sided (a run can only
+/// be slowed down, never sped up), so best-of-N converges on the true
+/// rate; event counts are identical across repetitions by construction.
+/// Quick mode takes 7 so a same-machine gate holds even on busy shared
+/// runners; full-scale workloads run seconds each, where 2 suffice.
+fn repeats(mode: BenchMode) -> usize {
+    match mode {
+        BenchMode::Quick => 7,
+        BenchMode::Full => 2,
+    }
 }
 
-/// The `BENCH_engine.json` document: schema version, mode, per-workload
-/// measurements, the recorded pre-refactor baseline, and the speedup
-/// ratio of each workload against it.
-pub fn to_json(mode: BenchMode, results: &[BenchResult]) -> Json {
+/// Execute all three workloads at `mode` scale, single-threaded.
+pub fn run(mode: BenchMode) -> Vec<BenchResult> {
+    run_threaded(mode, 1)
+}
+
+/// Execute all three workloads at `mode` scale on `threads` workers.
+/// Event counts are identical for every thread count; the wall-clock
+/// rates (best of `repeats(mode)` timed repetitions) measure the engine
+/// under parallel load.
+pub fn run_threaded(mode: BenchMode, threads: usize) -> Vec<BenchResult> {
+    workloads(mode)
+        .iter()
+        .map(|w| {
+            (0..repeats(mode))
+                .map(|_| run_workload(w, threads))
+                .reduce(|best, next| {
+                    assert_eq!(
+                        best.events, next.events,
+                        "{}: nondeterministic rerun",
+                        w.name
+                    );
+                    if next.events_per_sec > best.events_per_sec {
+                        next
+                    } else {
+                        best
+                    }
+                })
+                .expect("at least one repetition")
+        })
+        .collect()
+}
+
+/// The `BENCH_engine.json` document (schema `bench_engine/v2`): mode
+/// and thread count, per-workload measurements, the recorded
+/// pre-refactor baseline with the speedup ratio of each workload
+/// against it, and the per-PR `history` trajectory (one entry per
+/// `--json` run, keyed by git SHA — build it with
+/// [`crate::trajectory::appended_history`]).
+pub fn to_json(
+    mode: BenchMode,
+    threads: usize,
+    results: &[BenchResult],
+    history: Vec<Json>,
+) -> Json {
     let baseline = recorded_baseline(mode);
     let mut base_obj = Json::obj();
     for &(name, eps) in &baseline {
         base_obj = base_obj.with(name, Json::obj().with("events_per_sec", eps));
     }
     Json::obj()
-        .with("schema", "bench_engine/v1")
+        .with("schema", "bench_engine/v2")
         .with("mode", mode.label())
+        .with("threads", threads)
         .with(
             "workloads",
             Json::Arr(
@@ -274,6 +357,7 @@ pub fn to_json(mode: BenchMode, results: &[BenchResult]) -> Json {
                 )
                 .with("workloads", base_obj),
         )
+        .with("history", Json::Arr(history))
 }
 
 /// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), the
@@ -303,12 +387,33 @@ mod tests {
     }
 
     #[test]
+    fn threaded_run_keeps_event_counts() {
+        // The --threads fan-out may only change wall-clock rates — the
+        // per-seed slot sums must match the sequential run exactly.
+        let one = run_threaded(BenchMode::Quick, 1);
+        let four = run_threaded(BenchMode::Quick, 4);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.events, b.events, "{}", a.name);
+            assert_eq!(a.messages, b.messages, "{}", a.name);
+            assert_eq!((a.runs, a.ticks), (b.runs, b.ticks), "{}", a.name);
+        }
+    }
+
+    #[test]
     fn json_schema_has_all_sections() {
         let results = run(BenchMode::Quick);
-        let doc = to_json(BenchMode::Quick, &results).render();
+        let history = vec![crate::trajectory::history_entry(
+            "abc1234",
+            BenchMode::Quick.label(),
+            1,
+            &results,
+        )];
+        let doc = to_json(BenchMode::Quick, 1, &results, history).render();
         for needle in [
-            "\"schema\": \"bench_engine/v1\"",
+            "\"schema\": \"bench_engine/v2\"",
             "\"mode\": \"quick\"",
+            "\"threads\": 1",
             "\"workloads\"",
             "\"events_per_sec\"",
             "\"baseline\"",
@@ -316,8 +421,20 @@ mod tests {
             "\"paper_baseline\"",
             "\"churn_plus_partition\"",
             "\"adversarial_sketch\"",
+            "\"history\"",
+            "\"sha\": \"abc1234\"",
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
+        // The document round-trips through the reader the --check gate
+        // uses.
+        let parsed = Json::parse(&doc).expect("own document parses");
+        assert_eq!(
+            parsed
+                .get("history")
+                .and_then(Json::as_arr)
+                .map(|h| h.len()),
+            Some(1)
+        );
     }
 }

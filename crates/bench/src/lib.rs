@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod engine_bench;
+pub mod soak;
+pub mod trajectory;
 
 use pov_core::experiments::{
     ablation, adversary, fig06, fig10, fig11, fig12, fig13, price, validity,

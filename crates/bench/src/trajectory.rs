@@ -1,0 +1,367 @@
+//! The per-PR performance trajectory of `BENCH_engine.json`: the
+//! `history` array that `repro bench --json` appends to on every run,
+//! and the `--check` regression gate that compares a fresh measurement
+//! against a baseline document.
+//!
+//! The trajectory answers "did this PR make the engine slower?" without
+//! a dashboard: every `--json` run appends one entry keyed by the git
+//! SHA it measured, so the committed document accumulates a
+//! machine-readable perf history of the repo — and `--check` turns the
+//! latest entry of any such document into a pass/fail gate (> 10%
+//! events/sec drop or an RSS ceiling breach exits non-zero). Absolute
+//! numbers only compare within one machine, which is why the CI gate
+//! measures its own fresh baseline first rather than trusting the
+//! committed one.
+
+use crate::engine_bench::BenchResult;
+use pov_scenario::Json;
+
+/// Throughput drop tolerated by [`check_against`] before it fails:
+/// events/sec may fall to `(1 - MAX_DROP)` of the baseline. 10% rides
+/// above same-machine run-to-run noise (a few percent) while catching
+/// any real hot-path regression.
+pub const MAX_DROP: f64 = 0.10;
+
+/// RSS growth tolerated by [`check_against`]: peak RSS may grow to
+/// `RSS_FACTOR ×` the baseline. Peak RSS is a coarse high-water mark
+/// (allocator pooling, test-order effects), so the ceiling is loose —
+/// it exists to catch leaks and accidental per-event allocations, not
+/// kilobyte drift.
+pub const RSS_FACTOR: f64 = 1.5;
+
+/// The short git SHA of `HEAD`, or `"unknown"` outside a git checkout
+/// (or when `git` itself is unavailable).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One trajectory entry: the measurements of one `repro bench` run,
+/// keyed by the git SHA it measured.
+pub fn history_entry(sha: &str, mode_label: &str, threads: usize, results: &[BenchResult]) -> Json {
+    let mut workloads = Json::obj();
+    for r in results {
+        workloads = workloads.with(
+            r.name,
+            Json::obj()
+                .with("events_per_sec", r.events_per_sec)
+                .with("ticks_per_sec", r.ticks_per_sec)
+                .with("peak_rss_kb", r.peak_rss_kb),
+        );
+    }
+    Json::obj()
+        .with("sha", sha)
+        .with("mode", mode_label)
+        .with("threads", threads)
+        .with("workloads", workloads)
+}
+
+/// The `history` array for a fresh document: the prior document's
+/// entries (if `prior` parses) with `entry` appended.
+///
+/// A prior `bench_engine/v1` document carries no `history`, only its
+/// own measurements — those migrate as a synthesized first entry keyed
+/// `"pre-v2"`, so upgrading the schema never discards the one data
+/// point the old file recorded. An unreadable or unparseable prior is
+/// treated as absent (the history restarts) rather than an error: the
+/// bench must stay runnable in a dirty working tree.
+pub fn appended_history(prior: Option<&str>, entry: Json) -> Vec<Json> {
+    let mut history: Vec<Json> = Vec::new();
+    if let Some(doc) = prior.and_then(|text| Json::parse(text).ok()) {
+        match doc.get("history").and_then(Json::as_arr) {
+            Some(entries) => history.extend(entries.iter().cloned()),
+            None => {
+                if let Some(migrated) = migrate_v1(&doc) {
+                    history.push(migrated);
+                }
+            }
+        }
+    }
+    history.push(entry);
+    history
+}
+
+/// Synthesize a history entry from a v1 document's `workloads` array.
+fn migrate_v1(doc: &Json) -> Option<Json> {
+    let workloads = doc.get("workloads")?.as_arr()?;
+    let mut obj = Json::obj();
+    for w in workloads {
+        let name = w.get("name")?.as_str()?;
+        obj = obj.with(
+            name,
+            Json::obj()
+                .with("events_per_sec", w.get("events_per_sec")?.as_f64()?)
+                .with(
+                    "ticks_per_sec",
+                    w.get("ticks_per_sec").and_then(Json::as_f64),
+                )
+                .with("peak_rss_kb", w.get("peak_rss_kb").and_then(Json::as_i64)),
+        );
+    }
+    Some(
+        Json::obj()
+            .with("sha", "pre-v2")
+            .with(
+                "mode",
+                doc.get("mode").and_then(Json::as_str).unwrap_or("unknown"),
+            )
+            .with("threads", 1u32)
+            .with("workloads", obj),
+    )
+}
+
+/// The baseline numbers a `--check` run compares against: per workload,
+/// `(events_per_sec, peak_rss_kb)` from the *latest* history entry of a
+/// v2 document, or from the measurements of a v1 document.
+fn baseline_numbers(doc: &Json) -> Vec<(String, f64, Option<i64>)> {
+    // v2: the last history entry's workloads object.
+    if let Some(entries) = doc.get("history").and_then(Json::as_arr) {
+        if let Some(Json::Obj(pairs)) = entries.last().and_then(|e| e.get("workloads")) {
+            return pairs
+                .iter()
+                .filter_map(|(name, w)| {
+                    Some((
+                        name.clone(),
+                        w.get("events_per_sec")?.as_f64()?,
+                        w.get("peak_rss_kb").and_then(Json::as_i64),
+                    ))
+                })
+                .collect();
+        }
+    }
+    // v1: the flat workloads array.
+    migrate_v1(doc)
+        .as_ref()
+        .map(baseline_numbers_of_entry)
+        .unwrap_or_default()
+}
+
+fn baseline_numbers_of_entry(entry: &Json) -> Vec<(String, f64, Option<i64>)> {
+    match entry.get("workloads") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(name, w)| {
+                Some((
+                    name.clone(),
+                    w.get("events_per_sec")?.as_f64()?,
+                    w.get("peak_rss_kb").and_then(Json::as_i64),
+                ))
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The `--check` gate: compare fresh measurements against a baseline
+/// document and return one human-readable failure per breach — empty
+/// means the gate passes. Fails when a workload's events/sec drops more
+/// than [`MAX_DROP`] below the baseline, when its peak RSS exceeds
+/// [`RSS_FACTOR`] × the baseline, or when the baseline document carries
+/// no workload numbers at all (a gate that silently compares nothing
+/// would report green forever).
+pub fn check_against(baseline: &Json, results: &[BenchResult]) -> Vec<String> {
+    let base = baseline_numbers(baseline);
+    if base.is_empty() {
+        return vec!["baseline document carries no workload measurements".to_string()];
+    }
+    let mut failures = Vec::new();
+    for r in results {
+        let Some((_, base_eps, base_rss)) = base.iter().find(|(name, _, _)| name == r.name) else {
+            failures.push(format!(
+                "workload '{}' missing from baseline document",
+                r.name
+            ));
+            continue;
+        };
+        let floor = base_eps * (1.0 - MAX_DROP);
+        if r.events_per_sec < floor {
+            failures.push(format!(
+                "{}: events/sec regressed {:.1}% ({:.0} vs baseline {:.0}, floor {:.0})",
+                r.name,
+                (1.0 - r.events_per_sec / base_eps) * 100.0,
+                r.events_per_sec,
+                base_eps,
+                floor,
+            ));
+        }
+        if let (Some(rss), Some(base_rss)) = (r.peak_rss_kb, base_rss) {
+            let ceiling = *base_rss as f64 * RSS_FACTOR;
+            if rss as f64 > ceiling {
+                failures.push(format!(
+                    "{}: peak RSS {} kB breaches ceiling {:.0} kB ({}x baseline {} kB)",
+                    r.name, rss, ceiling, RSS_FACTOR, base_rss,
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &'static str, eps: f64, rss: Option<u64>) -> BenchResult {
+        BenchResult {
+            name,
+            n: 100,
+            runs: 3,
+            ticks: 1_000,
+            events: 50_000,
+            messages: 40_000,
+            wall_ms: 10.0,
+            events_per_sec: eps,
+            ticks_per_sec: eps / 50.0,
+            peak_rss_kb: rss,
+        }
+    }
+
+    fn doc_with_history(eps: f64, rss: i64) -> Json {
+        Json::obj().with("schema", "bench_engine/v2").with(
+            "history",
+            Json::Arr(vec![history_entry(
+                "abc1234",
+                "quick",
+                1,
+                &[result("paper_baseline", eps, Some(rss as u64))],
+            )]),
+        )
+    }
+
+    #[test]
+    fn five_percent_drop_passes_fifteen_percent_fails() {
+        let baseline = doc_with_history(1.0e6, 100_000);
+        let five = check_against(
+            &baseline,
+            &[result("paper_baseline", 0.95e6, Some(100_000))],
+        );
+        assert!(five.is_empty(), "5% drop must pass: {five:?}");
+        let fifteen = check_against(
+            &baseline,
+            &[result("paper_baseline", 0.85e6, Some(100_000))],
+        );
+        assert_eq!(fifteen.len(), 1, "{fifteen:?}");
+        assert!(fifteen[0].contains("events/sec regressed"), "{fifteen:?}");
+        assert!(fifteen[0].contains("15.0%"), "{fifteen:?}");
+    }
+
+    #[test]
+    fn rss_ceiling_breach_fails_independently_of_throughput() {
+        let baseline = doc_with_history(1.0e6, 100_000);
+        // Faster but fatter: 1.6x the baseline RSS breaches the 1.5x
+        // ceiling even though throughput improved.
+        let fails = check_against(&baseline, &[result("paper_baseline", 1.2e6, Some(160_000))]);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("peak RSS"), "{fails:?}");
+        // At the ceiling exactly: passes.
+        let ok = check_against(&baseline, &[result("paper_baseline", 1.2e6, Some(150_000))]);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn check_compares_against_the_latest_history_entry() {
+        // Two entries: an old slow one and the latest fast one. The
+        // gate must use the latest — 0.95e6 is fine against 0.5e6 but a
+        // 21% regression against 1.2e6.
+        let doc = Json::obj().with(
+            "history",
+            Json::Arr(vec![
+                history_entry(
+                    "old0000",
+                    "quick",
+                    1,
+                    &[result("paper_baseline", 0.5e6, None)],
+                ),
+                history_entry(
+                    "new1111",
+                    "quick",
+                    1,
+                    &[result("paper_baseline", 1.2e6, None)],
+                ),
+            ]),
+        );
+        let fails = check_against(&doc, &[result("paper_baseline", 0.95e6, None)]);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+    }
+
+    #[test]
+    fn check_accepts_a_v1_document() {
+        // A v1 BENCH_engine.json has no history array — the gate falls
+        // back to its flat workloads measurements.
+        let v1 = Json::parse(
+            r#"{
+              "schema": "bench_engine/v1",
+              "mode": "quick",
+              "workloads": [
+                {"name": "paper_baseline", "events_per_sec": 1.0e6,
+                 "ticks_per_sec": 2.0e4, "peak_rss_kb": 100000}
+              ]
+            }"#,
+        )
+        .expect("parses");
+        let ok = check_against(&v1, &[result("paper_baseline", 0.95e6, Some(100_000))]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check_against(&v1, &[result("paper_baseline", 0.5e6, Some(100_000))]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    #[test]
+    fn empty_or_mismatched_baselines_fail_loudly() {
+        let empty = Json::obj().with("schema", "bench_engine/v2");
+        let fails = check_against(&empty, &[result("paper_baseline", 1.0e6, None)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("no workload"), "{fails:?}");
+        let baseline = doc_with_history(1.0e6, 100_000);
+        let fails = check_against(&baseline, &[result("renamed_workload", 1.0e6, None)]);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("missing from baseline"), "{fails:?}");
+    }
+
+    #[test]
+    fn history_appends_and_migrates_v1() {
+        let entry = |sha| history_entry(sha, "quick", 1, &[result("paper_baseline", 1.0e6, None)]);
+        // No prior: history is just the new entry.
+        let fresh = appended_history(None, entry("aaa0001"));
+        assert_eq!(fresh.len(), 1);
+        // Prior v2: entries accumulate in order.
+        let doc = Json::obj()
+            .with("schema", "bench_engine/v2")
+            .with("history", Json::Arr(fresh.clone()))
+            .render();
+        let grown = appended_history(Some(&doc), entry("bbb0002"));
+        assert_eq!(grown.len(), 2);
+        assert_eq!(grown[1].get("sha").and_then(Json::as_str), Some("bbb0002"));
+        // Prior v1: its single measurement migrates as a "pre-v2" entry.
+        let v1 = r#"{
+          "schema": "bench_engine/v1",
+          "mode": "full",
+          "workloads": [{"name": "paper_baseline", "events_per_sec": 2.0e6}]
+        }"#;
+        let migrated = appended_history(Some(v1), entry("ccc0003"));
+        assert_eq!(migrated.len(), 2);
+        assert_eq!(
+            migrated[0].get("sha").and_then(Json::as_str),
+            Some("pre-v2")
+        );
+        assert_eq!(migrated[0].get("mode").and_then(Json::as_str), Some("full"));
+        // Garbage prior: history restarts rather than erroring.
+        let restarted = appended_history(Some("not json"), entry("ddd0004"));
+        assert_eq!(restarted.len(), 1);
+    }
+
+    #[test]
+    fn git_sha_is_short_and_nonempty() {
+        let sha = git_sha();
+        assert!(!sha.is_empty());
+        // In this repo it is a real short SHA; anywhere else the
+        // "unknown" fallback still satisfies the trajectory key format.
+        assert!(sha == "unknown" || sha.len() >= 7, "{sha}");
+    }
+}

@@ -180,6 +180,25 @@ pub fn judged_plan(graph: &Graph, values: &[u64], plan: &RunPlan) -> Vec<Protoco
         .collect()
 }
 
+/// The absolute start instant of every window [`judged_plan`] will
+/// judge: a single `0` for a one-shot plan, `w × W` for each window of
+/// a continuous plan. Long-horizon phased regimes
+/// ([`pov_sim::PhaseSchedule`]) lower to absolute-time plans whose
+/// phase boundaries rarely align with window boundaries; callers pair
+/// these instants with `PhaseSchedule::label_at` to tag each judged
+/// window with the regime in force when it opened (the scenario
+/// runner's `phase` column, the soak harness's per-phase accounting).
+/// Note the judged series itself may stop early if `hq` dies — align
+/// by each [`WindowJudged::start`], not by index alone.
+pub fn window_starts(plan: &RunPlan) -> Vec<Time> {
+    match plan.continuous {
+        None => vec![Time::ZERO],
+        Some(cs) => (0..cs.windows)
+            .map(|w| Time(w as u64 * cs.window))
+            .collect(),
+    }
+}
+
 /// The continuous slicer: one local [`RunPlan`] per window, each
 /// describing a one-shot against the membership state the absolute-time
 /// plan has reached by the window start. Stops early if `hq` is dead at
@@ -510,6 +529,75 @@ mod tests {
         assert_eq!(windows[2].judged.hu_size, 20);
         assert_eq!(windows[2].judged.value, Some(100.0));
         assert!(windows[2].judged.verdict.is_valid());
+    }
+
+    #[test]
+    fn phased_schedule_judged_across_window_boundaries() {
+        // A four-phase arc lowered onto a continuous plan whose window
+        // grid does NOT align with the phase boundaries: every window
+        // must still judge against the membership the absolute-time
+        // schedule has reached, and `window_starts` + `label_at` must
+        // tag each window with the phase in force when it opened.
+        use pov_sim::{PhaseKind, PhaseSchedule};
+        let g = pov_topology::generators::random_average_degree(60, 6.0, 4);
+        let n = g.num_hosts();
+        let values = vec![1u64; n];
+        let d_hat = 8; // one-shot deadline 16 ticks
+        let horizon = 16 * 12; // 12 windows, 4 phases of 3 windows each
+        let schedule = PhaseSchedule::with_start_alive(0.6)
+            .then(PhaseKind::Growth { fraction: 0.4 }, horizon / 4)
+            .then(PhaseKind::Stable, horizon / 4)
+            .then(PhaseKind::Shrink { fraction: 0.5 }, horizon / 4)
+            .then(PhaseKind::Heal, horizon / 4);
+        let lowered = schedule.lower(&g, HostId(0), 5);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(d_hat)
+            .churn(lowered.churn)
+            .seed(2)
+            .continuous(16, 12)
+            .protocol(ProtocolKind::SpanningTree);
+        let starts = window_starts(&plan);
+        assert_eq!(starts.len(), 12);
+        assert_eq!(starts[0], Time::ZERO);
+        assert_eq!(starts[11], Time(11 * 16));
+        let labels: Vec<&str> = starts.iter().map(|&s| schedule.label_at(s)).collect();
+        assert_eq!(
+            labels,
+            [
+                "growth", "growth", "growth", "stable", "stable", "stable", "shrink", "shrink",
+                "shrink", "heal", "heal", "heal"
+            ]
+        );
+        let windows = &judged_plan(&g, &values, &plan)[0].windows;
+        // hq is the schedule's spare: it survives every phase, so the
+        // series never stops early and aligns with the planned starts.
+        assert_eq!(windows.len(), 12);
+        for (w, start) in windows.iter().zip(&starts) {
+            assert_eq!(w.start, *start);
+        }
+        // HU traces the population arc across the boundaries: the last
+        // stable window sees the fully grown overlay, the first heal
+        // window sees the post-shrink trough, and by the final window
+        // the healed joins have brought the count back up.
+        let hu = |w: usize| windows[w].judged.hu_size;
+        assert!(
+            hu(5) > hu(0),
+            "growth must raise HU: {} vs {}",
+            hu(5),
+            hu(0)
+        );
+        assert!(
+            hu(9) < hu(5),
+            "shrink must cut HU before heal: {} vs {}",
+            hu(9),
+            hu(5)
+        );
+        assert!(
+            hu(11) > hu(9),
+            "heal must recover HU: {} vs {}",
+            hu(11),
+            hu(9)
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod spec;
 pub use json::{table_to_json, Json};
 pub use parse::ParseError;
 pub use run::{run_batch, Agg, PairedDiff, PairedSection, ProtocolSection, Report, RunRecord};
-pub use spec::{AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario};
+pub use spec::{
+    AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, PhasesSpec, ProtocolSpec, Scenario,
+};
 
 #[cfg(test)]
 mod smoke {

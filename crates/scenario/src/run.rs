@@ -18,7 +18,7 @@ use crate::json::Json;
 use crate::spec::{ChurnSpec, Scenario};
 use pov_core::judged::judged_plan;
 use pov_core::pov_protocols::{AdversarySpec as PlanAdversarySpec, RunPlan};
-use pov_core::pov_sim::{ChurnPlan, PartitionPlan, Time};
+use pov_core::pov_sim::{ChurnPlan, PartitionPlan, PhaseSchedule, Time};
 use pov_core::pov_topology::{analysis, Graph, HostId};
 use pov_core::workload;
 use rand::rngs::SmallRng;
@@ -33,6 +33,9 @@ pub struct RunRecord {
     pub rep: usize,
     /// Continuous-window index (`0` for one-shot scenarios).
     pub window: usize,
+    /// Label of the membership phase this window started in (`None`
+    /// for scenarios without a `[phases]` schedule).
+    pub phase: Option<&'static str>,
     /// Declared value (`None` if `hq` never declared).
     pub value: Option<f64>,
     /// Whether the ORACLE judged the declared value Single-Site Valid.
@@ -136,6 +139,7 @@ impl ProtocolSection {
                     .with("seed", r.seed)
                     .with("rep", r.rep)
                     .with("window", r.window)
+                    .with("phase", r.phase)
                     .with("value", r.value)
                     .with("valid", r.valid)
                     .with("deviation", r.deviation)
@@ -434,6 +438,27 @@ fn materialize_partition(
     stacked
 }
 
+/// Build the cell's [`PhaseSchedule`] from the scenario's `[phases]`
+/// spec. Weights are relative spans: phase `i` ends at tick
+/// `round(cum_weight_i / total · span)`, so the boundaries partition
+/// the regime span exactly (up to the ≥ 1-tick floor every phase
+/// keeps) and rounding error never accumulates.
+fn materialize_phases(scn: &Scenario, span: u64) -> Option<PhaseSchedule> {
+    let spec = scn.phases.as_ref()?;
+    let total: f64 = spec.phases.iter().map(|&(_, w)| w).sum();
+    let mut schedule = PhaseSchedule::with_start_alive(spec.start_alive);
+    let mut cum = 0.0;
+    let mut last = 0u64;
+    for &(kind, weight) in &spec.phases {
+        cum += weight;
+        let boundary = ((cum / total) * span as f64).round() as u64;
+        let ticks = boundary.saturating_sub(last).max(1);
+        last += ticks;
+        schedule = schedule.then(kind, ticks);
+    }
+    Some(schedule)
+}
+
 /// Lower one `(seed, rep)` cell to a [`RunPlan`] and execute it: every
 /// protocol (and window) shares the churn/partition realization drawn
 /// from this cell's RNG stream.
@@ -449,16 +474,30 @@ fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<R
     // *ticks*: the `2·D̂·δ` deadline, or the full multi-window horizon.
     let deadline = 2 * prep.d_hat as u64 * scn.delay.bound();
     let span = regime_span(scn, deadline);
+    // A [phases] schedule owns the whole membership regime: its lowered
+    // churn/partition plans replace the hand-written sections (which
+    // the parser rejects alongside it anyway).
+    let (phase_schedule, churn, partition) = match materialize_phases(scn, span) {
+        Some(schedule) => {
+            let lowered = schedule.lower(&prep.graph, HostId(scn.hq), churn_seed);
+            (Some(schedule), lowered.churn, lowered.partition)
+        }
+        None => (
+            None,
+            materialize_churn(scn, &prep.graph, span, churn_seed),
+            materialize_partition(scn, &prep.graph, span, churn_seed),
+        ),
+    };
     let mut plan = RunPlan::query(scn.aggregate)
         .d_hat(prep.d_hat)
         .repetitions(scn.c)
         .medium(scn.medium)
         .delay(scn.delay)
-        .churn(materialize_churn(scn, &prep.graph, span, churn_seed))
+        .churn(churn)
         .seed(sim_seed)
         .from_host(HostId(scn.hq))
         .protocols(scn.protocols.iter().map(|p| p.kind()));
-    if let Some(partition) = materialize_partition(scn, &prep.graph, span, churn_seed) {
+    if let Some(partition) = partition {
         plan = plan.partition(partition);
     }
     if let Some(a) = &scn.adversary {
@@ -484,6 +523,7 @@ fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<R
                     seed,
                     rep,
                     window,
+                    phase: phase_schedule.as_ref().map(|s| s.label_at(w.start)),
                     value: w.judged.value,
                     valid: w.judged.verdict.is_valid(),
                     deviation: w.judged.deviation(),
@@ -685,6 +725,7 @@ mod tests {
             protocols: vec![ProtocolSpec::Wildfire],
             churn,
             partitions: vec![],
+            phases: None,
             adversary: None,
             continuous: None,
             seeds: vec![1, 2, 3],
@@ -1041,6 +1082,69 @@ mod tests {
             run_batch(&scn, 1).to_json().render(),
             run_batch(&scn, 4).to_json().render()
         );
+    }
+
+    #[test]
+    fn phased_schedule_labels_windows_and_shapes_membership() {
+        use pov_core::pov_sim::PhaseKind;
+        let mut scn = tiny(ChurnSpec::None);
+        scn.phases = Some(crate::spec::PhasesSpec {
+            start_alive: 0.6,
+            phases: vec![
+                (PhaseKind::Growth { fraction: 0.5 }, 1.0),
+                (PhaseKind::Stable, 1.0),
+                (PhaseKind::Shrink { fraction: 0.5 }, 1.0),
+                (PhaseKind::Heal, 1.0),
+            ],
+        });
+        scn.seeds = vec![1, 2];
+        scn.repetitions = 1;
+        scn.continuous = Some(ContinuousSpec {
+            windows: 8,
+            window_factor: 1.0,
+        });
+        let report = run_batch(&scn, 2);
+        assert_eq!(report.churn_model, "phased");
+        assert_eq!(report.windows, 8);
+        // Equal weights over 8 windows: every record carries its phase
+        // label and the labels tile the horizon two windows apiece.
+        let labels: Vec<&str> = report
+            .records()
+            .iter()
+            .filter(|r| r.seed == 1)
+            .map(|r| r.phase.expect("phased runs label every window"))
+            .collect();
+        assert_eq!(
+            labels,
+            ["growth", "growth", "stable", "stable", "shrink", "shrink", "heal", "heal"]
+        );
+        // The arc shows up in the oracle sets: growth raises the judged
+        // population, shrink lowers it again.
+        let hu = |label: &str| {
+            report
+                .records()
+                .iter()
+                .filter(|r| r.phase == Some(label))
+                .map(|r| r.hu)
+                .sum::<usize>()
+        };
+        assert!(
+            hu("stable") > hu("growth"),
+            "growth must raise membership: stable {} vs growth {}",
+            hu("stable"),
+            hu("growth")
+        );
+        assert!(
+            hu("heal") < hu("stable"),
+            "shrink must thin membership: heal {} vs stable {}",
+            hu("heal"),
+            hu("stable")
+        );
+        // The label lands in the JSON document and the batch stays
+        // byte-identical across thread counts like every other regime.
+        let json = report.to_json().render();
+        assert!(json.contains("\"phase\": \"growth\""), "{json}");
+        assert_eq!(json, run_batch(&scn, 4).to_json().render());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::parse::{Doc, Entry, ParseError, Section, Value};
 use pov_core::pov_protocols::allreport::ReportRouting;
 use pov_core::pov_protocols::wildfire::WildfireOpts;
 use pov_core::pov_protocols::{Aggregate, ProtocolKind};
-use pov_core::pov_sim::{DelayModel, Medium};
+use pov_core::pov_sim::{DelayModel, Medium, PhaseKind};
 use pov_core::pov_topology::generators::TopologyKind;
 
 /// Which protocol a scenario runs (name-addressable mirror of
@@ -194,6 +194,25 @@ pub struct ContinuousSpec {
     pub window_factor: f64,
 }
 
+/// A `[phases]` section plus its `[[phase]]` tables: a long-horizon
+/// membership arc (growth → stable → shrink → partition → heal,
+/// ewok-style) scripted as weighted phases. Weights are *relative*
+/// spans: the executor scales them to the regime's tick span (the
+/// one-shot deadline, or the whole `windows × W` horizon under
+/// `[continuous]` — the soak-length case), then lowers through
+/// [`pov_core::pov_sim::PhaseSchedule`] to ordinary churn/partition
+/// plans. Owns the whole membership regime: conflicts with `[churn]`
+/// and `[partition]` sections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhasesSpec {
+    /// Fraction of hosts alive at tick 0 (the rest join later), in
+    /// `(0, 1]`.
+    pub start_alive: f64,
+    /// `(kind, weight)` per `[[phase]]` table, in file order; weights
+    /// are relative phase lengths (> 0).
+    pub phases: Vec<(PhaseKind, f64)>,
+}
+
 /// A fully specified, runnable scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -229,6 +248,9 @@ pub struct Scenario {
     /// `[partition]` / `[[partition]]` table, overlaid (cascading) when
     /// there are several.
     pub partitions: Vec<PartitionSpec>,
+    /// Optional long-horizon phase schedule; when present it owns the
+    /// membership regime (`churn` is `None`, `partitions` empty).
+    pub phases: Option<PhasesSpec>,
     /// Optional dynamic sketch-targeting adversary layered over the
     /// pre-materialized regime.
     pub adversary: Option<AdversarySpec>,
@@ -262,10 +284,14 @@ impl Scenario {
     /// the dynamic sketch-targeting attacker is layered (plain
     /// `adversary` when it is the whole regime).
     pub fn regime(&self) -> String {
-        let base = match (&self.churn, self.partitions.is_empty()) {
-            (ChurnSpec::None, false) => "partition".to_string(),
-            (c, true) => c.model_name().to_string(),
-            (c, false) => format!("{}+partition", c.model_name()),
+        let base = if self.phases.is_some() {
+            "phased".to_string()
+        } else {
+            match (&self.churn, self.partitions.is_empty()) {
+                (ChurnSpec::None, false) => "partition".to_string(),
+                (c, true) => c.model_name().to_string(),
+                (c, false) => format!("{}+partition", c.model_name()),
+            }
         };
         match (&self.adversary, base.as_str()) {
             (None, _) => base,
@@ -283,6 +309,8 @@ impl Scenario {
             "protocol",
             "churn",
             "partition",
+            "phases",
+            "phase",
             "adversary",
             "continuous",
             "run",
@@ -298,17 +326,17 @@ impl Scenario {
                     ),
                 ));
             }
-            // Only [[protocol]] and [[partition]] may repeat: every
-            // other reader consumes a single section, so a second
-            // [[run]]/[[churn]]/… table would be silently ignored —
-            // exactly the "typo falls back to a default" failure mode
-            // this validator exists to stop.
-            if s.array && s.name != "protocol" && s.name != "partition" {
+            // Only [[protocol]], [[partition]] and [[phase]] may
+            // repeat: every other reader consumes a single section, so
+            // a second [[run]]/[[churn]]/… table would be silently
+            // ignored — exactly the "typo falls back to a default"
+            // failure mode this validator exists to stop.
+            if s.array && s.name != "protocol" && s.name != "partition" && s.name != "phase" {
                 return Err(ParseError::at(
                     s.line,
                     format!(
-                        "[[{}]] is not repeatable; only [[protocol]] and [[partition]] \
-                         tables may repeat (write [{}] instead)",
+                        "[[{}]] is not repeatable; only [[protocol]], [[partition]] and \
+                         [[phase]] tables may repeat (write [{}] instead)",
                         s.name, s.name
                     ),
                 ));
@@ -558,6 +586,90 @@ impl Scenario {
             }
         };
 
+        // [phases] + [[phase]] tables own the whole membership regime —
+        // they lower through `PhaseSchedule` into generated churn and
+        // partition plans, so hand-written [churn] / [partition]
+        // sections would fight them for the same hosts.
+        let phases = match doc.section("phases") {
+            None => {
+                if let Some(first) = doc.sections_named("phase").next() {
+                    return Err(ParseError::at(
+                        first.line,
+                        "[[phase]] tables need a [phases] header section",
+                    ));
+                }
+                None
+            }
+            Some(section) => {
+                if doc.section("churn").is_some() {
+                    return Err(ParseError::at(
+                        section.line,
+                        "[phases] conflicts with [churn]: the phase schedule owns the \
+                         whole membership regime",
+                    ));
+                }
+                if doc.section("partition").is_some() {
+                    return Err(ParseError::at(
+                        section.line,
+                        "[phases] conflicts with [partition]: script the cut as a \
+                         [[phase]] of kind 'partition' instead",
+                    ));
+                }
+                let ph = Keys::over(doc, "phases")?;
+                let start_alive = ph.opt_f64("start_alive")?.unwrap_or(1.0);
+                if !(start_alive > 0.0 && start_alive <= 1.0) {
+                    return Err(ph.err(
+                        "start_alive",
+                        format!("start_alive {start_alive} outside (0, 1]"),
+                    ));
+                }
+                ph.finish()?;
+                let mut list: Vec<(PhaseKind, f64)> = Vec::new();
+                for table in doc.sections_named("phase") {
+                    let pk = Keys::for_section(table);
+                    let kind_name = pk.require_str("kind")?;
+                    let weight = pk.opt_f64("weight")?.unwrap_or(1.0);
+                    if weight <= 0.0 {
+                        return Err(pk.err("weight", format!("weight {weight} must be > 0")));
+                    }
+                    let kind = match kind_name.as_str() {
+                        "growth" => PhaseKind::Growth {
+                            fraction: phase_fraction(&pk)?,
+                        },
+                        "stable" => PhaseKind::Stable,
+                        "shrink" => PhaseKind::Shrink {
+                            fraction: phase_fraction(&pk)?,
+                        },
+                        "partition" => PhaseKind::Partition {
+                            fraction: phase_fraction(&pk)?,
+                        },
+                        "heal" => PhaseKind::Heal,
+                        other => {
+                            return Err(pk.err(
+                                "kind",
+                                format!(
+                                    "unknown phase kind '{other}' \
+                                     (growth|stable|shrink|partition|heal)"
+                                ),
+                            ))
+                        }
+                    };
+                    pk.finish()?;
+                    list.push((kind, weight));
+                }
+                if list.is_empty() {
+                    return Err(ParseError::at(
+                        section.line,
+                        "[phases] needs at least one [[phase]] table",
+                    ));
+                }
+                Some(PhasesSpec {
+                    start_alive,
+                    phases: list,
+                })
+            }
+        };
+
         let adversary = match doc.section("adversary") {
             None => None,
             Some(section) => {
@@ -656,12 +768,24 @@ impl Scenario {
             protocols,
             churn,
             partitions,
+            phases,
             adversary,
             continuous,
             seeds,
             repetitions,
         })
     }
+}
+
+/// Read the `fraction` key of a growth/shrink/partition `[[phase]]`
+/// table and validate it lies in `(0, 1]` (the range
+/// [`pov_core::pov_sim::PhaseSchedule::then`] asserts).
+fn phase_fraction(keys: &Keys<'_>) -> Result<f64, ParseError> {
+    let f = keys.require_f64("fraction")?;
+    if !(f > 0.0 && f <= 1.0) {
+        return Err(keys.err("fraction", format!("fraction {f} outside (0, 1]")));
+    }
+    Ok(f)
 }
 
 /// Read a `fraction` key and validate it lies in `[0, 1]`.
@@ -1105,6 +1229,116 @@ seeds = [1]
         let err = Scenario::from_str(&format!("{GOOD}\n[partition]\nfraction = 0.2"))
             .expect_err("conflict");
         assert!(err.msg.contains("conflicts"), "{}", err.msg);
+    }
+
+    const PHASED: &str = r#"
+[scenario]
+name = "phased"
+[topology]
+kind = "random"
+n = 100
+[query]
+aggregate = "count"
+[protocol]
+kind = "wildfire"
+[phases]
+start_alive = 0.7
+[[phase]]
+kind = "growth"
+fraction = 0.4
+weight = 2.0
+[[phase]]
+kind = "stable"
+weight = 3.0
+[[phase]]
+kind = "shrink"
+fraction = 0.3
+[[phase]]
+kind = "partition"
+fraction = 0.3
+[[phase]]
+kind = "heal"
+[continuous]
+windows = 4
+[run]
+seeds = [1]
+"#;
+
+    #[test]
+    fn phases_section_parses_the_membership_arc() {
+        let s = Scenario::from_str(PHASED).expect("valid");
+        let p = s.phases.as_ref().expect("phases spec");
+        assert_eq!(p.start_alive, 0.7);
+        assert_eq!(
+            p.phases,
+            vec![
+                (PhaseKind::Growth { fraction: 0.4 }, 2.0),
+                (PhaseKind::Stable, 3.0),
+                (PhaseKind::Shrink { fraction: 0.3 }, 1.0),
+                (PhaseKind::Partition { fraction: 0.3 }, 1.0),
+                (PhaseKind::Heal, 1.0),
+            ]
+        );
+        assert_eq!(s.churn, ChurnSpec::None);
+        assert_eq!(s.partitions, vec![]);
+        assert_eq!(s.regime(), "phased");
+        // [phases] composes with [continuous] — the soak harness runs
+        // long arcs as window streams.
+        assert_eq!(s.continuous.map(|c| c.windows), Some(4));
+    }
+
+    #[test]
+    fn phases_conflict_with_hand_written_regimes() {
+        let err = Scenario::from_str(&format!("{PHASED}\n[churn]\nmodel = \"none\""))
+            .expect_err("churn conflict");
+        assert!(err.msg.contains("conflicts with [churn]"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{PHASED}\n[partition]\nfraction = 0.2\nfrom = 0.0\nheal = 0.5"
+        ))
+        .expect_err("partition conflict");
+        assert!(
+            err.msg.contains("conflicts with [partition]"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn phases_grammar_rejects_malformed_arcs() {
+        // A [[phase]] table without the [phases] header.
+        let err = Scenario::from_str(&PHASED.replace("[phases]\nstart_alive = 0.7\n", ""))
+            .expect_err("headless phase");
+        assert!(err.msg.contains("[phases] header"), "{}", err.msg);
+        // A [phases] header with no [[phase]] tables.
+        let err = Scenario::from_str(
+            "[scenario]\nname = \"x\"\n[topology]\nkind = \"random\"\nn = 50\n\
+             [query]\naggregate = \"count\"\n[protocol]\nkind = \"wildfire\"\n\
+             [phases]\nstart_alive = 0.5\n[run]\nseeds = [1]",
+        )
+        .expect_err("empty arc");
+        assert!(err.msg.contains("at least one [[phase]]"), "{}", err.msg);
+        // Unknown phase kind.
+        let err = Scenario::from_str(&PHASED.replace("kind = \"stable\"", "kind = \"plateau\""))
+            .expect_err("bad kind");
+        assert!(err.msg.contains("unknown phase kind"), "{}", err.msg);
+        // Growth without its fraction.
+        let err = Scenario::from_str(&PHASED.replace("fraction = 0.4\n", ""))
+            .expect_err("missing fraction");
+        assert!(err.msg.contains("fraction"), "{}", err.msg);
+        // Stable phases take no fraction — the strict key reader
+        // rejects the leftover.
+        let err = Scenario::from_str(
+            &PHASED.replace("kind = \"stable\"", "kind = \"stable\"\nfraction = 0.2"),
+        )
+        .expect_err("stable fraction");
+        assert!(err.msg.contains("unknown key 'fraction'"), "{}", err.msg);
+        // Zero weight and out-of-range start_alive.
+        let err = Scenario::from_str(&PHASED.replace("weight = 3.0", "weight = 0.0"))
+            .expect_err("zero weight");
+        assert!(err.msg.contains("must be > 0"), "{}", err.msg);
+        let err = Scenario::from_str(&PHASED.replace("start_alive = 0.7", "start_alive = 1.5"))
+            .expect_err("bad start_alive");
+        assert!(err.msg.contains("outside (0, 1]"), "{}", err.msg);
     }
 
     #[test]

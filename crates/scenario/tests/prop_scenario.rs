@@ -1,19 +1,21 @@
 //! Property tests for the batch executor's determinism contract: for
-//! any scenario — any churn regime, stacked partition, protocol list,
-//! one-shot or continuous — and any thread count, the parallel report,
-//! down to its JSON bytes, equals the sequential one.
+//! any scenario — any churn regime, stacked partition, phased
+//! membership arc, protocol list, one-shot or continuous — and any
+//! thread count, the parallel report, down to its JSON bytes, equals
+//! the sequential one.
 
 use pov_core::pov_protocols::Aggregate;
-use pov_core::pov_sim::{DelayModel, Medium};
+use pov_core::pov_sim::{DelayModel, Medium, PhaseKind};
 use pov_core::pov_topology::generators::TopologyKind;
 use pov_scenario::{
-    run_batch, AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, ProtocolSpec, Scenario,
+    run_batch, AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, PhasesSpec, ProtocolSpec,
+    Scenario,
 };
 use proptest::prelude::*;
 
 fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) -> Scenario {
-    let churn = match churn_pick % 7 {
-        0 => ChurnSpec::None,
+    let churn = match churn_pick % 8 {
+        0 | 7 => ChurnSpec::None,
         1 => ChurnSpec::Uniform {
             fraction: 0.15,
             window: (0.0, 1.0),
@@ -39,18 +41,32 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
             window: (0.0, 1.0),
         },
     };
-    let adversary = (churn_pick % 7 == 6).then_some(AdversarySpec {
+    // Pick 7 scripts the whole regime as a phased membership arc — the
+    // PhaseSchedule lowering must be as thread-agnostic as hand churn.
+    let phases = (churn_pick % 8 == 7).then(|| PhasesSpec {
+        start_alive: 0.7,
+        phases: vec![
+            (PhaseKind::Growth { fraction: 0.4 }, 1.0),
+            (PhaseKind::Stable, 1.5),
+            (PhaseKind::Shrink { fraction: 0.5 }, 1.0),
+            (PhaseKind::Heal, 0.5),
+        ],
+    });
+    let adversary = (churn_pick % 8 == 6).then_some(AdversarySpec {
         kills_per_wave: 2,
         budget: 8,
         start: 0.0,
         until: 0.8,
     });
-    // Odd churn picks also layer a partition over the regime.
-    let partitions = Vec::from_iter((churn_pick % 2 == 1).then_some(PartitionSpec {
-        fraction: 0.3,
-        from: 0.1,
-        heal: 0.7,
-    }));
+    // Odd churn picks also layer a partition over the regime (except
+    // the phased pick, whose schedule owns cuts itself).
+    let partitions = Vec::from_iter((churn_pick % 2 == 1 && phases.is_none()).then_some(
+        PartitionSpec {
+            fraction: 0.3,
+            from: 0.1,
+            heal: 0.7,
+        },
+    ));
     let protocols = match proto_pick % 4 {
         0 => vec![ProtocolSpec::Wildfire],
         1 => vec![ProtocolSpec::SpanningTree],
@@ -79,6 +95,7 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         protocols,
         churn,
         partitions,
+        phases,
         adversary,
         continuous,
         seeds: vec![base_seed, base_seed ^ 0xabcd, base_seed.wrapping_add(7)],
@@ -94,7 +111,7 @@ proptest! {
     fn parallel_report_equals_sequential(
         topo_seed in 1u64..500,
         base_seed in 0u64..10_000,
-        churn_pick in 0u8..7,
+        churn_pick in 0u8..8,
         proto_pick in 0u8..4,
         threads in 2usize..9,
     ) {

@@ -26,6 +26,11 @@
 //! * [`PartitionPlan`] — temporary cuts severing cross-partition
 //!   messages for a window, then healing (disconnection without
 //!   departure).
+//! * [`PhaseSchedule`] — long-horizon membership regimes (growth →
+//!   stable → shrink → partition → heal over 10⁴+ ticks) scripted as
+//!   phases and lowered to the `ChurnPlan`/`PartitionPlan` primitives
+//!   above; the soak harness and the scenario `[phases]` grammar both
+//!   compile through it.
 //! * [`Metrics`] — the §6.3 efficiency measures: communication cost,
 //!   per-host computation cost, time cost (longest causal message chain),
 //!   and per-tick message counts (Fig 13b).
@@ -45,7 +50,7 @@
 //! simulations a worker thread builds and drops.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod arena;
 mod churn;
@@ -57,6 +62,7 @@ mod event;
 pub mod heartbeat;
 mod metrics;
 mod node;
+pub mod phase;
 mod time;
 mod trace;
 
@@ -67,6 +73,7 @@ pub use dynamic::{ChurnEvent, ChurnSource, EngineView, SketchAdversary, StateSum
 pub use engine::{Medium, SimBuilder, Simulation};
 pub use metrics::Metrics;
 pub use node::NodeLogic;
+pub use phase::{LoweredSchedule, Phase, PhaseKind, PhaseSchedule};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};
 

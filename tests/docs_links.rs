@@ -1,0 +1,142 @@
+//! Relative-link checker for the repo's markdown documentation.
+//!
+//! Every `[text](target)` in the tracked documents must resolve:
+//! relative targets (optionally with a `#fragment`) must exist on disk
+//! relative to the document that links them. A doc rename or move that
+//! leaves a dangling `docs/...` link fails here instead of rotting
+//! silently. External (`http://`, `https://`, `mailto:`) and
+//! pure-fragment (`#section`) links are out of scope — the build
+//! environment is offline and fragments are editor-dependent.
+
+use std::path::{Path, PathBuf};
+
+/// The documents whose outgoing links are checked, relative to the
+/// repo root (`CARGO_MANIFEST_DIR` of the root `pov_integration`
+/// package).
+const DOCS: &[&str] = &[
+    "README.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/BENCHMARKING.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract `(link_text, target)` pairs from inline markdown links.
+/// Skips image links (`![alt](src)`) no differently — their targets
+/// must resolve too — but ignores fenced code blocks, where brackets
+/// and parens are code, not links.
+fn links(markdown: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                if let Some(close) = line[i..].find("](") {
+                    let text_end = i + close;
+                    let target_start = text_end + 2;
+                    if let Some(end) = line[target_start..].find(')') {
+                        let text = line[i + 1..text_end].to_string();
+                        let target = line[target_start..target_start + end].to_string();
+                        out.push((text, target));
+                        i = target_start + end + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read tracked doc {doc}: {e}"));
+        let dir = path.parent().unwrap_or(Path::new("."));
+        for (label, target) in links(&text) {
+            if is_external(&target) || target.is_empty() {
+                continue;
+            }
+            // Drop a #fragment; the file part must still exist.
+            let file_part = target.split('#').next().unwrap_or("");
+            if file_part.is_empty() {
+                continue;
+            }
+            if !dir.join(file_part).exists() {
+                failures.push(format!("{doc}: [{label}]({target}) -> missing {file_part}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "dangling doc links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn docs_cross_link_each_other() {
+    // The operator docs must stay discoverable: the README links both
+    // docs/ files, and each doc links back to at least one sibling.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    let readme_targets: Vec<String> = links(&readme).into_iter().map(|(_, t)| t).collect();
+    for required in ["docs/ARCHITECTURE.md", "docs/BENCHMARKING.md"] {
+        assert!(
+            readme_targets
+                .iter()
+                .any(|t| t.split('#').next() == Some(required)),
+            "README.md does not link {required}"
+        );
+    }
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("ARCHITECTURE");
+    assert!(
+        links(&arch)
+            .iter()
+            .any(|(_, t)| t.split('#').next() == Some("BENCHMARKING.md")),
+        "docs/ARCHITECTURE.md does not link its sibling BENCHMARKING.md"
+    );
+}
+
+#[test]
+fn link_extractor_handles_the_grammar() {
+    let md = "see [a](x.md) and [b](docs/y.md#frag), skip [c](https://e.com)\n\
+              ```\n[not](a-link.md)\n```\n\
+              ![img](pic.png)";
+    let got = links(md);
+    assert_eq!(
+        got,
+        vec![
+            ("a".to_string(), "x.md".to_string()),
+            ("b".to_string(), "docs/y.md#frag".to_string()),
+            ("c".to_string(), "https://e.com".to_string()),
+            ("img".to_string(), "pic.png".to_string()),
+        ]
+    );
+}

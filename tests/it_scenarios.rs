@@ -36,7 +36,8 @@ fn every_shipped_scenario_parses() {
     }
     // The library: paper baseline + the regime files (including the
     // composed churn+partition and oscillating+continuous regimes the
-    // RunPlan redesign opened) + the CI smoke file.
+    // RunPlan redesign opened, and the [phases] lifecycle arc the soak
+    // harness mirrors) + the CI smoke file.
     names.sort();
     assert_eq!(
         names,
@@ -51,6 +52,7 @@ fn every_shipped_scenario_parses() {
             "paper-baseline",
             "partition-heal",
             "smoke",
+            "soak-lifecycle",
         ]
     );
 }
