@@ -14,16 +14,22 @@
 //!
 //! repro bench --quick --threads 4                # parallel engine bench
 //! repro bench --quick --check BASELINE.json      # perf regression gate
+//! repro bench --overhead --quick                 # telemetry overhead gate
 //! repro soak --quick                             # long-horizon endurance run
+//!
+//! repro trace scenarios/smoke.scn                # deterministic telemetry traces
+//! repro trace a.scn --out traces --format chrome # Perfetto-loadable trace only
 //! ```
 
 use pov_bench::engine_bench::{self, BenchMode};
-use pov_bench::{soak, trajectory, Scale};
+use pov_bench::{flight, soak, trajectory, Scale};
 use pov_core::experiments::{
     ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
 };
 use pov_core::report::Table;
-use pov_scenario::{run_batch, table_to_json, Json, Scenario};
+use pov_scenario::{run_batch, table_to_json, trace_batch, Json, Scenario};
+use pov_telemetry::export;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -48,19 +54,32 @@ repro — regenerate the tables and figures of the paper's §6
 USAGE:
     repro [--paper] [--json PATH] [EXPERIMENT]...
     repro scenario FILE... [--threads N] [--json PATH]
-    repro bench [--quick] [--threads N] [--json PATH] [--check BASELINE]
+    repro trace FILE... [--threads N] [--out DIR] [--format jsonl|chrome|summary]
+    repro bench [--quick] [--threads N] [--json PATH] [--check BASELINE] [--counters]
+    repro bench --overhead [--quick]
     repro soak [--quick] [--json PATH]
 
 OPTIONS:
     --paper        run experiments at the paper's full §6 sizes (default: quick scale)
-    --threads N    worker threads for the scenario batch runner or the engine
-                   bench (default: 1)
+    --threads N    worker threads for the scenario batch runner, the trace
+                   runner, or the engine bench (default: 1)
     --json PATH    write results as JSON to PATH (experiment rows, scenario reports,
                    or the bench document — default BENCH_engine.json for `bench`;
                    the bench document's per-PR history grows by one entry per run)
     --check PATH   `repro bench` only: compare this run against the baseline
                    document at PATH and exit non-zero on a >10% events/sec drop
-                   or an RSS-ceiling breach (see docs/BENCHMARKING.md)
+                   or an RSS-ceiling breach (see docs/BENCHMARKING.md); on breach,
+                   a FLIGHT_<workload>.jsonl flight-recorder dump is written
+    --counters     `repro bench` only: add deterministic per-workload engine
+                   counter blocks (from an instrumented replay of the same
+                   simulations) to the JSON document
+    --overhead     `repro bench` only: measure telemetry overhead — two
+                   telemetry-disabled passes vs a null-sink pass — and exit
+                   non-zero past the 3% budget (see docs/OBSERVABILITY.md)
+    --out DIR      `repro trace` only: directory for trace files (default: .)
+    --format F     `repro trace` only: emit one exporter's file — jsonl,
+                   chrome (trace-event JSON; open in Perfetto), or summary
+                   (default: all three)
     --quick        run `repro bench` / `repro soak` at CI scale instead of full
     -h, --help     print this help
 
@@ -77,9 +96,13 @@ fn fail(msg: &str) -> ! {
 struct Opts {
     paper: bool,
     quick: bool,
+    counters: bool,
+    overhead: bool,
     threads: Option<usize>,
     json: Option<String>,
     check: Option<String>,
+    out: Option<String>,
+    format: Option<String>,
     positional: Vec<String>,
 }
 
@@ -87,9 +110,13 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut opts = Opts {
         paper: false,
         quick: false,
+        counters: false,
+        overhead: false,
         threads: None,
         json: None,
         check: None,
+        out: None,
+        format: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -97,6 +124,8 @@ fn parse_opts(args: &[String]) -> Opts {
         match arg.as_str() {
             "--paper" => opts.paper = true,
             "--quick" => opts.quick = true,
+            "--counters" => opts.counters = true,
+            "--overhead" => opts.overhead = true,
             "--threads" => {
                 let v = it
                     .next()
@@ -114,6 +143,23 @@ fn parse_opts(args: &[String]) -> Opts {
                     fail("'--check' expects a baseline path (e.g. --check BENCH_engine.json)")
                 });
                 opts.check = Some(v.clone());
+            }
+            "--out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("'--out' expects a directory (e.g. --out traces)"));
+                opts.out = Some(v.clone());
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("'--format' expects one of: jsonl, chrome, summary"));
+                if !matches!(v.as_str(), "jsonl" | "chrome" | "summary") {
+                    fail(&format!(
+                        "unknown trace format '{v}' (expected jsonl, chrome, or summary)"
+                    ));
+                }
+                opts.format = Some(v.clone());
             }
             other if other.starts_with('-') => {
                 fail(&format!("unknown option '{other}'"));
@@ -153,9 +199,38 @@ fn main() {
     }
     match args.first().map(String::as_str) {
         Some("scenario") => scenario_main(&args[1..]),
+        Some("trace") => trace_main(&args[1..]),
         Some("bench") => bench_main(&args[1..]),
         Some("soak") => soak_main(&args[1..]),
         _ => experiments_main(&args),
+    }
+}
+
+/// Reject `repro trace`-only flags in another subcommand's argument list.
+fn reject_trace_flags(opts: &Opts, subcommand: &str) {
+    if opts.out.is_some() {
+        fail(&format!(
+            "'--out' applies to `repro trace`, not `{subcommand}`"
+        ));
+    }
+    if opts.format.is_some() {
+        fail(&format!(
+            "'--format' applies to `repro trace`, not `{subcommand}`"
+        ));
+    }
+}
+
+/// Reject `repro bench`-only telemetry flags elsewhere.
+fn reject_bench_flags(opts: &Opts, subcommand: &str) {
+    if opts.counters {
+        fail(&format!(
+            "'--counters' applies to `repro bench`, not `{subcommand}`"
+        ));
+    }
+    if opts.overhead {
+        fail(&format!(
+            "'--overhead' applies to `repro bench`, not `{subcommand}`"
+        ));
     }
 }
 
@@ -172,11 +247,22 @@ fn bench_main(args: &[String]) {
             opts.positional[0]
         ));
     }
+    reject_trace_flags(&opts, "repro bench");
     let mode = if opts.quick {
         BenchMode::Quick
     } else {
         BenchMode::Full
     };
+    if opts.overhead {
+        if opts.check.is_some() || opts.counters || opts.json.is_some() || opts.threads.is_some() {
+            fail(
+                "'--overhead' runs alone (single-threaded, no JSON document): \
+                 drop the other bench flags",
+            );
+        }
+        overhead_main(mode);
+        return;
+    }
     let threads = opts.threads.unwrap_or(1);
     eprintln!(
         "# engine bench ({} scale, {} thread{})",
@@ -215,15 +301,23 @@ fn bench_main(args: &[String]) {
         (None, None) => Some("BENCH_engine.json".to_string()),
         (None, Some(_)) => None,
     };
+    if opts.counters && json_path.is_none() {
+        fail(
+            "'--counters' extends the JSON document, which a pure '--check' run \
+             never writes; add '--json PATH'",
+        );
+    }
     if let Some(path) = json_path {
         let prior = std::fs::read_to_string(&path).ok();
         let entry =
             trajectory::history_entry(&trajectory::git_sha(), mode.label(), threads, &results);
         let history = trajectory::appended_history(prior.as_deref(), entry);
-        write_json(
-            &path,
-            &engine_bench::to_json(mode, threads, &results, history),
-        );
+        let mut doc = engine_bench::to_json(mode, threads, &results, history);
+        if opts.counters {
+            eprintln!("# instrumented counter replay ({} scale)", mode.label());
+            doc = doc.with("counters", engine_bench::counters_json(mode));
+        }
+        write_json(&path, &doc);
     }
     if let Some(baseline_path) = &opts.check {
         let text = match std::fs::read_to_string(baseline_path) {
@@ -247,6 +341,37 @@ fn bench_main(args: &[String]) {
             for f in &failures {
                 eprintln!("REGRESSION: {f}");
             }
+            for p in flight::write_bench_dumps(mode, &failures, Path::new(".")) {
+                eprintln!("[flight recorder dump: {}]", p.display());
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro bench --overhead`: the telemetry-cost gate. Two
+/// telemetry-disabled passes bracket the machine's noise; the null-sink
+/// pass (every hook firing, nothing recorded) must stay within
+/// [`engine_bench::MAX_OVERHEAD`] of the faster one.
+fn overhead_main(mode: BenchMode) {
+    eprintln!(
+        "# telemetry overhead check ({} scale, single thread)",
+        mode.label()
+    );
+    let o = engine_bench::measure_overhead(mode);
+    println!("{:<22} {:>14}", "pass", "events/s");
+    println!("{:<22} {:>14.0}", "disabled (a)", o.disabled_a);
+    println!("{:<22} {:>14.0}", "disabled (b)", o.disabled_b);
+    println!("{:<22} {:>14.0}", "null sink", o.null_sink);
+    println!(
+        "overhead: {:.2}% of disabled throughput (budget {:.0}%)",
+        o.overhead_fraction() * 100.0,
+        engine_bench::MAX_OVERHEAD * 100.0
+    );
+    match o.failure() {
+        None => eprintln!("[overhead check passed]"),
+        Some(f) => {
+            eprintln!("OVERHEAD: {f}");
             std::process::exit(1);
         }
     }
@@ -265,6 +390,8 @@ fn soak_main(args: &[String]) {
     if opts.check.is_some() {
         fail("'--check' applies to `repro bench`; the soak carries its own limits");
     }
+    reject_trace_flags(&opts, "repro soak");
+    reject_bench_flags(&opts, "repro soak");
     if !opts.positional.is_empty() {
         fail(&format!(
             "`repro soak` takes no workload arguments (got '{}')",
@@ -315,6 +442,12 @@ fn soak_main(args: &[String]) {
         for f in &failures {
             eprintln!("SOAK FAILURE: {f}");
         }
+        // Debuggability over speed on the failure path: replay each
+        // breaching workload with a flight recorder and keep its last
+        // ticks next to the failure.
+        for p in flight::write_soak_dumps(mode, &failures, Path::new(".")) {
+            eprintln!("[flight recorder dump: {}]", p.display());
+        }
         std::process::exit(1);
     }
 }
@@ -332,6 +465,8 @@ fn scenario_main(args: &[String]) {
     if opts.check.is_some() {
         fail("'--check' applies to `repro bench`; scenario reports have no perf baseline");
     }
+    reject_trace_flags(&opts, "repro scenario");
+    reject_bench_flags(&opts, "repro scenario");
     if opts.positional.is_empty() {
         fail("`repro scenario` needs at least one .scn file");
     }
@@ -370,6 +505,82 @@ fn scenario_main(args: &[String]) {
     if let Some(path) = &opts.json {
         let doc = Json::Arr(reports.iter().map(|r| r.to_json()).collect());
         write_json(path, &doc);
+    }
+}
+
+// ------------------------------------------------------------------- traces
+
+/// `repro trace FILE...` — re-execute each scenario's batch matrix with
+/// a telemetry recorder attached to every cell and write the exporters'
+/// files. The trace never touches the scenario's *report*: `repro
+/// scenario` output stays byte-identical whether or not a `[telemetry]`
+/// section exists or a trace was ever taken.
+fn trace_main(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.paper {
+        fail("'--paper' applies to the figure experiments, not `repro trace`");
+    }
+    if opts.quick {
+        fail("'--quick' applies to `repro bench`; trace scale lives in the .scn file");
+    }
+    if opts.check.is_some() {
+        fail("'--check' applies to `repro bench`; traces have no perf baseline");
+    }
+    if opts.json.is_some() {
+        fail("`repro trace` writes per-format files; use '--out DIR' and '--format'");
+    }
+    reject_bench_flags(&opts, "repro trace");
+    if opts.positional.is_empty() {
+        fail("`repro trace` needs at least one .scn file");
+    }
+    let threads = opts.threads.unwrap_or(1);
+    let formats: Vec<&str> = match &opts.format {
+        None => vec!["jsonl", "chrome", "summary"],
+        Some(f) => vec![f.as_str()],
+    };
+    let out_dir = PathBuf::from(opts.out.as_deref().unwrap_or("."));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create '{}': {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    for path in &opts.positional {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read '{path}': {e}");
+                std::process::exit(1);
+            }
+        };
+        let scn: Scenario = match text.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let start = Instant::now();
+        let doc = trace_batch(&scn, threads);
+        for fmt in &formats {
+            let (ext, rendered) = match *fmt {
+                "jsonl" => ("jsonl", export::jsonl(&doc)),
+                "chrome" => ("chrome.json", export::chrome(&doc)),
+                _ => ("summary.txt", export::summary(&doc)),
+            };
+            let file = out_dir.join(format!("TRACE_{}.{ext}", doc.name));
+            if let Err(e) = std::fs::write(&file, rendered) {
+                eprintln!("cannot write '{}': {e}", file.display());
+                std::process::exit(1);
+            }
+            eprintln!("[wrote {}]", file.display());
+        }
+        print!("{}", export::summary(&doc));
+        eprintln!(
+            "[{} traced: {} cells on {} thread(s) in {:.1?}]\n",
+            doc.name,
+            doc.cells.len(),
+            threads,
+            start.elapsed()
+        );
     }
 }
 
@@ -453,6 +664,8 @@ fn experiments_main(args: &[String]) {
     if opts.check.is_some() {
         fail("'--check' applies to `repro bench`; experiments have no perf baseline");
     }
+    reject_trace_flags(&opts, "the experiments");
+    reject_bench_flags(&opts, "the experiments");
     let scale = if opts.paper {
         Scale::Paper
     } else {

@@ -1,0 +1,235 @@
+//! Post-hoc flight-recorder dumps for breached gates.
+//!
+//! When `repro soak` trips a limit or `repro bench --check` flags a
+//! regression, a throughput number alone is a dead end — the question
+//! is what the engine was *doing* when it got slow. This module
+//! re-runs the breaching workload deterministically (same seeds, same
+//! plans, so the replay IS the run that breached) with a
+//! [`FlightRecorder`] attached, and writes its last-N-ticks ring next
+//! to the failure as `FLIGHT_<workload>.jsonl`, stamped with
+//! [`pov_telemetry::FLIGHT_SCHEMA`].
+//!
+//! The recorder is never attached to the measured run itself: the
+//! timed repetitions stay telemetry-free, and the replay only happens
+//! on the failure path, where wall-clock no longer matters.
+
+use crate::engine_bench::{self, BenchMode};
+use crate::soak;
+use pov_core::judged::window_local_plans;
+use pov_core::pov_protocols::runner;
+use pov_telemetry::FlightRecorder;
+use std::path::{Path, PathBuf};
+
+/// Ring size of breach replays, in active ticks. Matches the
+/// `[telemetry]` scenario section's `flight_window` default: enough to
+/// span several continuous windows of context before the end of the
+/// run, small enough that a dump stays a few tens of kilobytes.
+pub const WINDOW: usize = 256;
+
+/// The distinct workload names a failure list points at, in first-seen
+/// order. Failure strings from `soak::assert_limits` and
+/// `trajectory::check_against` lead with `<workload>: ...`; lines that
+/// carry no such prefix (e.g. an empty-baseline complaint) are skipped
+/// — there is nothing to replay for them.
+pub fn breached_workloads(failures: &[String]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for f in failures {
+        let Some((name, _)) = f.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') || names.iter().any(|n| n == name) {
+            continue;
+        }
+        names.push(name.to_string());
+    }
+    names
+}
+
+/// Every failure string for `name`, joined — the `reason` field of the
+/// dump header.
+fn reason_for(failures: &[String], name: &str) -> String {
+    let prefix = format!("{name}:");
+    failures
+        .iter()
+        .filter(|f| f.starts_with(&prefix))
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Replay the named soak workload with a [`FlightRecorder`] and return
+/// the dump text, or `None` when no such workload exists at `mode`.
+/// The replay drives the identical window-local plans `judged_plan`
+/// executed (minus the oracle, which never touches the engine), so the
+/// retained ring shows the final windows of the breaching simulation.
+/// Retained tick keys are window-local.
+pub fn replay_soak(mode: BenchMode, name: &str, reason: &str) -> Option<String> {
+    let workloads = soak::workloads(mode);
+    let w = workloads.iter().find(|w| w.name == name)?;
+    let s = soak::setup(w);
+    let mut rec = FlightRecorder::new(WINDOW);
+    for (_, local) in window_local_plans(&s.graph, &s.plan) {
+        let _ = runner::run_with(s.protocol, &s.graph, &s.values, &local, Some(&mut rec));
+    }
+    Some(rec.dump(name, reason))
+}
+
+/// Replay the named bench workload's first seed with a
+/// [`FlightRecorder`] and return the dump text, or `None` when no such
+/// workload exists at `mode`. One seed suffices: every seed runs the
+/// same regime, and the ring only retains the last [`WINDOW`] ticks
+/// anyway.
+pub fn replay_bench(mode: BenchMode, name: &str, reason: &str) -> Option<String> {
+    let workloads = engine_bench::workloads(mode);
+    let w = workloads.iter().find(|w| w.name == name)?;
+    let s = engine_bench::setup(w);
+    let plan = engine_bench::seed_plan(w, &s.base, &s.graph, s.n, s.deadline, s.hq, 0);
+    let mut rec = FlightRecorder::new(WINDOW);
+    for &kind in &w.protocols {
+        let _ = runner::run_with(kind, &s.graph, &s.values, &plan, Some(&mut rec));
+    }
+    Some(rec.dump(name, reason))
+}
+
+fn write_dumps(
+    failures: &[String],
+    dir: &Path,
+    replay: impl Fn(&str, &str) -> Option<String>,
+) -> Vec<PathBuf> {
+    let mut written = Vec::new();
+    for name in breached_workloads(failures) {
+        let Some(dump) = replay(&name, &reason_for(failures, &name)) else {
+            continue;
+        };
+        let path = dir.join(format!("FLIGHT_{name}.jsonl"));
+        match std::fs::write(&path, dump) {
+            Ok(()) => written.push(path),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    written
+}
+
+/// Replay every soak workload named by `failures` and write one
+/// `FLIGHT_<workload>.jsonl` per breach into `dir`. Returns the paths
+/// written.
+pub fn write_soak_dumps(mode: BenchMode, failures: &[String], dir: &Path) -> Vec<PathBuf> {
+    write_dumps(failures, dir, |name, reason| {
+        replay_soak(mode, name, reason)
+    })
+}
+
+/// Replay every bench workload named by `failures` and write one
+/// `FLIGHT_<workload>.jsonl` per breach into `dir`. Returns the paths
+/// written.
+pub fn write_bench_dumps(mode: BenchMode, failures: &[String], dir: &Path) -> Vec<PathBuf> {
+    write_dumps(failures, dir, |name, reason| {
+        replay_bench(mode, name, reason)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soak::{assert_limits, SoakResult};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pov_flight_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn breach_parsing_dedups_and_skips_non_workload_failures() {
+        let failures = vec![
+            "lifecycle_wildfire: throughput collapsed to 10 events/sec (floor 50000)".to_string(),
+            "lifecycle_wildfire: peak RSS 9999999 kB breaches the 1048576 kB ceiling".to_string(),
+            "baseline document carries no workload measurements".to_string(),
+            "workload 'ghost' missing from baseline document".to_string(),
+            "double_dip_wildfire: throughput collapsed to 9 events/sec (floor 50000)".to_string(),
+        ];
+        assert_eq!(
+            breached_workloads(&failures),
+            ["lifecycle_wildfire", "double_dip_wildfire"]
+        );
+        let reason = reason_for(&failures, "lifecycle_wildfire");
+        assert!(reason.contains("throughput collapsed") && reason.contains("; "));
+    }
+
+    #[test]
+    fn soak_floor_breach_produces_a_schema_stamped_dump() {
+        // Force the quick soak's throughput floor: a result measuring
+        // 1 event/sec sits far below `limits(Quick).0`, so the limit
+        // check reports a breach — exactly what a collapsed run would.
+        let breached = SoakResult {
+            name: "lifecycle_wildfire",
+            n: 300,
+            horizon_ticks: 10_000,
+            windows: 500,
+            judged_windows: 500,
+            events: 1_000_000,
+            messages: 900_000,
+            declared_fraction: 1.0,
+            wall_ms: 1.0e9,
+            events_per_sec: 1.0,
+            ticks_per_sec: 1.0,
+            peak_rss_kb: Some(50_000),
+        };
+        let failures = assert_limits(&[breached], BenchMode::Quick);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+
+        let dir = temp_dir("soak");
+        let paths = write_soak_dumps(BenchMode::Quick, &failures, &dir);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].ends_with("FLIGHT_lifecycle_wildfire.jsonl"));
+
+        let dump = std::fs::read_to_string(&paths[0]).expect("dump readable");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(
+            lines.len() > 1 && lines.len() <= 1 + WINDOW,
+            "header plus at most WINDOW retained ticks, got {}",
+            lines.len()
+        );
+        let header = lines[0];
+        assert!(
+            header.contains("\"schema\": \"flight_recorder/v1\""),
+            "{header}"
+        );
+        assert!(
+            header.contains("\"workload\": \"lifecycle_wildfire\""),
+            "{header}"
+        );
+        assert!(header.contains("throughput collapsed"), "{header}");
+        assert!(header.contains("\"num_hosts\": 300"), "{header}");
+        for line in &lines[1..] {
+            assert!(line.starts_with("{\"t\": "), "malformed tick line: {line}");
+            assert!(line.ends_with('}'), "malformed tick line: {line}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_replay_covers_known_workloads_only() {
+        assert!(replay_bench(BenchMode::Quick, "no_such_workload", "r").is_none());
+        let dump = replay_bench(
+            BenchMode::Quick,
+            "adversarial_sketch",
+            "synthetic regression",
+        )
+        .expect("known workload replays");
+        let header = dump.lines().next().expect("header line");
+        assert!(
+            header.contains("\"schema\": \"flight_recorder/v1\""),
+            "{header}"
+        );
+        assert!(
+            header.contains("\"workload\": \"adversarial_sketch\""),
+            "{header}"
+        );
+        assert!(
+            header.contains("\"reason\": \"synthetic regression\""),
+            "{header}"
+        );
+    }
+}

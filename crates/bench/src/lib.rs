@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod engine_bench;
+pub mod flight;
 pub mod soak;
 pub mod trajectory;
 

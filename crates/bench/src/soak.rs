@@ -25,7 +25,7 @@ use pov_core::pov_protocols::wildfire::WildfireOpts;
 use pov_core::pov_protocols::{Aggregate, ProtocolKind, RunPlan};
 use pov_core::pov_sim::{PhaseKind, PhaseSchedule};
 use pov_core::pov_topology::generators::TopologyKind;
-use pov_core::pov_topology::{analysis, HostId};
+use pov_core::pov_topology::{analysis, Graph, HostId};
 use pov_core::workload;
 use pov_scenario::Json;
 use std::time::Instant;
@@ -78,8 +78,8 @@ pub fn limits(mode: BenchMode) -> (f64, u64) {
     }
 }
 
-struct SoakWorkload {
-    name: &'static str,
+pub(crate) struct SoakWorkload {
+    pub(crate) name: &'static str,
     topology: TopologyKind,
     n: usize,
     protocol: ProtocolKind,
@@ -106,7 +106,7 @@ fn double_dip(horizon: u64) -> PhaseSchedule {
         .then(PhaseKind::Heal, horizon - 10 * unit)
 }
 
-fn workloads(mode: BenchMode) -> Vec<SoakWorkload> {
+pub(crate) fn workloads(mode: BenchMode) -> Vec<SoakWorkload> {
     let (n_random, n_grid, horizon) = match mode {
         BenchMode::Quick => (300, 324, 10_000),
         BenchMode::Full => (1_000, 1_024, 20_000),
@@ -140,7 +140,21 @@ fn workloads(mode: BenchMode) -> Vec<SoakWorkload> {
     ]
 }
 
-fn run_workload(w: &SoakWorkload) -> SoakResult {
+/// A soak workload lowered to something runnable: the topology, values,
+/// and fully-assembled continuous plan. Shared between the timed run
+/// and the flight-recorder replay (`crate::flight`), which must drive
+/// the *identical* simulation the breach was measured on.
+pub(crate) struct SoakSetup {
+    pub(crate) graph: Graph,
+    pub(crate) values: Vec<u64>,
+    pub(crate) plan: RunPlan,
+    pub(crate) protocol: ProtocolKind,
+    pub(crate) windows: usize,
+    pub(crate) horizon: u64,
+    pub(crate) deadline: u64,
+}
+
+pub(crate) fn setup(w: &SoakWorkload) -> SoakSetup {
     // Setup outside the timed region, like the engine bench.
     let graph = w.topology.build(w.n, 7);
     let n = graph.num_hosts();
@@ -165,9 +179,23 @@ fn run_workload(w: &SoakWorkload) -> SoakResult {
     if let Some(partition) = lowered.partition {
         plan = plan.partition(partition);
     }
+    SoakSetup {
+        graph,
+        values,
+        plan,
+        protocol: w.protocol,
+        windows,
+        horizon,
+        deadline,
+    }
+}
+
+fn run_workload(w: &SoakWorkload) -> SoakResult {
+    let s = setup(w);
+    let (windows, horizon, deadline) = (s.windows, s.horizon, s.deadline);
 
     let start = Instant::now();
-    let outcomes = judged_plan(&graph, &values, &plan);
+    let outcomes = judged_plan(&s.graph, &s.values, &s.plan);
     let wall = start.elapsed();
 
     let windows_run = &outcomes[0].windows;
@@ -189,7 +217,7 @@ fn run_workload(w: &SoakWorkload) -> SoakResult {
     let simulated = judged_windows as u64 * (deadline + 2);
     SoakResult {
         name: w.name,
-        n,
+        n: s.graph.num_hosts(),
         horizon_ticks: horizon,
         windows,
         judged_windows,

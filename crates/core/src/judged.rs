@@ -199,6 +199,40 @@ pub fn window_starts(plan: &RunPlan) -> Vec<Time> {
     }
 }
 
+/// The per-window local plans [`judged_plan`] executes, exposed for
+/// callers that drive the same windows through a different executor —
+/// the trace runner replays each `(start, local_plan)` with a telemetry
+/// recorder attached, and byte-identical traces across thread counts
+/// hinge on using *exactly* this slicing (same window-indexed seeds,
+/// same churn/partition history replay).
+///
+/// A one-shot plan yields a single `(Time::ZERO, plan)` entry; a
+/// continuous plan yields one entry per window, stopping early if `hq`
+/// is dead at a window start. The local plans carry the environment
+/// only — their `protocols` lists are empty.
+///
+/// # Panics
+/// Same conditions as [`judged_plan`]: a continuous window shorter than
+/// the one-shot deadline, or a dynamic adversary combined with
+/// continuous windows.
+pub fn window_local_plans(graph: &Graph, plan: &RunPlan) -> Vec<(Time, RunPlan)> {
+    assert!(
+        plan.adversary.is_none() || plan.continuous.is_none(),
+        "a dynamic adversary cannot be combined with continuous windows \
+         (its kills are not replayable into window-local churn plans)"
+    );
+    match plan.continuous {
+        None => vec![(
+            Time::ZERO,
+            RunPlan {
+                protocols: Vec::new(),
+                ..plan.clone()
+            },
+        )],
+        Some(cs) => window_plans(graph, plan, cs),
+    }
+}
+
 /// The continuous slicer: one local [`RunPlan`] per window, each
 /// describing a one-shot against the membership state the absolute-time
 /// plan has reached by the window start. Stops early if `hq` is dead at
@@ -598,6 +632,52 @@ mod tests {
             hu(11),
             hu(9)
         );
+    }
+
+    #[test]
+    fn window_local_plans_mirror_judged_plan_slicing() {
+        let g = special::cycle(20);
+        let churn = ChurnPlan::none()
+            .with_failure(Time(30), HostId(10))
+            .with_join(Time(50), HostId(10));
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(20)
+            .churn(churn)
+            .seed(13)
+            .continuous(40, 3)
+            .protocol(ProtocolKind::Wildfire(WildfireOpts::default()));
+        let locals = window_local_plans(&g, &plan);
+        assert_eq!(locals.len(), 3);
+        for (w, (start, local)) in locals.iter().enumerate() {
+            assert_eq!(*start, Time(w as u64 * 40));
+            assert_eq!(local.seed, plan.seed.wrapping_add(w as u64));
+            assert!(local.protocols.is_empty(), "environment only");
+            assert!(local.continuous.is_none());
+        }
+        // Window 1 starts with h10 down and carries its rejoin, exactly
+        // as the judged executor slices it.
+        let w1 = &locals[1].1;
+        assert!(w1.churn.initially_dead().any(|h| h == HostId(10)));
+        assert!(w1.churn.joins.contains(&(Time(10), HostId(10))));
+        // Replaying a window's local plan through judged_run matches the
+        // judged_plan outcome for that window — the consistency the
+        // trace runner depends on.
+        let windows = &judged_plan(&g, &[1; 20], &plan)[0].windows;
+        let kind = ProtocolKind::Wildfire(WildfireOpts::default());
+        let replay = judged_run(kind, &g, &[1; 20], w1);
+        assert_eq!(replay.value, windows[1].judged.value);
+        assert_eq!(
+            replay.metrics.messages_sent,
+            windows[1].judged.metrics.messages_sent
+        );
+
+        // One-shot plans collapse to a single zero-start window.
+        let one_shot = RunPlan::query(Aggregate::Count)
+            .d_hat(5)
+            .protocol(ProtocolKind::SpanningTree);
+        let locals = window_local_plans(&g, &one_shot);
+        assert_eq!(locals.len(), 1);
+        assert_eq!(locals[0].0, Time::ZERO);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::spanning_tree::SpanningTreeNode;
 use crate::wildfire::{WildfireNode, WildfireOpts};
 use pov_sim::{
     ChurnPlan, DelayModel, Medium, Metrics, NodeLogic, PartitionPlan, SimBuilder, Simulation,
-    SketchAdversary, Time, Trace,
+    SketchAdversary, TelemetrySink, Time, Trace,
 };
 use pov_topology::{Graph, HostId};
 
@@ -393,6 +393,24 @@ fn finish<L: NodeLogic>(
 /// Panics if `values.len() != graph.num_hosts()` or the querying host is
 /// out of range.
 pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], plan: &RunPlan) -> Outcome {
+    run_with(kind, graph, values, plan, None)
+}
+
+/// [`run`] with an optional [`TelemetrySink`] attached to the
+/// simulation: the engine feeds the sink per-tick activity samples
+/// while the run executes, without perturbing the outcome (see the
+/// sink trait's determinism guarantees). `run(..)` is exactly
+/// `run_with(.., None)`.
+///
+/// # Panics
+/// Same conditions as [`run`].
+pub fn run_with(
+    kind: ProtocolKind,
+    graph: &Graph,
+    values: &[u64],
+    plan: &RunPlan,
+    sink: Option<&mut (dyn TelemetrySink + 'static)>,
+) -> Outcome {
     let cfg = plan;
     assert_eq!(
         values.len(),
@@ -406,7 +424,16 @@ pub fn run(kind: ProtocolKind, graph: &Graph, values: &[u64], plan: &RunPlan) ->
     // Factories borrow the caller's value slice: per-run clones of the
     // whole attribute table were pure allocation churn in batch sweeps.
     let vals = values;
-    let builder = || cfg.sim_builder(graph);
+    // Each match arm calls `builder()` exactly once; `take` moves the
+    // sink borrow into whichever simulation actually gets built.
+    let mut sink = sink;
+    let mut builder = move || {
+        let b = cfg.sim_builder(graph);
+        match sink.take() {
+            Some(s) => b.telemetry(s),
+            None => b,
+        }
+    };
     match kind {
         ProtocolKind::AllReport(routing) => {
             let sim = builder().build(move |h| {
@@ -776,6 +803,49 @@ mod tests {
         assert_eq!(a.trace.events, b.trace.events);
         assert_eq!(a.value, b.value);
         assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
+    }
+
+    #[test]
+    fn run_with_sink_matches_plain_run() {
+        use pov_sim::TickSample;
+
+        #[derive(Default)]
+        struct Counting {
+            ticks: u64,
+            dispatched: u64,
+        }
+        impl TelemetrySink for Counting {
+            fn on_tick(&mut self, s: &TickSample) {
+                self.ticks += 1;
+                self.dispatched += s.dispatched;
+            }
+        }
+
+        let g = special::cycle(16);
+        let plan =
+            RunPlan::query(Aggregate::Count)
+                .d_hat(9)
+                .seed(5)
+                .churn(ChurnPlan::uniform_failures(
+                    16,
+                    3,
+                    Time(0),
+                    Time(18),
+                    HostId(0),
+                    11,
+                ));
+        let kind = ProtocolKind::Wildfire(WildfireOpts::default());
+        let plain = run(kind, &g, &[1; 16], &plan);
+        let mut sink = Counting::default();
+        let tapped = run_with(kind, &g, &[1; 16], &plan, Some(&mut sink));
+        // Observing must not perturb: identical outcome either way.
+        assert_eq!(tapped.value, plain.value);
+        assert_eq!(tapped.declared_at, plain.declared_at);
+        assert_eq!(tapped.trace.events, plain.trace.events);
+        assert_eq!(tapped.metrics.messages_sent, plain.metrics.messages_sent);
+        // And the sink saw the whole run.
+        assert!(sink.ticks > 0);
+        assert_eq!(sink.dispatched, tapped.metrics.events_dispatched);
     }
 
     #[test]

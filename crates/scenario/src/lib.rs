@@ -28,7 +28,14 @@
 //!   realization) and are **byte-identical** for any thread count
 //!   (property-tested);
 //! * [`Json`] — a deterministic JSON writer for [`Report`]s and `repro
-//!   --json`, so the accuracy/cost trajectory is diffable across PRs.
+//!   --json`, so the accuracy/cost trajectory is diffable across PRs;
+//! * [`trace_batch`] — the telemetry runner behind `repro trace`:
+//!   re-executes the same batch matrix with a `pov_telemetry` recorder
+//!   attached to every cell and assembles a
+//!   [`pov_telemetry::TraceDoc`] for the JSONL / Chrome / summary
+//!   exporters, with the same byte-identical-across-threads guarantee
+//!   as the reports. The opt-in `[telemetry]` section
+//!   ([`TelemetrySpec`]) tunes it without touching reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,13 +44,16 @@ pub mod json;
 pub mod parse;
 pub mod run;
 pub mod spec;
+pub mod trace;
 
 pub use json::{table_to_json, Json};
 pub use parse::ParseError;
 pub use run::{run_batch, Agg, PairedDiff, PairedSection, ProtocolSection, Report, RunRecord};
 pub use spec::{
     AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, PhasesSpec, ProtocolSpec, Scenario,
+    TelemetrySpec,
 };
+pub use trace::trace_batch;
 
 #[cfg(test)]
 mod smoke {

@@ -298,14 +298,15 @@ impl Report {
 }
 
 /// The scenario's graph, values and derived deadline, built once and
-/// shared (read-only) by every worker thread.
-struct Prepared {
-    graph: Graph,
-    values: Vec<u64>,
-    d_hat: u32,
+/// shared (read-only) by every worker thread (the batch runner's and
+/// the trace runner's alike).
+pub(crate) struct Prepared {
+    pub(crate) graph: Graph,
+    pub(crate) values: Vec<u64>,
+    pub(crate) d_hat: u32,
 }
 
-fn prepare(scn: &Scenario) -> Prepared {
+pub(crate) fn prepare(scn: &Scenario) -> Prepared {
     let graph = scn.topology.build(scn.n, scn.topology_seed);
     let values = workload::paper_values(graph.num_hosts(), scn.topology_seed ^ 0x5eed_0001);
     let d = analysis::diameter_estimate(&graph, 4, scn.topology_seed | 1);
@@ -319,7 +320,7 @@ fn prepare(scn: &Scenario) -> Prepared {
 /// The tick count the scenario's window fractions scale to: the
 /// one-shot deadline `2·D̂·δ`, or the whole `windows × W` horizon for
 /// continuous scenarios (so a regime can span the registration).
-fn regime_span(scn: &Scenario, deadline: u64) -> u64 {
+pub(crate) fn regime_span(scn: &Scenario, deadline: u64) -> u64 {
     match &scn.continuous {
         None => deadline,
         Some(c) => c.windows as u64 * window_ticks(c, deadline),
@@ -443,7 +444,7 @@ fn materialize_partition(
 /// `round(cum_weight_i / total · span)`, so the boundaries partition
 /// the regime span exactly (up to the ≥ 1-tick floor every phase
 /// keeps) and rounding error never accumulates.
-fn materialize_phases(scn: &Scenario, span: u64) -> Option<PhaseSchedule> {
+pub(crate) fn materialize_phases(scn: &Scenario, span: u64) -> Option<PhaseSchedule> {
     let spec = scn.phases.as_ref()?;
     let total: f64 = spec.phases.iter().map(|&(_, w)| w).sum();
     let mut schedule = PhaseSchedule::with_start_alive(spec.start_alive);
@@ -459,10 +460,21 @@ fn materialize_phases(scn: &Scenario, span: u64) -> Option<PhaseSchedule> {
     Some(schedule)
 }
 
-/// Lower one `(seed, rep)` cell to a [`RunPlan`] and execute it: every
-/// protocol (and window) shares the churn/partition realization drawn
-/// from this cell's RNG stream.
-fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<RunRecord>> {
+/// One cell's fully lowered plan plus the phase schedule (when the
+/// scenario scripts one) that labels its windows.
+pub(crate) struct CellPlan {
+    /// The executable plan — every protocol, the cell's churn/partition
+    /// realization, and any continuous-window spec.
+    pub(crate) plan: RunPlan,
+    /// The phase schedule the regime lowered from (`None` without a
+    /// `[phases]` section).
+    pub(crate) phases: Option<PhaseSchedule>,
+}
+
+/// Lower one `(seed, rep)` cell to its [`RunPlan`]. This is *the* cell
+/// seed derivation: the batch runner and the trace runner both call it,
+/// so a trace records exactly the runs the report aggregates.
+pub(crate) fn cell_plan(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> CellPlan {
     // Per-cell RNG stream: a function of (seed, rep) only.
     let mut stream = SmallRng::seed_from_u64(
         seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -512,6 +524,19 @@ fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<R
     if let Some(c) = &scn.continuous {
         plan = plan.continuous(window_ticks(c, deadline), c.windows);
     }
+    CellPlan {
+        plan,
+        phases: phase_schedule,
+    }
+}
+
+/// Execute one `(seed, rep)` cell: every protocol (and window) shares
+/// the churn/partition realization drawn from this cell's RNG stream.
+fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<RunRecord>> {
+    let CellPlan {
+        plan,
+        phases: phase_schedule,
+    } = cell_plan(scn, prep, seed, rep);
     judged_plan(&prep.graph, &prep.values, &plan)
         .into_iter()
         .map(|protocol| {
@@ -728,6 +753,7 @@ mod tests {
             phases: None,
             adversary: None,
             continuous: None,
+            telemetry: None,
             seeds: vec![1, 2, 3],
             repetitions: 2,
         }

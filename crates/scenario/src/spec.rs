@@ -213,6 +213,29 @@ pub struct PhasesSpec {
     pub phases: Vec<(PhaseKind, f64)>,
 }
 
+/// A `[telemetry]` section: opt-in knobs for the trace runner
+/// (`repro trace`). Parsing the section never changes what a scenario
+/// *reports* — `run_batch` ignores it entirely, so adding `[telemetry]`
+/// to a `.scn` file keeps its JSON report byte-identical. The knobs
+/// only shape the recordings `trace_batch` produces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TelemetrySpec {
+    /// Emit a protocol-state summary sample (active hosts, sketch mass)
+    /// every this many ticks.
+    pub summary_every: u64,
+    /// Ring-buffer capacity of the flight recorder, in ticks.
+    pub flight_window: u64,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            summary_every: 8,
+            flight_window: 256,
+        }
+    }
+}
+
 /// A fully specified, runnable scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -256,6 +279,9 @@ pub struct Scenario {
     pub adversary: Option<AdversarySpec>,
     /// Optional §4.2 continuous-window execution.
     pub continuous: Option<ContinuousSpec>,
+    /// Optional `[telemetry]` knobs for the trace runner (never affects
+    /// reports).
+    pub telemetry: Option<TelemetrySpec>,
     /// Root seeds; the batch runs `seeds × repetitions`.
     pub seeds: Vec<u64>,
     /// Repetitions per seed.
@@ -313,6 +339,7 @@ impl Scenario {
             "phase",
             "adversary",
             "continuous",
+            "telemetry",
             "run",
         ];
         for s in &doc.sections {
@@ -716,6 +743,31 @@ impl Scenario {
             }
         };
 
+        let telemetry = match doc.section("telemetry") {
+            None => None,
+            Some(_) => {
+                let te = Keys::over(doc, "telemetry")?;
+                let defaults = TelemetrySpec::default();
+                let summary_every = te
+                    .opt_u64("summary_every")?
+                    .unwrap_or(defaults.summary_every);
+                if summary_every == 0 {
+                    return Err(te.err("summary_every", "sampling cadence must be >= 1 tick"));
+                }
+                let flight_window = te
+                    .opt_u64("flight_window")?
+                    .unwrap_or(defaults.flight_window);
+                if flight_window == 0 {
+                    return Err(te.err("flight_window", "flight recorder needs >= 1 tick of ring"));
+                }
+                te.finish()?;
+                Some(TelemetrySpec {
+                    summary_every,
+                    flight_window,
+                })
+            }
+        };
+
         let continuous = match doc.section("continuous") {
             None => None,
             Some(_) => {
@@ -771,6 +823,7 @@ impl Scenario {
             phases,
             adversary,
             continuous,
+            telemetry,
             seeds,
             repetitions,
         })
@@ -829,16 +882,15 @@ impl<'a> Keys<'a> {
     fn over(doc: &'a Doc, name: &'a str) -> Result<Keys<'a>, ParseError> {
         let section = doc.section(name);
         match (name, &section) {
-            // [medium], [churn], [partition], [adversary] and
-            // [continuous] are optional; the rest must exist.
-            ("medium" | "churn" | "partition" | "adversary" | "continuous", _) | (_, Some(_)) => {
-                Ok(Keys {
-                    line: section.map_or(0, |s| s.line),
-                    section,
-                    name,
-                    used: std::cell::RefCell::new(Vec::new()),
-                })
-            }
+            // [medium], [churn], [partition], [adversary], [continuous]
+            // and [telemetry] are optional; the rest must exist.
+            ("medium" | "churn" | "partition" | "adversary" | "continuous" | "telemetry", _)
+            | (_, Some(_)) => Ok(Keys {
+                line: section.map_or(0, |s| s.line),
+                section,
+                name,
+                used: std::cell::RefCell::new(Vec::new()),
+            }),
             _ => Err(ParseError::at(
                 0,
                 format!("missing required section [{name}]"),
@@ -1445,6 +1497,49 @@ seeds = [1]
         .expect("valid");
         assert_eq!(s.churn, ChurnSpec::None);
         assert_eq!(s.regime(), "adversary");
+    }
+
+    #[test]
+    fn telemetry_section_parses_and_validates() {
+        // Absent section → no spec (trace runner falls back to defaults).
+        let s = Scenario::from_str(GOOD).expect("valid");
+        assert_eq!(s.telemetry, None);
+        // Present but empty → the documented defaults.
+        let s = Scenario::from_str(&format!("{GOOD}\n[telemetry]")).expect("valid");
+        assert_eq!(s.telemetry, Some(TelemetrySpec::default()));
+        assert_eq!(
+            s.telemetry.unwrap(),
+            TelemetrySpec {
+                summary_every: 8,
+                flight_window: 256
+            }
+        );
+        // Explicit knobs.
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[telemetry]\nsummary_every = 4\nflight_window = 64"
+        ))
+        .expect("valid");
+        assert_eq!(
+            s.telemetry,
+            Some(TelemetrySpec {
+                summary_every: 4,
+                flight_window: 64
+            })
+        );
+        // Zero cadences are rejected, typos too.
+        let err = Scenario::from_str(&format!("{GOOD}\n[telemetry]\nsummary_every = 0"))
+            .expect_err("zero cadence");
+        assert!(err.msg.contains(">= 1 tick"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[telemetry]\nflight_window = 0"))
+            .expect_err("zero ring");
+        assert!(err.msg.contains("ring"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[telemetry]\nsumary_every = 4"))
+            .expect_err("typo");
+        assert!(err.msg.contains("unknown key"), "{}", err.msg);
+        // Not repeatable, like every other single-reader section.
+        let err = Scenario::from_str(&format!("{GOOD}\n[[telemetry]]\nsummary_every = 4"))
+            .expect_err("array form");
+        assert!(err.msg.contains("not repeatable"), "{}", err.msg);
     }
 
     #[test]

@@ -76,6 +76,16 @@ pub(crate) fn take_churn() -> Vec<ChurnEvent> {
     v
 }
 
+/// Number of recycled buffers currently held by this thread's pool,
+/// across all shapes — the arena-occupancy figure reported to telemetry
+/// sinks at run start.
+pub(crate) fn pooled_buffers() -> usize {
+    POOL.with(|p| {
+        let p = p.borrow();
+        p.bools.len() + p.u32s.len() + p.u64s.len() + p.summaries.len() + p.churn.len()
+    })
+}
+
 /// Return a churn wave buffer to the pool for reuse.
 pub(crate) fn put_churn(v: Vec<ChurnEvent>) {
     if v.capacity() == 0 {

@@ -8,6 +8,7 @@ use crate::dynamic::{ChurnEvent, ChurnSource, EngineView, StateSummary};
 use crate::event::{EventQueue, Payload};
 use crate::metrics::Metrics;
 use crate::node::NodeLogic;
+use crate::sink::{TelemetrySink, TickSample};
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 use pov_topology::{Graph, HostId};
@@ -35,6 +36,7 @@ pub struct SimBuilder<'g> {
     dynamic: Option<Box<dyn ChurnSource>>,
     partition: Option<PartitionPlan>,
     seed: u64,
+    tele: Option<&'g mut (dyn TelemetrySink + 'static)>,
     #[cfg(test)]
     heap_queue_oracle: bool,
 }
@@ -63,6 +65,7 @@ impl<'g> SimBuilder<'g> {
             dynamic: None,
             partition: None,
             seed: 0,
+            tele: None,
             #[cfg(test)]
             heap_queue_oracle: false,
         }
@@ -115,6 +118,16 @@ impl<'g> SimBuilder<'g> {
         self
     }
 
+    /// Attach a telemetry sink observing the run (default: none). The
+    /// engine borrows the sink for the simulation's lifetime and feeds
+    /// it per-tick activity samples — see [`TelemetrySink`] for the
+    /// determinism guarantees. With no sink attached every telemetry
+    /// hook on the hot path reduces to one `Option` discriminant test.
+    pub fn telemetry(mut self, sink: &'g mut (dyn TelemetrySink + 'static)) -> Self {
+        self.tele = Some(sink);
+        self
+    }
+
     /// Route the event queue through the pre-refactor `BinaryHeap`
     /// implementation — the oracle side of the engine-level equivalence
     /// property tests.
@@ -162,7 +175,19 @@ impl<'g> SimBuilder<'g> {
         let logic = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
         let mut initially_alive = arena::take_bools(n);
         initially_alive.copy_from_slice(&alive);
+        let tele = self.tele.map(|sink| {
+            sink.on_run_start(n, arena::pooled_buffers());
+            Telemetry {
+                next_summary: sink.summary_every().map(|_| 0),
+                sink,
+                alive: alive.iter().filter(|&&a| a).count() as u32,
+                touched: vec![0; n],
+                counts: TickCounts::default(),
+                flushed_through: 0,
+            }
+        });
         Simulation {
+            tele,
             trace: Trace::new(initially_alive),
             graph: self.graph,
             hosts: Hosts {
@@ -244,6 +269,38 @@ impl<L> Hosts<L> {
     }
 }
 
+/// Per-tick counters aggregated for the telemetry sink. Reset when the
+/// tick's sample is flushed.
+#[derive(Default)]
+struct TickCounts {
+    dispatched: u64,
+    delivered: u64,
+    dropped: u64,
+    fails: u64,
+    joins: u64,
+    timers: u64,
+    frontier: u32,
+}
+
+/// Telemetry state carried by a simulation with a sink attached. Lives
+/// entirely outside the disabled path: a sink-less run never allocates
+/// or touches any of this.
+struct Telemetry<'s> {
+    sink: &'s mut (dyn TelemetrySink + 'static),
+    /// Incrementally maintained alive count (avoids an `O(hosts)` scan
+    /// per flushed tick).
+    alive: u32,
+    /// Per-host stamp (`tick + 1`) marking wave-frontier membership.
+    touched: Vec<u64>,
+    counts: TickCounts,
+    /// Next tick at or after which to take a protocol-state sample.
+    next_summary: Option<u64>,
+    /// Ticks `< flushed_through` have already emitted their sample —
+    /// guards against re-sampling a tick when `run_until` is called
+    /// again with a later horizon.
+    flushed_through: u64,
+}
+
 /// A running simulation: the network graph (owned or borrowed from the
 /// batch driver), per-host logic, the event queue and the collected
 /// metrics/trace.
@@ -258,6 +315,7 @@ pub struct Simulation<'g, L: NodeLogic> {
     dynamic: Option<Box<dyn ChurnSource>>,
     partition: Option<PartitionPlan>,
     rng: SmallRng,
+    tele: Option<Telemetry<'g>>,
     /// Reused per-poll scratch: one summary slot per host.
     summaries: Vec<StateSummary>,
     /// Reused per-poll scratch: the churn source's event wave.
@@ -303,9 +361,15 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
             if t > horizon {
                 break;
             }
+            if self.tele.is_some() && t != self.now {
+                self.tele_flush_tick();
+            }
             let (at, payload) = self.queue.pop().expect("peeked event exists");
             self.now = at;
             self.dispatch(payload);
+        }
+        if self.tele.is_some() {
+            self.tele_flush_tick();
         }
         // Advance the clock to the horizon so callers polling `now()` see
         // time progress even across event-free stretches.
@@ -317,7 +381,11 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
     pub fn run_to_quiescence(&mut self, max_events: u64) {
         self.start();
         let mut n = 0u64;
-        while let Some((at, payload)) = self.queue.pop() {
+        while let Some(t) = self.queue.peek_time() {
+            if self.tele.is_some() && t != self.now {
+                self.tele_flush_tick();
+            }
+            let (at, payload) = self.queue.pop().expect("peeked event exists");
             self.now = at;
             self.dispatch(payload);
             n += 1;
@@ -326,21 +394,92 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                 "protocol did not quiesce after {max_events} events"
             );
         }
+        if self.tele.is_some() {
+            self.tele_flush_tick();
+        }
+    }
+
+    /// Close out the current tick for the telemetry sink: emit a
+    /// [`TickSample`] if anything happened, and take a periodic
+    /// protocol-state sample when the sink asked for one. Called only
+    /// when a sink is attached.
+    fn tele_flush_tick(&mut self) {
+        let tick = self.now.ticks();
+        let sent = self
+            .metrics
+            .sent_per_tick
+            .get(tick as usize)
+            .copied()
+            .unwrap_or(0);
+        let queue_depth = self.queue.len() as u64;
+        let Some(t) = self.tele.as_mut() else { return };
+        if (t.counts.dispatched != 0 || sent != 0) && t.flushed_through <= tick {
+            t.flushed_through = tick + 1;
+            let sample = TickSample {
+                tick,
+                alive: t.alive,
+                queue_depth,
+                dispatched: t.counts.dispatched,
+                delivered: t.counts.delivered,
+                dropped: t.counts.dropped,
+                sent,
+                fails: t.counts.fails,
+                joins: t.counts.joins,
+                timers: t.counts.timers,
+                frontier: t.counts.frontier,
+            };
+            t.sink.on_tick(&sample);
+            t.counts = TickCounts::default();
+        }
+        if t.next_summary.is_some_and(|next| tick >= next) {
+            let every = t.sink.summary_every().unwrap_or(1).max(1);
+            t.next_summary = Some(tick + every);
+            // Mass still present in the network: alive hosts only
+            // (failed hosts retain a summary, but their partials are
+            // gone with them). Ascending host order keeps the f64 sum
+            // deterministic.
+            let mut active = 0u32;
+            let mut mass = 0.0f64;
+            for (logic, &alive) in self.hosts.logic.iter().zip(&self.hosts.alive) {
+                if !alive {
+                    continue;
+                }
+                let s = logic.as_ref().expect("logic present").summary();
+                if s.active {
+                    active += 1;
+                }
+                if let Some(w) = s.sketch_weight {
+                    mass += w;
+                }
+            }
+            t.sink.on_summary(Time(tick), active, mass);
+        }
     }
 
     fn dispatch(&mut self, payload: Payload<L::Msg>) {
         self.metrics.record_dispatch();
+        if let Some(t) = self.tele.as_mut() {
+            t.counts.dispatched += 1;
+        }
         match payload {
             Payload::Fail(h) => {
                 if self.hosts.is_alive(h) {
                     self.hosts.set_alive(h, false);
                     self.trace.record(TraceEvent::Fail(self.now, h));
+                    if let Some(t) = self.tele.as_mut() {
+                        t.counts.fails += 1;
+                        t.alive -= 1;
+                    }
                 }
             }
             Payload::Join(h) => {
                 if !self.hosts.is_alive(h) {
                     self.hosts.set_alive(h, true);
                     self.trace.record(TraceEvent::Join(self.now, h));
+                    if let Some(t) = self.tele.as_mut() {
+                        t.counts.joins += 1;
+                        t.alive += 1;
+                    }
                     self.activate(h, Activation::Start);
                 }
             }
@@ -357,7 +496,23 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                     .partition
                     .as_ref()
                     .is_some_and(|p| p.blocks(self.now, from, to));
-                if self.hosts.is_alive(to) && !severed {
+                let live = self.hosts.is_alive(to) && !severed;
+                if let Some(t) = self.tele.as_mut() {
+                    if live {
+                        t.counts.delivered += 1;
+                        // Frontier = distinct hosts reached this tick;
+                        // the stamp dedups repeat deliveries.
+                        let stamp = self.now.ticks() + 1;
+                        let slot = &mut t.touched[to.index()];
+                        if *slot != stamp {
+                            *slot = stamp;
+                            t.counts.frontier += 1;
+                        }
+                    } else {
+                        t.counts.dropped += 1;
+                    }
+                }
+                if live {
                     self.metrics.record_processed(to, depth);
                     self.hosts.raise_depth(to, depth);
                     self.activate(to, Activation::Message { from, msg, depth });
@@ -366,6 +521,9 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
             Payload::Timer { host, key } => {
                 if self.hosts.is_alive(host) {
                     self.metrics.record_timer();
+                    if let Some(t) = self.tele.as_mut() {
+                        t.counts.timers += 1;
+                    }
                     self.activate(host, Activation::Timer { key });
                 }
             }
@@ -401,12 +559,20 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                     if self.hosts.is_alive(h) {
                         self.hosts.set_alive(h, false);
                         self.trace.record(TraceEvent::Fail(self.now, h));
+                        if let Some(t) = self.tele.as_mut() {
+                            t.counts.fails += 1;
+                            t.alive -= 1;
+                        }
                     }
                 }
                 ChurnEvent::Join(h) => {
                     if !self.hosts.is_alive(h) {
                         self.hosts.set_alive(h, true);
                         self.trace.record(TraceEvent::Join(self.now, h));
+                        if let Some(t) = self.tele.as_mut() {
+                            t.counts.joins += 1;
+                            t.alive += 1;
+                        }
                         self.activate(h, Activation::Start);
                     }
                 }
@@ -978,6 +1144,8 @@ mod tests {
             processed: u64,
             chain: u32,
             dispatched: u64,
+            hist: Vec<u64>,
+            last_active: Option<u64>,
         }
 
         fn run(n: u32, plan: &ChurnPlan, cut: bool, heap: bool) -> Fingerprint {
@@ -1003,6 +1171,8 @@ mod tests {
                 processed: sim.metrics().total_processed(),
                 chain: sim.metrics().longest_chain,
                 dispatched: sim.metrics().events_dispatched,
+                hist: sim.metrics().computation_histogram(),
+                last_active: sim.metrics().last_active_tick(),
             }
         }
 
@@ -1020,6 +1190,162 @@ mod tests {
                 prop_assert_eq!(bucket, heap);
             }
         }
+    }
+
+    /// A sink that records everything — the test double for the
+    /// telemetry invariants.
+    #[derive(Default)]
+    struct Recorder {
+        started: Option<(usize, usize)>,
+        ticks: Vec<TickSample>,
+        summaries: Vec<(Time, u32, u64)>,
+        every: Option<u64>,
+    }
+
+    impl TelemetrySink for Recorder {
+        fn on_run_start(&mut self, num_hosts: usize, arena_pooled: usize) {
+            self.started = Some((num_hosts, arena_pooled));
+        }
+        fn on_tick(&mut self, sample: &TickSample) {
+            self.ticks.push(*sample);
+        }
+        fn summary_every(&self) -> Option<u64> {
+            self.every
+        }
+        fn on_summary(&mut self, at: Time, active: u32, sketch_mass: f64) {
+            self.summaries.push((at, active, sketch_mass.to_bits()));
+        }
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_perturb_the_run() {
+        // The "no behavioural feedback" invariant: identical trace,
+        // metrics and per-host state with and without a sink attached.
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(3))
+            .with_join(Time(6), HostId(3));
+        let run = |attach: bool| {
+            let mut rec = Recorder::default();
+            let b = SimBuilder::new(special::cycle(8))
+                .churn(churn.clone())
+                .seed(11);
+            let b = if attach { b.telemetry(&mut rec) } else { b };
+            let mut sim = b.build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+            sim.run_until(Time(40));
+            (
+                sim.trace().events.clone(),
+                sim.metrics().messages_sent,
+                sim.metrics().total_processed(),
+                sim.metrics().events_dispatched,
+                (0..8u32)
+                    .map(|h| sim.logic(HostId(h)).seen_at)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_samples_account_for_every_event() {
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(3))
+            .with_join(Time(6), HostId(3));
+        let mut rec = Recorder::default();
+        let mut sim = SimBuilder::new(special::cycle(8))
+            .churn(churn)
+            .telemetry(&mut rec)
+            .build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+        sim.run_until(Time(40));
+        let dispatched = sim.metrics().events_dispatched;
+        let sent = sim.metrics().messages_sent;
+        let processed = sim.metrics().total_processed();
+        drop(sim);
+        assert_eq!(rec.started, Some((8, 0)));
+        // Every dispatched event, sent message and processed delivery
+        // lands in exactly one tick sample.
+        assert_eq!(
+            rec.ticks.iter().map(|s| s.dispatched).sum::<u64>(),
+            dispatched
+        );
+        assert_eq!(rec.ticks.iter().map(|s| s.sent).sum::<u64>(), sent);
+        assert_eq!(
+            rec.ticks.iter().map(|s| s.delivered).sum::<u64>(),
+            processed
+        );
+        assert_eq!(rec.ticks.iter().map(|s| s.fails).sum::<u64>(), 1);
+        assert_eq!(rec.ticks.iter().map(|s| s.joins).sum::<u64>(), 1);
+        // Samples arrive in strictly increasing tick order, the frontier
+        // never exceeds deliveries, and the alive count tracks churn.
+        for w in rec.ticks.windows(2) {
+            assert!(w[0].tick < w[1].tick);
+        }
+        for s in &rec.ticks {
+            assert!(u64::from(s.frontier) <= s.delivered);
+            let expected = if (2..6).contains(&s.tick) { 7 } else { 8 };
+            assert_eq!(s.alive, expected, "tick {}", s.tick);
+        }
+        // The final sample drains the queue.
+        assert_eq!(rec.ticks.last().unwrap().queue_depth, 0);
+    }
+
+    #[test]
+    fn telemetry_summary_sampling_observes_protocol_state() {
+        use crate::dynamic::StateSummary;
+
+        #[derive(Debug)]
+        struct Weighted(HostId);
+        impl NodeLogic for Weighted {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                // Keep ticks active so flushes happen.
+                if ctx.now() < Time(10) {
+                    ctx.set_timer(1, 0);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+                if ctx.now() < Time(10) {
+                    ctx.set_timer(1, 0);
+                }
+            }
+            fn summary(&self) -> StateSummary {
+                StateSummary {
+                    active: true,
+                    sketch_weight: Some(f64::from(self.0 .0)),
+                }
+            }
+        }
+        let churn = ChurnPlan::none().with_failure(Time(4), HostId(3));
+        let mut rec = Recorder {
+            every: Some(4),
+            ..Recorder::default()
+        };
+        let mut sim = SimBuilder::new(special::cycle(4))
+            .churn(churn)
+            .telemetry(&mut rec)
+            .build(Weighted);
+        sim.run_until(Time(20));
+        drop(sim);
+        assert!(!rec.summaries.is_empty());
+        // First sample at t=0: all four alive, mass 0+1+2+3.
+        let (at, active, mass) = rec.summaries[0];
+        assert_eq!(at, Time(0));
+        assert_eq!(active, 4);
+        assert_eq!(f64::from_bits(mass), 6.0);
+        // After the failure at t=4, host 3's weight is gone.
+        let late = rec
+            .summaries
+            .iter()
+            .find(|&&(at, _, _)| at > Time(4))
+            .expect("a post-failure summary sample");
+        assert_eq!(late.1, 3);
+        assert_eq!(f64::from_bits(late.2), 3.0);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod heartbeat;
 mod metrics;
 mod node;
 pub mod phase;
+mod sink;
 mod time;
 mod trace;
 
@@ -74,6 +75,7 @@ pub use engine::{Medium, SimBuilder, Simulation};
 pub use metrics::Metrics;
 pub use node::NodeLogic;
 pub use phase::{LoweredSchedule, Phase, PhaseKind, PhaseSchedule};
+pub use sink::{NullSink, TelemetrySink, TickSample};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};
 

@@ -177,6 +177,110 @@ mod tests {
     }
 
     #[test]
+    fn alive_at_same_tick_fail_then_join() {
+        // Fail and Join of the same host at the same tick apply in trace
+        // order: the later event wins at that instant.
+        let mut tr = Trace::new(vec![true, true]);
+        tr.record(TraceEvent::Fail(Time(4), HostId(0)));
+        tr.record(TraceEvent::Join(Time(4), HostId(0)));
+        assert_eq!(tr.alive_at(Time(3)), vec![true, true]);
+        assert_eq!(tr.alive_at(Time(4)), vec![true, true], "rejoin wins");
+        assert_eq!(tr.alive_at(Time(5)), vec![true, true]);
+
+        let mut tr = Trace::new(vec![false, true]);
+        tr.record(TraceEvent::Join(Time(4), HostId(0)));
+        tr.record(TraceEvent::Fail(Time(4), HostId(0)));
+        assert_eq!(tr.alive_at(Time(4)), vec![false, true], "fail wins");
+    }
+
+    #[test]
+    fn alive_throughout_window_edges() {
+        let tr = sample_trace();
+        // A fail exactly at `start` is inclusive: host 1 is not alive
+        // throughout [3, x] for any x.
+        assert_eq!(
+            tr.alive_throughout(Time(3), Time(3)),
+            vec![true, false, true, false]
+        );
+        // One tick earlier the window [2,2] closes before the failure.
+        assert_eq!(
+            tr.alive_throughout(Time(2), Time(2)),
+            vec![true, true, true, false]
+        );
+        // A join exactly at `end` still counts as mid-interval: host 3
+        // was dead for every instant of [4,5) and so is excluded.
+        assert_eq!(
+            tr.alive_throughout(Time(4), Time(5)),
+            vec![true, false, true, false]
+        );
+        // Starting exactly at the join instant includes the host:
+        // alive_at(5) already sees the join, and nothing later clears it.
+        assert_eq!(
+            tr.alive_throughout(Time(5), Time(10)),
+            vec![true, false, true, true]
+        );
+        // Degenerate window [t, t] equals alive_at(t).
+        assert_eq!(tr.alive_throughout(Time(5), Time(5)), tr.alive_at(Time(5)));
+    }
+
+    #[test]
+    fn alive_throughout_rejoin_within_window_excludes_host() {
+        // Fail then rejoin inside the window: the host missed an instant,
+        // so it is not alive throughout — even though it is alive at both
+        // window edges.
+        let mut tr = Trace::new(vec![true]);
+        tr.record(TraceEvent::Fail(Time(4), HostId(0)));
+        tr.record(TraceEvent::Join(Time(6), HostId(0)));
+        assert_eq!(tr.alive_throughout(Time(0), Time(10)), vec![false]);
+        assert_eq!(tr.alive_at(Time(0)), vec![true]);
+        assert_eq!(tr.alive_at(Time(10)), vec![true]);
+    }
+
+    #[test]
+    fn alive_sometime_window_edges() {
+        let tr = sample_trace();
+        // A host failing exactly at `start` *was* alive at that instant:
+        // the baseline applies only events strictly before `start`.
+        assert_eq!(
+            tr.alive_sometime(Time(3), Time(10)),
+            vec![true, true, true, true]
+        );
+        // One tick later the failure is history: host 1 is out.
+        assert_eq!(
+            tr.alive_sometime(Time(4), Time(10)),
+            vec![true, false, true, true]
+        );
+        // A join exactly at `end` is inclusive: host 3 counts over [0,5].
+        assert_eq!(
+            tr.alive_sometime(Time(0), Time(5)),
+            vec![true, true, true, true]
+        );
+        // ...but not over [0,4].
+        assert_eq!(
+            tr.alive_sometime(Time(0), Time(4)),
+            vec![true, true, true, false]
+        );
+        // Degenerate window [t, t]: join at that very tick counts.
+        assert_eq!(
+            tr.alive_sometime(Time(5), Time(5)),
+            vec![true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn alive_sometime_same_tick_fail_and_join() {
+        // Host fails at the window start and a different host joins at
+        // the same tick: both count as "alive sometime".
+        let mut tr = Trace::new(vec![true, false]);
+        tr.record(TraceEvent::Fail(Time(7), HostId(0)));
+        tr.record(TraceEvent::Join(Time(7), HostId(1)));
+        assert_eq!(tr.alive_sometime(Time(7), Time(9)), vec![true, true]);
+        // Before the window both changes are baseline: host 0 gone,
+        // host 1 in.
+        assert_eq!(tr.alive_sometime(Time(8), Time(9)), vec![false, true]);
+    }
+
+    #[test]
     fn event_accessors() {
         let ev = TraceEvent::Fail(Time(2), HostId(7));
         assert_eq!(ev.time(), Time(2));

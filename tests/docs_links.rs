@@ -20,6 +20,7 @@ const DOCS: &[&str] = &[
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKING.md",
+    "docs/OBSERVABILITY.md",
 ];
 
 fn repo_root() -> PathBuf {
@@ -107,7 +108,11 @@ fn docs_cross_link_each_other() {
     let root = repo_root();
     let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
     let readme_targets: Vec<String> = links(&readme).into_iter().map(|(_, t)| t).collect();
-    for required in ["docs/ARCHITECTURE.md", "docs/BENCHMARKING.md"] {
+    for required in [
+        "docs/ARCHITECTURE.md",
+        "docs/BENCHMARKING.md",
+        "docs/OBSERVABILITY.md",
+    ] {
         assert!(
             readme_targets
                 .iter()
@@ -116,12 +121,14 @@ fn docs_cross_link_each_other() {
         );
     }
     let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("ARCHITECTURE");
-    assert!(
-        links(&arch)
-            .iter()
-            .any(|(_, t)| t.split('#').next() == Some("BENCHMARKING.md")),
-        "docs/ARCHITECTURE.md does not link its sibling BENCHMARKING.md"
-    );
+    for sibling in ["BENCHMARKING.md", "OBSERVABILITY.md"] {
+        assert!(
+            links(&arch)
+                .iter()
+                .any(|(_, t)| t.split('#').next() == Some(sibling)),
+            "docs/ARCHITECTURE.md does not link its sibling {sibling}"
+        );
+    }
 }
 
 #[test]
