@@ -24,7 +24,7 @@
 use pov_bench::engine_bench::{self, BenchMode};
 use pov_bench::{flight, soak, trajectory, Scale};
 use pov_core::experiments::{
-    ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, price, validity,
+    ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, overlay, price, validity,
 };
 use pov_core::report::Table;
 use pov_scenario::{run_batch, table_to_json, trace_batch, Json, Scenario};
@@ -46,6 +46,7 @@ const ALL: &[&str] = &[
     "ablation",
     "ext",
     "adversary",
+    "overlay",
 ];
 
 const USAGE: &str = "\
@@ -796,6 +797,25 @@ fn run_experiment(name: &str, scale: Scale) -> Vec<Table> {
             println!(
                 "targeted/uniform interval deviation min ratio: {:.3}",
                 adversary::min_interval_ratio(&rows)
+            );
+            println!();
+            return vec![t];
+        }
+        "overlay" => {
+            let cfg = scale.overlay();
+            let rows = overlay::run(&cfg);
+            let t = overlay::table(&rows);
+            println!("{t}");
+            // Machine-checkable headline for the CI gate: the validity
+            // side must not dip below ~1 (maintenance never loses
+            // ground), and the cost side reports what that costs.
+            println!(
+                "maintained/static value min gain: {:.3}",
+                overlay::min_value_gain(&rows)
+            );
+            println!(
+                "maintained/static message max ratio: {:.3}",
+                overlay::max_cost_ratio(&rows)
             );
             println!();
             return vec![t];

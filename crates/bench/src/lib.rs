@@ -17,7 +17,7 @@ pub mod soak;
 pub mod trajectory;
 
 use pov_core::experiments::{
-    ablation, adversary, fig06, fig10, fig11, fig12, fig13, price, validity,
+    ablation, adversary, fig06, fig10, fig11, fig12, fig13, overlay, price, validity,
 };
 use pov_core::pov_protocols::Aggregate;
 use pov_core::pov_topology::generators::TopologyKind;
@@ -173,6 +173,15 @@ impl Scale {
         match self {
             Scale::Paper => adversary::Config::paper(),
             Scale::Quick => adversary::Config::smoke(),
+        }
+    }
+
+    /// Overlay maintenance (static vs maintained at equal churn)
+    /// configuration.
+    pub fn overlay(self) -> overlay::Config {
+        match self {
+            Scale::Paper => overlay::Config::paper(),
+            Scale::Quick => overlay::Config::smoke(),
         }
     }
 }

@@ -16,6 +16,7 @@
 //! | [`price`] | §1.1/§7 headline — the price of validity |
 //! | [`ablation`] | DESIGN.md A1–A3 — §5.3 optimizations, sketch paths |
 //! | [`adversary`] | beyond the paper — sketch-targeted vs uniform churn at equal budget |
+//! | [`overlay`] | beyond the paper — static graph vs maintained overlay at equal churn |
 
 pub mod ablation;
 pub mod adversary;
@@ -25,5 +26,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod overlay;
 pub mod price;
 pub mod validity;

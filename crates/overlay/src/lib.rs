@@ -1,0 +1,564 @@
+//! Dynamic overlay membership for the Price-of-Validity reproduction:
+//! bounded partial views with periodic shuffles (the HyParView family)
+//! plus probe/indirect-probe/suspicion failure detection (the SWIM
+//! family), packaged as an [`OverlayDriver`] the simulator's event loop
+//! polls each tick.
+//!
+//! The paper (§3.2) treats the network graph as *given* — hosts fail
+//! and join, but the edge set over the survivors is static. Real P2P
+//! deployments maintain that edge set with a membership protocol:
+//! each host keeps a small **active view** of overlay links it routes
+//! over and a larger **passive view** of fallback contacts, refreshed
+//! by shuffles; a failure detector probes neighbours and evicts the
+//! confirmed-dead, and rejoining hosts attach at *new* points rather
+//! than resurrecting their old edges. [`OverlayMaintenance`] implements
+//! that maintenance plane as a deterministic centralized state machine
+//! (the same engineering stance as the simulator's `SketchAdversary`:
+//! one omniscient driver, per-host behaviour emulated in ascending host
+//! order from one seeded RNG), so a maintained-overlay run can be
+//! compared against a static-graph run under *equal churn* — the
+//! validity/cost gap the `repro overlay` experiment reports.
+//!
+//! Determinism rules (the same contract every engine hook obeys):
+//!
+//! * all randomness comes from the driver's own [`SmallRng`], seeded
+//!   from [`OverlayConfig::seed`] — the engine's RNG is never touched;
+//! * hosts are visited in ascending id order, pending probes and
+//!   suspicions expire in insertion order;
+//! * decisions depend only on virtual time, the view's alive flags and
+//!   the overlay's current adjacency — never on wall clock or memory
+//!   addresses.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use pov_sim::{EngineView, OverlayDriver, OverlayEvent, OverlayStats, Time};
+use pov_topology::HostId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs of the maintenance plane. The defaults follow the
+/// usual HyParView/SWIM ballpark scaled to the paper's §6.1 topologies
+/// (average degree ≈ 4): small active views, a passive view a few times
+/// larger, probe rounds a few ticks apart.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverlayConfig {
+    /// Target active-view size: hosts below this overlay degree promote
+    /// passive contacts; hosts above `max(active_degree, base degree)`
+    /// shed a random link.
+    pub active_degree: usize,
+    /// Passive-view capacity per host (fallback contacts only; passive
+    /// entries are not overlay edges).
+    pub passive_degree: usize,
+    /// Ticks between shuffle rounds (passive refresh + promotions).
+    pub shuffle_every: u64,
+    /// Ticks between failure-detector probe rounds.
+    pub probe_every: u64,
+    /// Ticks a (direct or indirect) probe waits for its ack.
+    pub probe_timeout: u64,
+    /// Indirect probes fanned out when a direct probe goes unanswered.
+    pub indirect_probes: usize,
+    /// Ticks a suspicion stays open before it is acted on: a target
+    /// still dead at expiry is evicted, a live one refutes it.
+    pub suspicion_timeout: u64,
+    /// Probability that a probe of a *live* neighbour is lost in the
+    /// network — the SWIM false-positive path. Such a probe escalates
+    /// through the indirect stage into a suspicion that the live target
+    /// then refutes; it is never wrongfully evicted.
+    pub false_positive: f64,
+    /// Seed of the driver's private RNG.
+    pub seed: u64,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            active_degree: 5,
+            passive_degree: 16,
+            shuffle_every: 16,
+            probe_every: 4,
+            probe_timeout: 2,
+            indirect_probes: 2,
+            suspicion_timeout: 4,
+            false_positive: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// A pending failure-detector probe (direct, or the merged indirect
+/// fan-out that follows an unanswered direct one).
+#[derive(Clone, Copy, Debug)]
+struct Probe {
+    due: Time,
+    prober: HostId,
+    target: HostId,
+    /// Whether this record is the indirect stage.
+    indirect: bool,
+    /// The direct probe was lost to the false-positive roll even though
+    /// the target is alive; the blip persists through the indirect
+    /// stage, producing a (refutable) false suspicion.
+    fp: bool,
+}
+
+/// An open suspicion awaiting confirmation or refutation.
+#[derive(Clone, Copy, Debug)]
+struct Suspicion {
+    due: Time,
+    target: HostId,
+}
+
+/// Lazily initialized per-run state (sized on first poll, when the
+/// driver first sees the view).
+struct State {
+    /// Alive flags at the previous poll — the join/fail edge detector.
+    prev_alive: Vec<bool>,
+    /// Hosts the detector confirmed dead and cut out of the overlay.
+    evicted: Vec<bool>,
+    /// Per-host passive view (fallback contacts, not overlay edges).
+    passive: Vec<Vec<HostId>>,
+    probes: Vec<Probe>,
+    suspicions: Vec<Suspicion>,
+}
+
+/// The HyParView/SWIM-style maintenance driver. Install it with
+/// [`SimBuilder::overlay`](pov_sim::SimBuilder::overlay); the engine
+/// polls it every tick through `until` and applies the edge mutations
+/// it emits to the run's [`OverlayView`](pov_topology::OverlayView).
+pub struct OverlayMaintenance {
+    cfg: OverlayConfig,
+    until: Time,
+    rng: SmallRng,
+    stats: OverlayStats,
+    state: Option<State>,
+}
+
+impl OverlayMaintenance {
+    /// A driver that maintains the overlay until `until` (inclusive).
+    /// The bound is what lets `run_to_quiescence` terminate; pick the
+    /// run's horizon.
+    ///
+    /// # Panics
+    /// Panics if `active_degree == 0` or `false_positive` is outside
+    /// `[0, 1]`.
+    pub fn new(cfg: OverlayConfig, until: Time) -> Self {
+        assert!(cfg.active_degree >= 1, "active view must hold an edge");
+        assert!(
+            (0.0..=1.0).contains(&cfg.false_positive),
+            "false_positive is a probability"
+        );
+        OverlayMaintenance {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            until,
+            stats: OverlayStats::default(),
+            state: None,
+        }
+    }
+
+    /// The configuration this driver runs with.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.cfg
+    }
+
+    /// Pick `k` distinct entries from `pool` (partial Fisher–Yates;
+    /// order of the survivors is the draw order).
+    fn sample_k(rng: &mut SmallRng, pool: &mut Vec<HostId>, k: usize) {
+        let k = k.min(pool.len());
+        for i in 0..k {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+    }
+
+    fn init_state(&mut self, view: &EngineView<'_>) -> State {
+        let n = view.alive.len();
+        let mut passive = Vec::with_capacity(n);
+        for h in 0..n {
+            let mut pool: Vec<HostId> = (0..n as u32)
+                .map(HostId)
+                .filter(|&c| c.index() != h && view.alive[c.index()])
+                .collect();
+            Self::sample_k(&mut self.rng, &mut pool, self.cfg.passive_degree);
+            passive.push(pool);
+        }
+        State {
+            prev_alive: view.alive.to_vec(),
+            evicted: vec![false; n],
+            passive,
+            probes: Vec::new(),
+            suspicions: Vec::new(),
+        }
+    }
+}
+
+impl OverlayDriver for OverlayMaintenance {
+    fn next_events(&mut self, now: Time, view: &EngineView<'_>, out: &mut Vec<OverlayEvent>) {
+        if self.state.is_none() {
+            self.state = Some(self.init_state(view));
+        }
+        let n = view.alive.len();
+        let cfg = self.cfg;
+        let mut st = self.state.take().expect("state initialized");
+
+        // (a) Rejoins: hosts that came (back) alive since the last
+        // poll, and evicted hosts found alive again, attach at fresh
+        // points — never by resurrecting their old edge set.
+        for i in 0..n {
+            let h = HostId(i as u32);
+            let joined = view.alive[i] && !st.prev_alive[i];
+            let recovered = view.alive[i] && st.evicted[i];
+            if !joined && !recovered {
+                continue;
+            }
+            st.evicted[i] = false;
+            st.probes.retain(|p| p.prober != h && p.target != h);
+            st.suspicions.retain(|s| s.target != h);
+            let current = view.neighbors(h);
+            let mut pool: Vec<HostId> = (0..n as u32)
+                .map(HostId)
+                .filter(|&c| {
+                    c != h
+                        && view.alive[c.index()]
+                        && !st.evicted[c.index()]
+                        && !current.contains(&c)
+                })
+                .collect();
+            Self::sample_k(&mut self.rng, &mut pool, cfg.active_degree);
+            self.stats.maintenance_msgs += 2 * pool.len() as u64;
+            for &p in &pool {
+                out.push(OverlayEvent::AddEdge(h, p));
+            }
+            self.stats.rejoins += 1;
+        }
+
+        // (b) Expiries, in insertion order. Direct probes of a dead (or
+        // false-positive-lost) target escalate to the indirect stage;
+        // indirect failures raise a suspicion; suspicion expiry evicts
+        // a still-dead target or is refuted by a live one.
+        let mut i = 0;
+        while i < st.probes.len() {
+            if st.probes[i].due > now {
+                i += 1;
+                continue;
+            }
+            let p = st.probes.remove(i);
+            if !view.alive[p.prober.index()] {
+                continue; // the prober itself died; its probe is moot
+            }
+            let target_alive = view.alive[p.target.index()];
+            if !p.indirect {
+                let fp = target_alive && self.rng.gen_bool(cfg.false_positive);
+                if !target_alive || fp {
+                    self.stats.maintenance_msgs += 2 * cfg.indirect_probes as u64;
+                    st.probes.push(Probe {
+                        due: now + cfg.probe_timeout,
+                        indirect: true,
+                        fp,
+                        ..p
+                    });
+                }
+            } else if (!target_alive || p.fp) && !st.suspicions.iter().any(|s| s.target == p.target)
+            {
+                self.stats.suspicions += 1;
+                st.suspicions.push(Suspicion {
+                    due: now + cfg.suspicion_timeout,
+                    target: p.target,
+                });
+            }
+        }
+        let mut i = 0;
+        while i < st.suspicions.len() {
+            if st.suspicions[i].due > now {
+                i += 1;
+                continue;
+            }
+            let s = st.suspicions.remove(i);
+            let t = s.target.index();
+            if view.alive[t] {
+                self.stats.false_suspicions += 1;
+            } else if !st.evicted[t] {
+                st.evicted[t] = true;
+                self.stats.evictions += 1;
+                for &nb in view.neighbors(s.target) {
+                    out.push(OverlayEvent::RemoveEdge(s.target, nb));
+                }
+            }
+        }
+
+        // (c) Probe round: every alive host pings one random overlay
+        // neighbour (it cannot know whether the neighbour is alive —
+        // that is what the probe finds out).
+        if now.ticks() > 0 && now.ticks().is_multiple_of(cfg.probe_every) {
+            for i in 0..n {
+                let h = HostId(i as u32);
+                if !view.alive[i] || st.evicted[i] {
+                    continue;
+                }
+                let nbrs = view.neighbors(h);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let target = nbrs[self.rng.gen_range(0..nbrs.len())];
+                self.stats.probes += 1;
+                self.stats.maintenance_msgs += 2;
+                st.probes.push(Probe {
+                    due: now + cfg.probe_timeout,
+                    prober: h,
+                    target,
+                    indirect: false,
+                    fp: false,
+                });
+            }
+        }
+
+        // (d) Shuffle round: refresh one passive slot per host, promote
+        // passive contacts into underfull active views, shed links past
+        // the active bound.
+        if now.ticks() > 0 && now.ticks().is_multiple_of(cfg.shuffle_every) {
+            self.stats.shuffles += 1;
+            let pool: Vec<HostId> = (0..n as u32)
+                .map(HostId)
+                .filter(|&c| view.alive[c.index()] && !st.evicted[c.index()])
+                .collect();
+            for i in 0..n {
+                let h = HostId(i as u32);
+                if !view.alive[i] || st.evicted[i] {
+                    continue;
+                }
+                self.stats.maintenance_msgs += 2;
+                if !pool.is_empty() {
+                    let cand = pool[self.rng.gen_range(0..pool.len())];
+                    if cand != h && !st.passive[i].contains(&cand) {
+                        if st.passive[i].len() >= cfg.passive_degree && !st.passive[i].is_empty() {
+                            let slot = self.rng.gen_range(0..st.passive[i].len());
+                            st.passive[i][slot] = cand;
+                        } else {
+                            st.passive[i].push(cand);
+                        }
+                    }
+                }
+                let deg = view.degree(h);
+                if deg < cfg.active_degree {
+                    let nbrs = view.neighbors(h);
+                    if let Some(&p) = st.passive[i].iter().find(|&&p| {
+                        p != h
+                            && view.alive[p.index()]
+                            && !st.evicted[p.index()]
+                            && !nbrs.contains(&p)
+                    }) {
+                        out.push(OverlayEvent::AddEdge(h, p));
+                    }
+                } else if deg > cfg.active_degree.max(view.graph.degree(h)) {
+                    let nbrs = view.neighbors(h);
+                    let drop = nbrs[self.rng.gen_range(0..nbrs.len())];
+                    out.push(OverlayEvent::RemoveEdge(h, drop));
+                }
+            }
+        }
+
+        st.prev_alive.copy_from_slice(view.alive);
+        self.state = Some(st);
+    }
+
+    fn next_poll(&self, now: Time) -> Option<Time> {
+        (now < self.until).then(|| now + 1)
+    }
+
+    fn stats(&self) -> OverlayStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pov_sim::{ChurnPlan, Ctx, NodeLogic, SimBuilder};
+    use pov_topology::generators::special;
+    use pov_topology::Graph;
+
+    /// Hosts that do nothing: the overlay maintenance plane is the only
+    /// activity in these runs.
+    struct Idle;
+    impl NodeLogic for Idle {
+        type Msg = ();
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {}
+    }
+
+    fn cfg(seed: u64) -> OverlayConfig {
+        OverlayConfig {
+            active_degree: 2,
+            passive_degree: 6,
+            shuffle_every: 8,
+            probe_every: 2,
+            probe_timeout: 1,
+            indirect_probes: 2,
+            suspicion_timeout: 2,
+            false_positive: 0.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn quiet_cycle_stays_at_base() {
+        // Every host already has degree == active_degree and nobody
+        // dies: probes all ack, shuffles find nothing to promote or
+        // shed, the edge set never moves.
+        let g = special::cycle(8);
+        let mut sim = SimBuilder::new(g.clone())
+            .overlay(OverlayMaintenance::new(cfg(3), Time(40)))
+            .build(|_| Idle);
+        sim.run_until(Time(50));
+        let stats = sim.overlay_stats().unwrap();
+        assert!(stats.probes > 0, "detector ran");
+        assert!(stats.shuffles > 0, "shuffles ran");
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.suspicions, 0);
+        assert_eq!((stats.edges_added, stats.edges_removed), (0, 0));
+        let v = sim.overlay_view().unwrap();
+        for h in g.hosts() {
+            assert_eq!(v.neighbors(h), g.neighbors(h));
+        }
+    }
+
+    #[test]
+    fn dead_host_is_suspected_then_evicted() {
+        let mut sim = SimBuilder::new(special::cycle(8))
+            .churn(ChurnPlan::none().with_failure(Time(3), HostId(3)))
+            .overlay(OverlayMaintenance::new(cfg(7), Time(60)))
+            .build(|_| Idle);
+        sim.run_until(Time(70));
+        let stats = sim.overlay_stats().unwrap();
+        assert!(stats.suspicions >= 1, "probes found the corpse");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.false_suspicions, 0, "fp = 0");
+        let v = sim.overlay_view().unwrap();
+        assert_eq!(v.degree(HostId(3)), 0, "all incident edges dropped");
+        // The survivors healed around the hole: nobody alive is
+        // isolated, and the alive subgraph is one component.
+        let alive: Vec<HostId> = (0..8u32).map(HostId).filter(|&h| sim.is_alive(h)).collect();
+        for &h in &alive {
+            assert!(v.degree(h) >= 1, "host {h:?} healed");
+        }
+        let mut seen = [false; 8];
+        let mut frontier = vec![alive[0]];
+        seen[alive[0].index()] = true;
+        while let Some(h) = frontier.pop() {
+            for &nb in v.neighbors(h) {
+                if sim.is_alive(nb) && !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    frontier.push(nb);
+                }
+            }
+        }
+        assert!(
+            alive.iter().all(|&h| seen[h.index()]),
+            "alive subgraph stayed connected"
+        );
+    }
+
+    #[test]
+    fn false_positives_are_refuted_not_evicted() {
+        let mut c = cfg(11);
+        c.false_positive = 1.0; // every probe of a live host is "lost"
+        let mut sim = SimBuilder::new(special::cycle(6))
+            .overlay(OverlayMaintenance::new(c, Time(40)))
+            .build(|_| Idle);
+        sim.run_until(Time(50));
+        let stats = sim.overlay_stats().unwrap();
+        assert!(stats.suspicions > 0, "the blips raised suspicions");
+        assert!(stats.false_suspicions > 0, "…which live hosts refuted");
+        assert_eq!(stats.evictions, 0, "nobody wrongfully cut");
+        assert_eq!(stats.edges_removed, 0);
+    }
+
+    #[test]
+    fn rejoining_host_attaches_at_new_points() {
+        // The acceptance bar: h4 dies, is evicted, rejoins — and comes
+        // back wired to fresh attachment points chosen by the driver,
+        // not to its old base-CSR neighbourhood.
+        let g = special::cycle(10);
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(4))
+            .with_join(Time(30), HostId(4));
+        let mut sim = SimBuilder::new(g.clone())
+            .churn(churn)
+            .overlay(OverlayMaintenance::new(cfg(5), Time(70)))
+            .build(|_| Idle);
+        sim.run_until(Time(80));
+        let stats = sim.overlay_stats().unwrap();
+        assert!(stats.evictions >= 1, "the corpse was evicted");
+        assert!(stats.rejoins >= 1, "the rejoin was seen");
+        let v = sim.overlay_view().unwrap();
+        let now = v.neighbors(HostId(4));
+        assert!(!now.is_empty(), "attached somewhere");
+        assert_ne!(
+            now,
+            g.neighbors(HostId(4)),
+            "new points, not the old {:?}",
+            g.neighbors(HostId(4))
+        );
+    }
+
+    #[test]
+    fn shuffles_promote_underfull_hosts() {
+        // A chain's endpoints have degree 1 < active_degree 2; shuffle
+        // promotions pull them up.
+        let mut sim = SimBuilder::new(special::chain(8))
+            .overlay(OverlayMaintenance::new(cfg(9), Time(60)))
+            .build(|_| Idle);
+        sim.run_until(Time(70));
+        let stats = sim.overlay_stats().unwrap();
+        assert!(stats.edges_added > 0, "promotions happened");
+        let v = sim.overlay_view().unwrap();
+        for h in 0..8u32 {
+            assert!(v.degree(HostId(h)) >= 2, "host {h} reached the target");
+        }
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let run = || {
+            let churn = ChurnPlan::none()
+                .with_failure(Time(4), HostId(2))
+                .with_failure(Time(9), HostId(7))
+                .with_join(Time(25), HostId(2));
+            let mut sim = SimBuilder::new(special::cycle(12))
+                .churn(churn)
+                .overlay(OverlayMaintenance::new(cfg(42), Time(50)))
+                .build(|_| Idle);
+            sim.run_until(Time(60));
+            let v = sim.overlay_view().unwrap();
+            (sim.overlay_stats().unwrap(), Vec::from_iter(v.edges()))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn config_is_validated() {
+        let bad = OverlayConfig {
+            false_positive: 1.5,
+            ..OverlayConfig::default()
+        };
+        assert!(std::panic::catch_unwind(|| OverlayMaintenance::new(bad, Time(1))).is_err());
+        let zero = OverlayConfig {
+            active_degree: 0,
+            ..OverlayConfig::default()
+        };
+        assert!(std::panic::catch_unwind(|| OverlayMaintenance::new(zero, Time(1))).is_err());
+    }
+
+    #[test]
+    fn base_graph_unaffected_by_maintenance() {
+        let g: Graph = special::chain(6);
+        let mut sim = SimBuilder::new(g.clone())
+            .churn(ChurnPlan::none().with_failure(Time(2), HostId(3)))
+            .overlay(OverlayMaintenance::new(cfg(1), Time(40)))
+            .build(|_| Idle);
+        sim.run_until(Time(50));
+        for h in g.hosts() {
+            assert_eq!(sim.graph().neighbors(h), g.neighbors(h));
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod wildfire;
 
 pub use common::{Aggregate, Operator, Partial, QuerySpec};
 pub use observer::ProtocolObserver;
+pub use pov_overlay::OverlayConfig;
 pub use runner::{AdversarySpec, AdversaryTarget, ContinuousSpec, Outcome, ProtocolKind, RunPlan};
 
 #[cfg(test)]

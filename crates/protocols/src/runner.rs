@@ -11,9 +11,10 @@ use crate::dag::DagNode;
 use crate::gossip::GossipNode;
 use crate::spanning_tree::SpanningTreeNode;
 use crate::wildfire::{WildfireNode, WildfireOpts};
+use pov_overlay::{OverlayConfig, OverlayMaintenance};
 use pov_sim::{
-    ChurnPlan, DelayModel, Medium, Metrics, NodeLogic, PartitionPlan, SimBuilder, Simulation,
-    SketchAdversary, TelemetrySink, Time, Trace,
+    ChurnPlan, DelayModel, Medium, Metrics, NodeLogic, OverlayStats, PartitionPlan, SimBuilder,
+    Simulation, SketchAdversary, TelemetrySink, Time, Trace,
 };
 use pov_topology::{Graph, HostId};
 
@@ -191,6 +192,14 @@ pub struct RunPlan {
     /// of the static `churn` plan; its kills reach the oracle through
     /// the membership trace like any other failure).
     pub adversary: Option<AdversarySpec>,
+    /// Optional overlay maintenance: when set, each run layers a
+    /// mutable overlay over the base graph and an
+    /// [`OverlayMaintenance`] driver (partial views, shuffles,
+    /// SWIM-style failure detection) rewires it while the query
+    /// executes. Every protocol under the plan gets an identically
+    /// configured driver, so overlay evolution is part of the paired
+    /// environment like the churn realization.
+    pub overlay: Option<OverlayConfig>,
     /// Root seed for the run. Protocols sharing one plan share this
     /// stream, so their runs see the *same* churn/delay realization —
     /// the paired-comparison setup the paper's §6 figures need.
@@ -220,6 +229,7 @@ impl RunPlan {
             churn: ChurnPlan::none(),
             partition: None,
             adversary: None,
+            overlay: None,
             seed: 0,
             hq: HostId(0),
             protocols: Vec::new(),
@@ -269,6 +279,15 @@ impl RunPlan {
     /// querying host is always spared.
     pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
         self.adversary = Some(adversary);
+        self
+    }
+
+    /// Maintain a dynamic overlay during each run (see
+    /// [`RunPlan::overlay`] field docs). The driver runs until the
+    /// plan's full horizon — one-shot deadline or the last continuous
+    /// window, whichever is later.
+    pub fn overlay(mut self, overlay: OverlayConfig) -> Self {
+        self.overlay = Some(overlay);
         self
     }
 
@@ -333,10 +352,24 @@ impl RunPlan {
         if let Some(adversary) = &self.adversary {
             b = b.dynamic_churn(adversary.build(self.hq));
         }
+        if let Some(overlay) = self.overlay {
+            b = b.overlay(OverlayMaintenance::new(overlay, self.horizon()));
+        }
         match &self.partition {
             Some(p) => b.partition(p.clone()),
             None => b,
         }
+    }
+
+    /// The plan's full run horizon in ticks: the one-shot deadline, or
+    /// the end of the last continuous window, whichever is later (the
+    /// overlay driver maintains through this instant).
+    fn horizon(&self) -> Time {
+        let oneshot = self.deadline() + 2;
+        let continuous = self
+            .continuous
+            .map_or(0, |c| c.window * c.windows as u64 + 2);
+        Time(oneshot.max(continuous))
     }
 }
 
@@ -353,6 +386,9 @@ pub struct Outcome {
     pub trace: Trace,
     /// Hosts alive when the run ended.
     pub alive_at_end: Vec<bool>,
+    /// Overlay maintenance counters, when the plan maintained one
+    /// ([`RunPlan::overlay`]).
+    pub overlay: Option<OverlayStats>,
 }
 
 impl Outcome {
@@ -380,6 +416,7 @@ fn finish<L: NodeLogic>(
         metrics: sim.metrics().clone(),
         trace: sim.trace().clone(),
         alive_at_end,
+        overlay: sim.overlay_stats(),
     }
 }
 
@@ -604,6 +641,60 @@ mod tests {
             let out = run(kind, &g, &values, &cfg);
             assert_eq!(out.value, Some(10.0), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn overlay_plan_declares_and_reports_stats() {
+        let g = special::cycle(12);
+        let values: Vec<u64> = (0..12).map(|i| 10 + i * 7).collect();
+        let plan = RunPlan::query(Aggregate::Max)
+            .d_hat(6)
+            .overlay(OverlayConfig {
+                probe_every: 2,
+                shuffle_every: 4,
+                ..OverlayConfig::default()
+            })
+            .protocols([ProtocolKind::Wildfire(WildfireOpts::default())]);
+        let out = &run_all(&g, &values, &plan)[0].1;
+        assert_eq!(out.value, Some(87.0));
+        let stats = out
+            .overlay
+            .expect("overlay stats present when plan has overlay");
+        assert!(stats.probes > 0, "driver probed during the run");
+        // A plan without an overlay reports none.
+        let bare = run(
+            ProtocolKind::SpanningTree,
+            &g,
+            &values,
+            &RunPlan::query(Aggregate::Max).d_hat(6),
+        );
+        assert!(bare.overlay.is_none());
+    }
+
+    #[test]
+    fn overlay_evolution_is_paired_across_protocols() {
+        // Two protocols under one overlay-maintaining plan see the same
+        // driver configuration and (absent an adaptive adversary) the
+        // same deterministic overlay evolution.
+        let g = special::cycle(16);
+        let plan = RunPlan::query(Aggregate::Count)
+            .d_hat(8)
+            .churn(ChurnPlan::uniform_failures(
+                16,
+                2,
+                Time(0),
+                Time(16),
+                HostId(0),
+                7,
+            ))
+            .overlay(OverlayConfig::default())
+            .protocols([
+                ProtocolKind::Wildfire(WildfireOpts::default()),
+                ProtocolKind::SpanningTree,
+            ]);
+        let outs = run_all(&g, &[1; 16], &plan);
+        assert_eq!(outs[0].1.trace.events, outs[1].1.trace.events);
+        assert_eq!(outs[0].1.overlay, outs[1].1.overlay);
     }
 
     #[test]

@@ -90,35 +90,49 @@ struct Active {
     partial: Rc<Partial>,
     depth: u32,
     spec: QuerySpec,
-    /// Last partial each neighbour is known to hold (either because it
-    /// sent it to us, or because we sent ours to it), indexed by the
-    /// neighbour's position in this host's sorted CSR neighbour slice —
-    /// a dense array instead of the former `HashMap<HostId, Partial>`,
-    /// so the flush path does no hashing and the "we sent ours" entries
-    /// share the partial's allocation instead of deep-cloning it per
-    /// neighbour.
-    knowledge: Vec<Option<Rc<Partial>>>,
+    /// Last partial each contact is known to hold (either because it
+    /// sent it to us, or because we sent ours to it), as a vec sorted by
+    /// `HostId` — no hashing on the flush path, and the "we sent ours"
+    /// entries share the partial's allocation instead of deep-cloning it
+    /// per neighbour. Keyed by host rather than by neighbour-slot index
+    /// because under an overlay ([`pov_sim::OverlayDriver`]) the
+    /// neighbour set can grow and reorder mid-run; entries for contacts
+    /// that are no longer neighbours simply stop being consulted.
+    knowledge: Vec<(HostId, Rc<Partial>)>,
     flush_scheduled: bool,
 }
 
 impl Active {
-    /// Whether the neighbour at `slot` is known to already hold exactly
-    /// the current partial (Example 5.1's skip rule). Pointer equality
+    /// Whether neighbour `n` is known to already hold exactly the
+    /// current partial (Example 5.1's skip rule). Pointer equality
     /// catches the overwhelmingly common case — the entry aliases the
     /// partial we last sent — before falling back to deep comparison.
-    fn synced(&self, slot: usize) -> bool {
-        self.knowledge[slot]
-            .as_ref()
-            .is_some_and(|k| Rc::ptr_eq(k, &self.partial) || **k == *self.partial)
+    fn synced(&self, n: HostId) -> bool {
+        self.knowledge
+            .binary_search_by_key(&n, |e| e.0)
+            .is_ok_and(|i| {
+                let k = &self.knowledge[i].1;
+                Rc::ptr_eq(k, &self.partial) || **k == *self.partial
+            })
     }
 
-    /// Join `incoming` into what neighbour `slot` is known to hold
+    /// Join `incoming` into what neighbour `n` is known to hold
     /// (copy-on-write: don't overwrite — reliable links mean the sender
     /// still holds everything we sent it earlier).
-    fn absorb(&mut self, slot: usize, incoming: &Rc<Partial>) {
-        match &mut self.knowledge[slot] {
-            Some(k) => Rc::make_mut(k).combine(incoming),
-            slot @ None => *slot = Some(Rc::clone(incoming)),
+    fn absorb(&mut self, n: HostId, incoming: &Rc<Partial>) {
+        match self.knowledge.binary_search_by_key(&n, |e| e.0) {
+            Ok(i) => Rc::make_mut(&mut self.knowledge[i].1).combine(incoming),
+            Err(i) => self.knowledge.insert(i, (n, Rc::clone(incoming))),
+        }
+    }
+
+    /// Note that neighbour `n` now holds exactly the current partial
+    /// (we just sent it to them).
+    fn record(&mut self, n: HostId) {
+        let p = Rc::clone(&self.partial);
+        match self.knowledge.binary_search_by_key(&n, |e| e.0) {
+            Ok(i) => self.knowledge[i].1 = p,
+            Err(i) => self.knowledge.insert(i, (n, p)),
         }
     }
 }
@@ -211,7 +225,7 @@ impl WildfireNode {
             partial: Rc::new(partial),
             depth,
             spec,
-            knowledge: vec![None; ctx.degree()],
+            knowledge: Vec::new(),
             flush_scheduled: false,
         });
         self.query = Some(spec);
@@ -235,9 +249,7 @@ impl WildfireNode {
         // Join, don't overwrite: the sender still holds everything we
         // sent it earlier (reliable links), even if this message was in
         // flight before ours arrived.
-        if let Ok(slot) = ctx.neighbors().binary_search(&from) {
-            active.absorb(slot, &incoming);
-        }
+        active.absorb(from, &incoming);
         if !active.flush_scheduled {
             active.flush_scheduled = true;
             ctx.set_timer_at_tick_end(TIMER_FLUSH);
@@ -262,19 +274,19 @@ impl WildfireNode {
         }
         let neighbors = ctx.neighbors();
         if ctx.medium() == Medium::Radio {
-            if (0..neighbors.len()).all(|slot| active.synced(slot)) {
+            if neighbors.iter().all(|&n| active.synced(n)) {
                 return;
             }
             // One transmission reaches everyone; all neighbours now know.
             ctx.broadcast(WfMsg::Converge {
                 partial: Rc::clone(&active.partial),
             });
-            for slot in active.knowledge.iter_mut() {
-                *slot = Some(Rc::clone(&active.partial));
+            for &n in neighbors {
+                active.record(n);
             }
         } else {
-            for (slot, &n) in neighbors.iter().enumerate() {
-                if active.synced(slot) {
+            for &n in neighbors {
+                if active.synced(n) {
                     continue;
                 }
                 ctx.send(
@@ -283,7 +295,7 @@ impl WildfireNode {
                         partial: Rc::clone(&active.partial),
                     },
                 );
-                active.knowledge[slot] = Some(Rc::clone(&active.partial));
+                active.record(n);
             }
         }
     }
@@ -323,8 +335,8 @@ impl NodeLogic for WildfireNode {
             });
         }
         // Everyone we just reached has our current partial.
-        for slot in active.knowledge.iter_mut() {
-            *slot = Some(Rc::clone(&active.partial));
+        for &n in ctx.neighbors() {
+            active.record(n);
         }
     }
 
@@ -347,9 +359,7 @@ impl NodeLogic for WildfireNode {
                     if let Some(p) = partial {
                         let active = self.active.as_mut().expect("just activated");
                         Rc::make_mut(&mut active.partial).combine_check(&p);
-                        if let Ok(slot) = ctx.neighbors().binary_search(&from) {
-                            active.absorb(slot, &p);
-                        }
+                        active.absorb(from, &p);
                     }
                     let piggyback = self.opts.piggyback;
                     let active = self.active.as_mut().expect("just activated");
@@ -361,9 +371,9 @@ impl NodeLogic for WildfireNode {
                     let radio = ctx.medium() == Medium::Radio;
                     ctx.broadcast_except(Some(from), fwd);
                     if piggyback {
-                        for (slot, &n) in ctx.neighbors().iter().enumerate() {
+                        for &n in ctx.neighbors() {
                             if n != from || radio {
-                                active.knowledge[slot] = Some(Rc::clone(&active.partial));
+                                active.record(n);
                             }
                         }
                     }

@@ -17,7 +17,7 @@
 use crate::json::Json;
 use crate::spec::{ChurnSpec, Scenario};
 use pov_core::judged::judged_plan;
-use pov_core::pov_protocols::{AdversarySpec as PlanAdversarySpec, RunPlan};
+use pov_core::pov_protocols::{AdversarySpec as PlanAdversarySpec, OverlayConfig, RunPlan};
 use pov_core::pov_sim::{ChurnPlan, PartitionPlan, PhaseSchedule, Time};
 use pov_core::pov_topology::{analysis, Graph, HostId};
 use pov_core::workload;
@@ -482,6 +482,10 @@ pub(crate) fn cell_plan(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) 
     );
     let churn_seed: u64 = stream.gen();
     let sim_seed: u64 = stream.gen();
+    // Drawn strictly after the churn and sim seeds, and only when the
+    // scenario has an [overlay] section — overlay-free scenarios keep
+    // their exact historical seed streams (byte-identical reports).
+    let overlay_seed: Option<u64> = scn.overlay.map(|_| stream.gen());
     // Churn/partition windows are fractions of the regime span in
     // *ticks*: the `2·D̂·δ` deadline, or the full multi-window horizon.
     let deadline = 2 * prep.d_hat as u64 * scn.delay.bound();
@@ -520,6 +524,12 @@ pub(crate) fn cell_plan(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) 
             tick(a.start),
             tick(a.until),
         ));
+    }
+    if let Some(ov) = &scn.overlay {
+        plan = plan.overlay(OverlayConfig {
+            seed: overlay_seed.expect("drawn when [overlay] present"),
+            ..ov.config
+        });
     }
     if let Some(c) = &scn.continuous {
         plan = plan.continuous(window_ticks(c, deadline), c.windows);
@@ -754,6 +764,7 @@ mod tests {
             adversary: None,
             continuous: None,
             telemetry: None,
+            overlay: None,
             seeds: vec![1, 2, 3],
             repetitions: 2,
         }
@@ -1171,6 +1182,49 @@ mod tests {
         let json = report.to_json().render();
         assert!(json.contains("\"phase\": \"growth\""), "{json}");
         assert_eq!(json, run_batch(&scn, 4).to_json().render());
+    }
+
+    #[test]
+    fn overlay_scenario_runs_and_stays_deterministic() {
+        let mut scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.15,
+            window: (0.0, 1.0),
+        });
+        scn.overlay = Some(crate::spec::OverlaySpec {
+            config: OverlayConfig::default(),
+        });
+        let report = run_batch(&scn, 2);
+        assert_eq!(report.runs, 6);
+        // hq never dies, and the overlay starts as a copy of the base
+        // topology, so every run still declares.
+        assert_eq!(report.declared_fraction, 1.0);
+        // The headline determinism contract extends to maintained
+        // overlays: byte-identical reports for any --threads value.
+        assert_eq!(
+            run_batch(&scn, 1).to_json().render(),
+            run_batch(&scn, 8).to_json().render()
+        );
+    }
+
+    #[test]
+    fn overlay_seed_varies_per_cell_but_not_per_protocol() {
+        // Two protocols under one overlay scenario stay paired: same
+        // cell → same overlay seed → same maintained-overlay evolution.
+        let mut scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.15,
+            window: (0.0, 1.0),
+        });
+        scn.overlay = Some(crate::spec::OverlaySpec {
+            config: OverlayConfig::default(),
+        });
+        scn.protocols = vec![ProtocolSpec::Wildfire, ProtocolSpec::SpanningTree];
+        let report = run_batch(&scn, 2);
+        let wf = report.section("WILDFIRE").expect("section");
+        let st = report.section("SPANNINGTREE").expect("section");
+        for (a, b) in wf.records.iter().zip(&st.records) {
+            assert_eq!((a.seed, a.rep, a.window), (b.seed, b.rep, b.window));
+            assert_eq!(a.hu, b.hu, "seed {} rep {}", a.seed, a.rep);
+        }
     }
 
     #[test]

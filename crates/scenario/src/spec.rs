@@ -11,7 +11,7 @@
 use crate::parse::{Doc, Entry, ParseError, Section, Value};
 use pov_core::pov_protocols::allreport::ReportRouting;
 use pov_core::pov_protocols::wildfire::WildfireOpts;
-use pov_core::pov_protocols::{Aggregate, ProtocolKind};
+use pov_core::pov_protocols::{Aggregate, OverlayConfig, ProtocolKind};
 use pov_core::pov_sim::{DelayModel, Medium, PhaseKind};
 use pov_core::pov_topology::generators::TopologyKind;
 
@@ -236,6 +236,22 @@ impl Default for TelemetrySpec {
     }
 }
 
+/// An `[overlay]` section: maintain a dynamic overlay (HyParView-style
+/// partial views + SWIM-style failure detection, see
+/// `pov_overlay::OverlayMaintenance`) over the base topology during
+/// every run. Unlike `[telemetry]`, the section *does* change what a
+/// scenario reports — protocols route over the maintained overlay
+/// instead of the static graph. The driver's RNG seed is not a file
+/// key: like the churn and simulation seeds, it is derived
+/// deterministically from each cell's root seed, so repetitions explore
+/// independent overlay evolutions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverlaySpec {
+    /// The parsed maintenance knobs; `seed` is always 0 here and is
+    /// replaced per cell by the batch runner.
+    pub config: OverlayConfig,
+}
+
 /// A fully specified, runnable scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -282,6 +298,9 @@ pub struct Scenario {
     /// Optional `[telemetry]` knobs for the trace runner (never affects
     /// reports).
     pub telemetry: Option<TelemetrySpec>,
+    /// Optional `[overlay]` maintenance layered over the base topology
+    /// (affects reports: protocols route over the evolving overlay).
+    pub overlay: Option<OverlaySpec>,
     /// Root seeds; the batch runs `seeds × repetitions`.
     pub seeds: Vec<u64>,
     /// Repetitions per seed.
@@ -340,6 +359,7 @@ impl Scenario {
             "adversary",
             "continuous",
             "telemetry",
+            "overlay",
             "run",
         ];
         for s in &doc.sections {
@@ -768,6 +788,71 @@ impl Scenario {
             }
         };
 
+        let overlay = match doc.section("overlay") {
+            None => None,
+            Some(_) => {
+                let ov = Keys::over(doc, "overlay")?;
+                let defaults = OverlayConfig::default();
+                let active_degree = ov
+                    .opt_usize("active_degree")?
+                    .unwrap_or(defaults.active_degree);
+                if active_degree == 0 {
+                    return Err(ov.err("active_degree", "active view needs >= 1 slot"));
+                }
+                let passive_degree = ov
+                    .opt_usize("passive_degree")?
+                    .unwrap_or(defaults.passive_degree);
+                let shuffle_every = ov
+                    .opt_u64("shuffle_every")?
+                    .unwrap_or(defaults.shuffle_every);
+                if shuffle_every == 0 {
+                    return Err(ov.err("shuffle_every", "shuffle cadence must be >= 1 tick"));
+                }
+                let probe_every = ov.opt_u64("probe_every")?.unwrap_or(defaults.probe_every);
+                if probe_every == 0 {
+                    return Err(ov.err("probe_every", "probe cadence must be >= 1 tick"));
+                }
+                let probe_timeout = ov
+                    .opt_u64("probe_timeout")?
+                    .unwrap_or(defaults.probe_timeout);
+                if probe_timeout == 0 {
+                    return Err(ov.err("probe_timeout", "probe timeout must be >= 1 tick"));
+                }
+                let indirect_probes = ov
+                    .opt_usize("indirect_probes")?
+                    .unwrap_or(defaults.indirect_probes);
+                let suspicion_timeout = ov
+                    .opt_u64("suspicion_timeout")?
+                    .unwrap_or(defaults.suspicion_timeout);
+                if suspicion_timeout == 0 {
+                    return Err(ov.err("suspicion_timeout", "suspicion timeout must be >= 1 tick"));
+                }
+                let false_positive = ov
+                    .opt_f64("false_positive")?
+                    .unwrap_or(defaults.false_positive);
+                if !(0.0..=1.0).contains(&false_positive) {
+                    return Err(ov.err(
+                        "false_positive",
+                        format!("false_positive {false_positive} outside [0, 1]"),
+                    ));
+                }
+                ov.finish()?;
+                Some(OverlaySpec {
+                    config: OverlayConfig {
+                        active_degree,
+                        passive_degree,
+                        shuffle_every,
+                        probe_every,
+                        probe_timeout,
+                        indirect_probes,
+                        suspicion_timeout,
+                        false_positive,
+                        seed: 0,
+                    },
+                })
+            }
+        };
+
         let continuous = match doc.section("continuous") {
             None => None,
             Some(_) => {
@@ -824,6 +909,7 @@ impl Scenario {
             adversary,
             continuous,
             telemetry,
+            overlay,
             seeds,
             repetitions,
         })
@@ -882,9 +968,13 @@ impl<'a> Keys<'a> {
     fn over(doc: &'a Doc, name: &'a str) -> Result<Keys<'a>, ParseError> {
         let section = doc.section(name);
         match (name, &section) {
-            // [medium], [churn], [partition], [adversary], [continuous]
-            // and [telemetry] are optional; the rest must exist.
-            ("medium" | "churn" | "partition" | "adversary" | "continuous" | "telemetry", _)
+            // [medium], [churn], [partition], [adversary], [continuous],
+            // [telemetry] and [overlay] are optional; the rest must exist.
+            (
+                "medium" | "churn" | "partition" | "adversary" | "continuous" | "telemetry"
+                | "overlay",
+                _,
+            )
             | (_, Some(_)) => Ok(Keys {
                 line: section.map_or(0, |s| s.line),
                 section,
@@ -1538,6 +1628,61 @@ seeds = [1]
         assert!(err.msg.contains("unknown key"), "{}", err.msg);
         // Not repeatable, like every other single-reader section.
         let err = Scenario::from_str(&format!("{GOOD}\n[[telemetry]]\nsummary_every = 4"))
+            .expect_err("array form");
+        assert!(err.msg.contains("not repeatable"), "{}", err.msg);
+    }
+
+    #[test]
+    fn overlay_section_parses_and_validates() {
+        // Absent section → no overlay (reports are byte-identical to
+        // the pre-overlay grammar).
+        let s = Scenario::from_str(GOOD).expect("valid");
+        assert_eq!(s.overlay, None);
+        // Present but empty → the driver's documented defaults with a
+        // zero placeholder seed (the batch runner injects per-cell
+        // seeds).
+        let s = Scenario::from_str(&format!("{GOOD}\n[overlay]")).expect("valid");
+        assert_eq!(
+            s.overlay,
+            Some(OverlaySpec {
+                config: OverlayConfig {
+                    seed: 0,
+                    ..OverlayConfig::default()
+                }
+            })
+        );
+        // Explicit knobs.
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[overlay]\nactive_degree = 3\npassive_degree = 8\nshuffle_every = 6\n\
+             probe_every = 2\nprobe_timeout = 1\nindirect_probes = 1\nsuspicion_timeout = 3\n\
+             false_positive = 0.05"
+        ))
+        .expect("valid");
+        let cfg = s.overlay.unwrap().config;
+        assert_eq!(cfg.active_degree, 3);
+        assert_eq!(cfg.passive_degree, 8);
+        assert_eq!(cfg.shuffle_every, 6);
+        assert_eq!(cfg.probe_every, 2);
+        assert_eq!(cfg.probe_timeout, 1);
+        assert_eq!(cfg.indirect_probes, 1);
+        assert_eq!(cfg.suspicion_timeout, 3);
+        assert_eq!(cfg.false_positive, 0.05);
+        // Degenerate cadences and out-of-range rates are rejected.
+        let err = Scenario::from_str(&format!("{GOOD}\n[overlay]\nactive_degree = 0"))
+            .expect_err("zero active view");
+        assert!(err.msg.contains(">= 1 slot"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[overlay]\nprobe_every = 0"))
+            .expect_err("zero cadence");
+        assert!(err.msg.contains(">= 1 tick"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[overlay]\nfalse_positive = 1.5"))
+            .expect_err("bad rate");
+        assert!(err.msg.contains("outside [0, 1]"), "{}", err.msg);
+        // There is no `seed` key: seeds come from [run], per cell.
+        let err =
+            Scenario::from_str(&format!("{GOOD}\n[overlay]\nseed = 7")).expect_err("seed key");
+        assert!(err.msg.contains("unknown key 'seed'"), "{}", err.msg);
+        // Not repeatable, like every other single-reader section.
+        let err = Scenario::from_str(&format!("{GOOD}\n[[overlay]]\nactive_degree = 3"))
             .expect_err("array form");
         assert!(err.msg.contains("not repeatable"), "{}", err.msg);
     }

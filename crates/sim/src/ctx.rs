@@ -4,12 +4,14 @@ use crate::delay::DelayModel;
 use crate::engine::Medium;
 use crate::event::{EventQueue, Payload};
 use crate::metrics::Metrics;
+use crate::overlay::TopoRef;
 use crate::Time;
-use pov_topology::{Graph, HostId};
+use pov_topology::HostId;
 use rand::rngs::SmallRng;
 
-/// Everything a host may do while handling an event: inspect its static
-/// neighbourhood, send messages, set timers and draw randomness.
+/// Everything a host may do while handling an event: inspect its
+/// current neighbourhood, send messages, set timers and draw
+/// randomness.
 ///
 /// Deliberately *not* exposed: other hosts' state, liveness of
 /// neighbours (hosts cannot observe failures instantaneously in the
@@ -17,7 +19,7 @@ use rand::rngs::SmallRng;
 pub struct Ctx<'a, M> {
     pub(crate) now: Time,
     pub(crate) me: HostId,
-    pub(crate) graph: &'a Graph,
+    pub(crate) topo: TopoRef<'a>,
     pub(crate) queue: &'a mut EventQueue<M>,
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) medium: Medium,
@@ -40,26 +42,42 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.me
     }
 
-    /// Static neighbour list `N(me)` from the topology. A neighbour may
-    /// have failed; sends to it are silently lost, exactly as a message
-    /// to a crashed host would be.
+    /// Neighbour list `N(me)` from the topology — the base graph's, or
+    /// the maintained overlay's current merged adjacency when an
+    /// [`OverlayDriver`](crate::OverlayDriver) is installed. A
+    /// neighbour may have failed; sends to it are silently lost,
+    /// exactly as a message to a crashed host would be.
     #[inline]
     pub fn neighbors(&self) -> &'a [HostId] {
-        self.graph.neighbors(self.me)
+        self.topo.neighbors(self.me)
     }
 
     /// Degree of this host.
     #[inline]
     pub fn degree(&self) -> usize {
-        self.graph.degree(self.me)
+        self.topo.degree(self.me)
     }
 
     /// Send `msg` to a single neighbour. Costs one message in both media
     /// (§3.1: sensors address unicast messages by MAC id; non-recipients
     /// drop them in hardware at no processing cost).
+    ///
+    /// Under a maintained overlay the target may be a *stale contact*:
+    /// a host whose link the overlay has torn down since the sender
+    /// learned of it (an eviction, a shuffle shed). Such a send is lost
+    /// on the floor — the sender still pays the message cost, exactly
+    /// like a send to a crashed host. On a static topology a
+    /// non-neighbour target is a protocol bug and asserts in debug
+    /// builds.
     pub fn send(&mut self, to: HostId, msg: M) {
+        if let TopoRef::Overlay(view) = self.topo {
+            if !view.has_edge(self.me, to) {
+                self.metrics.record_send(self.now);
+                return;
+            }
+        }
         debug_assert!(
-            self.graph.has_edge(self.me, to),
+            self.topo.has_edge(self.me, to),
             "{:?} tried to send to non-neighbor {:?}",
             self.me,
             to
@@ -97,7 +115,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
             Medium::Radio => {
                 self.metrics.record_send(self.now);
                 let d = self.delay.sample(self.rng);
-                for &n in self.graph.neighbors(self.me) {
+                for &n in self.topo.neighbors(self.me) {
                     self.queue.push(
                         self.now + d,
                         Payload::Deliver {
@@ -110,7 +128,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
                 }
             }
             Medium::PointToPoint => {
-                let neighbors = self.graph.neighbors(self.me);
+                let neighbors = self.topo.neighbors(self.me);
                 for &n in neighbors {
                     if Some(n) == skip {
                         continue;
@@ -147,7 +165,14 @@ impl<'a, M: Clone> Ctx<'a, M> {
                 self.metrics.record_send(self.now);
                 let d = self.delay.sample(self.rng);
                 for &to in targets {
-                    debug_assert!(self.graph.has_edge(self.me, to));
+                    // Same stale-contact rule as `send`: a target the
+                    // overlay has unlinked is simply out of radio range.
+                    if let TopoRef::Overlay(view) = self.topo {
+                        if !view.has_edge(self.me, to) {
+                            continue;
+                        }
+                    }
+                    debug_assert!(self.topo.has_edge(self.me, to));
                     self.queue.push(
                         self.now + d,
                         Payload::Deliver {

@@ -25,7 +25,7 @@
 
 use crate::churn::ChurnPlan;
 use crate::time::Time;
-use pov_topology::{Graph, HostId};
+use pov_topology::{Graph, HostId, OverlayView};
 
 /// A host's observable protocol state, as exposed to [`ChurnSource`]s
 /// through [`EngineView`]. Protocol crates fill it in via
@@ -59,8 +59,14 @@ pub enum ChurnEvent {
 pub struct EngineView<'a> {
     /// Current virtual time.
     pub now: Time,
-    /// The topology.
+    /// The *base* topology (the CSR the simulation was built over).
     pub graph: &'a Graph,
+    /// The maintained overlay, when an
+    /// [`OverlayDriver`](crate::OverlayDriver) is installed. Prefer the
+    /// accessor methods ([`EngineView::neighbors`] and friends), which
+    /// serve the overlay's current merged adjacency when present and
+    /// fall back to the base CSR otherwise.
+    pub overlay: Option<&'a OverlayView>,
     /// Omniscient alive flags, indexed by host.
     pub alive: &'a [bool],
     /// Per-host protocol state summaries, indexed by host. Failed hosts
@@ -68,10 +74,39 @@ pub struct EngineView<'a> {
     pub summaries: &'a [StateSummary],
 }
 
-impl EngineView<'_> {
+impl<'a> EngineView<'a> {
     /// Number of currently alive hosts.
     pub fn num_alive(&self) -> usize {
         self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// `h`'s current neighbours: the overlay's merged adjacency when an
+    /// overlay is maintained, the base CSR otherwise. Sources that
+    /// react to the topology must read through this (not
+    /// [`EngineView::graph`]) or they will act on stale edges.
+    pub fn neighbors(&self, h: HostId) -> &'a [HostId] {
+        match self.overlay {
+            Some(v) => v.neighbors(h),
+            None => self.graph.neighbors(h),
+        }
+    }
+
+    /// `h`'s current degree (overlay-aware, like
+    /// [`EngineView::neighbors`]).
+    pub fn degree(&self, h: HostId) -> usize {
+        match self.overlay {
+            Some(v) => v.degree(h),
+            None => self.graph.degree(h),
+        }
+    }
+
+    /// Whether the undirected edge `(a, b)` currently exists
+    /// (overlay-aware, like [`EngineView::neighbors`]).
+    pub fn has_edge(&self, a: HostId, b: HostId) -> bool {
+        match self.overlay {
+            Some(v) => v.has_edge(a, b),
+            None => self.graph.has_edge(a, b),
+        }
     }
 }
 
@@ -279,6 +314,7 @@ mod tests {
         EngineView {
             now,
             graph,
+            overlay: None,
             alive,
             summaries,
         }

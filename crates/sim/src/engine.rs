@@ -8,10 +8,11 @@ use crate::dynamic::{ChurnEvent, ChurnSource, EngineView, StateSummary};
 use crate::event::{EventQueue, Payload};
 use crate::metrics::Metrics;
 use crate::node::NodeLogic;
+use crate::overlay::{compact_threshold, OverlayDriver, OverlayEvent, OverlayStats, TopoRef};
 use crate::sink::{TelemetrySink, TickSample};
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
-use pov_topology::{Graph, HostId};
+use pov_topology::{Graph, HostId, OverlayView};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::borrow::Cow;
@@ -34,6 +35,7 @@ pub struct SimBuilder<'g> {
     delay: DelayModel,
     churn: ChurnPlan,
     dynamic: Option<Box<dyn ChurnSource>>,
+    overlay: Option<Box<dyn OverlayDriver>>,
     partition: Option<PartitionPlan>,
     seed: u64,
     tele: Option<&'g mut (dyn TelemetrySink + 'static)>,
@@ -63,6 +65,7 @@ impl<'g> SimBuilder<'g> {
             delay: DelayModel::default(),
             churn: ChurnPlan::none(),
             dynamic: None,
+            overlay: None,
             partition: None,
             seed: 0,
             tele: None,
@@ -96,6 +99,19 @@ impl<'g> SimBuilder<'g> {
     /// plan's failures and joins apply first, then the source's.
     pub fn dynamic_churn(mut self, source: impl ChurnSource + 'static) -> Self {
         self.dynamic = Some(Box::new(source));
+        self
+    }
+
+    /// Install an overlay-maintenance driver, polled by the event loop
+    /// while the run executes (default: none). The engine layers a
+    /// mutable [`OverlayView`] over the base graph and applies the edge
+    /// mutations the driver answers with; from then on protocol `Ctx`
+    /// neighbour reads and churn-source [`EngineView`]s serve the
+    /// overlay's current merged adjacency. Within a tick, overlay polls
+    /// run after failures, joins and churn-source polls and before
+    /// message deliveries.
+    pub fn overlay(mut self, driver: impl OverlayDriver + 'static) -> Self {
+        self.overlay = Some(Box::new(driver));
         self
     }
 
@@ -172,6 +188,19 @@ impl<'g> SimBuilder<'g> {
             // First poll at time 0; each poll schedules the next.
             queue.push(Time::ZERO, Payload::ChurnPoll);
         }
+        let overlay = self.overlay.map(|driver| {
+            // The overlay owns a mutable copy of the base CSR; batch
+            // cells that share a borrowed graph still get independent
+            // edge evolution.
+            queue.push(Time::ZERO, Payload::OverlayPoll);
+            OverlayState {
+                view: OverlayView::new(Graph::clone(&self.graph)),
+                driver,
+                buf: Vec::new(),
+                edges_added: 0,
+                edges_removed: 0,
+            }
+        });
         let logic = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
         let mut initially_alive = arena::take_bools(n);
         initially_alive.copy_from_slice(&alive);
@@ -200,6 +229,7 @@ impl<'g> SimBuilder<'g> {
             medium: self.medium,
             delay: self.delay,
             dynamic: self.dynamic,
+            overlay,
             partition: self.partition,
             rng: SmallRng::seed_from_u64(self.seed),
             summaries: arena::take_summaries(n),
@@ -280,6 +310,23 @@ struct TickCounts {
     joins: u64,
     timers: u64,
     frontier: u32,
+    overlay_added: u64,
+    overlay_removed: u64,
+    overlay_suspicions: u64,
+}
+
+/// Engine-side state of a maintained overlay: the mutable view layered
+/// over the base CSR, the installed driver, and reused poll scratch.
+struct OverlayState {
+    view: OverlayView,
+    driver: Box<dyn OverlayDriver>,
+    /// Reused per-poll scratch: the driver's mutation wave.
+    buf: Vec<OverlayEvent>,
+    /// Engine-applied undirected edge additions (idempotent no-ops
+    /// excluded).
+    edges_added: u64,
+    /// Engine-applied undirected edge removals.
+    edges_removed: u64,
 }
 
 /// Telemetry state carried by a simulation with a sink attached. Lives
@@ -313,6 +360,7 @@ pub struct Simulation<'g, L: NodeLogic> {
     medium: Medium,
     delay: DelayModel,
     dynamic: Option<Box<dyn ChurnSource>>,
+    overlay: Option<OverlayState>,
     partition: Option<PartitionPlan>,
     rng: SmallRng,
     tele: Option<Telemetry<'g>>,
@@ -427,6 +475,9 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                 joins: t.counts.joins,
                 timers: t.counts.timers,
                 frontier: t.counts.frontier,
+                overlay_added: t.counts.overlay_added,
+                overlay_removed: t.counts.overlay_removed,
+                overlay_suspicions: t.counts.overlay_suspicions,
             };
             t.sink.on_tick(&sample);
             t.counts = TickCounts::default();
@@ -528,6 +579,7 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                 }
             }
             Payload::ChurnPoll => self.poll_churn_source(),
+            Payload::OverlayPoll => self.poll_overlay_driver(),
         }
     }
 
@@ -549,6 +601,7 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         let view = EngineView {
             now: self.now,
             graph: &self.graph,
+            overlay: self.overlay.as_ref().map(|st| &st.view),
             alive: &self.hosts.alive,
             summaries: &self.summaries,
         };
@@ -586,6 +639,69 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         self.dynamic = Some(source);
     }
 
+    /// Poll the overlay-maintenance driver: summarize every host's
+    /// protocol state, hand the driver an [`EngineView`] with the
+    /// overlay's current merged adjacency, apply the edge mutations it
+    /// writes into the (reused) wave buffer, fold the delta back into a
+    /// fresh CSR when it has grown past the compaction threshold, and
+    /// schedule the next poll it asks for.
+    fn poll_overlay_driver(&mut self) {
+        for (slot, logic) in self.summaries.iter_mut().zip(&self.hosts.logic) {
+            *slot = logic.as_ref().expect("logic present").summary();
+        }
+        let Some(st) = self.overlay.as_mut() else {
+            return;
+        };
+        let OverlayState {
+            view,
+            driver,
+            buf,
+            edges_added,
+            edges_removed,
+        } = st;
+        buf.clear();
+        let suspicions_before = driver.stats().suspicions;
+        let engine_view = EngineView {
+            now: self.now,
+            graph: &self.graph,
+            overlay: Some(&*view),
+            alive: &self.hosts.alive,
+            summaries: &self.summaries,
+        };
+        driver.next_events(self.now, &engine_view, buf);
+        let mut added = 0u64;
+        let mut removed = 0u64;
+        for &ev in buf.iter() {
+            match ev {
+                OverlayEvent::AddEdge(a, b) => {
+                    if view.add_edge(a, b) {
+                        added += 1;
+                    }
+                }
+                OverlayEvent::RemoveEdge(a, b) => {
+                    if view.remove_edge(a, b) {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        if view.delta_len() >= compact_threshold(view.num_hosts()) {
+            view.compact();
+        }
+        *edges_added += added;
+        *edges_removed += removed;
+        let suspicions_now = driver.stats().suspicions;
+        if let Some(at) = driver.next_poll(self.now) {
+            assert!(at > self.now, "overlay driver must poll strictly forward");
+            self.queue.push(at, Payload::OverlayPoll);
+        }
+        if let Some(t) = self.tele.as_mut() {
+            t.counts.overlay_added += added;
+            t.counts.overlay_removed += removed;
+            t.counts.overlay_suspicions += suspicions_now - suspicions_before;
+        }
+    }
+
     fn activate(&mut self, h: HostId, activation: Activation<L::Msg>) {
         let mut logic = self.hosts.take_logic(h);
         let chain_depth = match &activation {
@@ -595,7 +711,10 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         let mut ctx = Ctx {
             now: self.now,
             me: h,
-            graph: &self.graph,
+            topo: match &self.overlay {
+                Some(st) => TopoRef::Overlay(&st.view),
+                None => TopoRef::Static(&self.graph),
+            },
             queue: &mut self.queue,
             metrics: &mut self.metrics,
             medium: self.medium,
@@ -644,9 +763,29 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         self.now
     }
 
-    /// The topology.
+    /// The *base* topology the simulation was built over. With an
+    /// overlay driver installed the edges protocols actually route over
+    /// are [`Simulation::overlay_view`]'s, not these.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The maintained overlay's current merged view, when an
+    /// [`OverlayDriver`] is installed.
+    pub fn overlay_view(&self) -> Option<&OverlayView> {
+        self.overlay.as_ref().map(|st| &st.view)
+    }
+
+    /// Overlay maintenance counters: the driver's protocol-level stats
+    /// with the engine-applied edge mutation counts merged in. `None`
+    /// when no driver is installed.
+    pub fn overlay_stats(&self) -> Option<OverlayStats> {
+        self.overlay.as_ref().map(|st| {
+            let mut s = st.driver.stats();
+            s.edges_added = st.edges_added;
+            s.edges_removed = st.edges_removed;
+            s
+        })
     }
 
     /// Collected efficiency metrics (§6.3).
@@ -1346,6 +1485,255 @@ mod tests {
             .expect("a post-failure summary sample");
         assert_eq!(late.1, 3);
         assert_eq!(f64::from_bits(late.2), 3.0);
+    }
+
+    /// Scripted overlay driver: applies the given mutations at their
+    /// ticks, polling every tick through the last scripted one.
+    struct Scripted {
+        /// (tick, mutation) pairs; any order, applied in script order
+        /// within a tick.
+        script: Vec<(u64, OverlayEvent)>,
+    }
+
+    impl OverlayDriver for Scripted {
+        fn next_events(&mut self, now: Time, _: &EngineView<'_>, out: &mut Vec<OverlayEvent>) {
+            out.extend(
+                self.script
+                    .iter()
+                    .filter(|&&(t, _)| t == now.ticks())
+                    .map(|&(_, ev)| ev),
+            );
+        }
+        fn next_poll(&self, now: Time) -> Option<Time> {
+            self.script
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| t > now.ticks())
+                .min()
+                .map(Time)
+        }
+    }
+
+    #[test]
+    fn overlay_noop_driver_does_not_perturb_the_run() {
+        // The zero-feedback bar for the overlay hook, mirroring the
+        // telemetry one: a driver that never mutates an edge leaves the
+        // trace, metrics and per-host state identical to a run without
+        // any driver installed.
+        struct Idle;
+        impl OverlayDriver for Idle {
+            fn next_events(&mut self, _: Time, _: &EngineView<'_>, _: &mut Vec<OverlayEvent>) {}
+            fn next_poll(&self, now: Time) -> Option<Time> {
+                (now < Time(30)).then(|| now + 1)
+            }
+        }
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(3))
+            .with_join(Time(6), HostId(3));
+        let run = |attach: bool| {
+            let b = SimBuilder::new(special::cycle(8))
+                .churn(churn.clone())
+                .seed(5);
+            let b = if attach { b.overlay(Idle) } else { b };
+            let mut sim = b.build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+            sim.run_until(Time(40));
+            (
+                sim.trace().events.clone(),
+                sim.metrics().messages_sent,
+                sim.metrics().total_processed(),
+                sim.metrics().longest_chain,
+                (0..8u32)
+                    .map(|h| sim.logic(HostId(h)).seen_at)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn overlay_mutations_rewire_routing() {
+        // Chain 0-1-2-3. At t=0 (after on_start broadcasts, before any
+        // delivery) the driver splices in (1,3) and severs (2,3): the
+        // flood reaches h3 at t=2 through the new edge, and h2's
+        // forward no longer crosses the removed one.
+        let script = vec![
+            (0, OverlayEvent::AddEdge(HostId(1), HostId(3))),
+            (0, OverlayEvent::RemoveEdge(HostId(2), HostId(3))),
+        ];
+        let mut sim = SimBuilder::new(special::chain(4))
+            .overlay(Scripted { script })
+            .build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.logic(HostId(2)).seen_at, Some(Time(2)));
+        assert_eq!(sim.logic(HostId(3)).seen_at, Some(Time(2)), "via (1,3)");
+        let v = sim.overlay_view().expect("driver installed");
+        assert!(v.has_edge(HostId(1), HostId(3)));
+        assert!(!v.has_edge(HostId(2), HostId(3)));
+        // Base CSR untouched.
+        assert!(sim.graph().has_edge(HostId(2), HostId(3)));
+        let stats = sim.overlay_stats().expect("driver installed");
+        assert_eq!((stats.edges_added, stats.edges_removed), (1, 1));
+    }
+
+    #[test]
+    fn overlay_send_to_stale_contact_is_lost_not_fatal() {
+        // A protocol that cached a contact before the overlay tore the
+        // link down: the unicast is dropped on the floor (still costing
+        // one message), mirroring a send to a crashed host — it must
+        // not trip the static-topology non-neighbour assertion.
+        #[derive(Debug)]
+        struct Stale {
+            me: HostId,
+            got: bool,
+        }
+        impl NodeLogic for Stale {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if self.me == HostId(0) {
+                    ctx.set_timer(2, 0);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: HostId, _: ()) {
+                self.got = true;
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+                ctx.send(HostId(1), ());
+            }
+        }
+        let script = vec![(1, OverlayEvent::RemoveEdge(HostId(0), HostId(1)))];
+        let mut sim = SimBuilder::new(special::chain(2))
+            .overlay(Scripted { script })
+            .build(|h| Stale { me: h, got: false });
+        sim.run_to_quiescence(1_000);
+        assert!(!sim.logic(HostId(1)).got, "torn-down link delivers nothing");
+        assert_eq!(sim.metrics().messages_sent, 1, "the sender still paid");
+    }
+
+    #[test]
+    fn overlay_delta_compacts_back_into_csr() {
+        // Enough mutations to cross the compaction threshold mid-run;
+        // adjacency reads stay correct and the delta ends small.
+        let n = 12u32;
+        let mut script = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                script.push((
+                    u64::from(a) + 1,
+                    OverlayEvent::AddEdge(HostId(a), HostId(b)),
+                ));
+            }
+        }
+        let mut sim = SimBuilder::new(special::cycle(n as usize))
+            .overlay(Scripted { script })
+            .build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+        sim.run_until(Time(n as u64 + 2));
+        let v = sim.overlay_view().unwrap();
+        assert_eq!(v.num_edges(), (n as usize) * (n as usize - 1) / 2);
+        assert!(
+            v.delta_len() < compact_threshold(n as usize),
+            "delta folded back into the CSR"
+        );
+        for a in 0..n {
+            assert_eq!(v.degree(HostId(a)), n as usize - 1);
+        }
+    }
+
+    #[test]
+    fn churn_source_sees_overlay_current_neighbors() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A churn source that snapshots every host's neighbour list at
+        // each poll — through the overlay-aware EngineView methods.
+        type AdjLog = Rc<RefCell<Vec<(u64, Vec<Vec<HostId>>)>>>;
+        struct Snapshot {
+            until: u64,
+            log: AdjLog,
+        }
+        impl ChurnSource for Snapshot {
+            fn next_events(&mut self, now: Time, view: &EngineView<'_>, _: &mut Vec<ChurnEvent>) {
+                let adj = (0..view.alive.len() as u32)
+                    .map(|h| view.neighbors(HostId(h)).to_vec())
+                    .collect();
+                self.log.borrow_mut().push((now.ticks(), adj));
+            }
+            fn next_poll(&self, now: Time) -> Option<Time> {
+                (now.ticks() < self.until).then(|| now + 1)
+            }
+        }
+
+        let script = vec![
+            (1, OverlayEvent::AddEdge(HostId(0), HostId(3))),
+            (2, OverlayEvent::RemoveEdge(HostId(1), HostId(2))),
+            (4, OverlayEvent::AddEdge(HostId(2), HostId(4))),
+        ];
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = SimBuilder::new(special::chain(5))
+            .overlay(Scripted {
+                script: script.clone(),
+            })
+            .dynamic_churn(Snapshot {
+                until: 6,
+                log: Rc::clone(&log),
+            })
+            .build(|_| Flood {
+                origin: false,
+                seen_at: None,
+            });
+        sim.run_until(Time(10));
+
+        // Replay the script into a stand-alone view: within a tick the
+        // churn poll (rank 2) runs before the overlay poll (rank 3), so
+        // at tick t the source must observe exactly the mutations of
+        // ticks < t — the overlay's current adjacency, never the stale
+        // base CSR once mutations exist.
+        let mut expect = OverlayView::new(special::chain(5));
+        for (tick, adj_at_tick) in log.borrow().iter() {
+            for &(t, ev) in &script {
+                if t >= *tick {
+                    continue;
+                }
+                // Idempotent re-apply across log entries is harmless.
+                match ev {
+                    OverlayEvent::AddEdge(a, b) => expect.add_edge(a, b),
+                    OverlayEvent::RemoveEdge(a, b) => expect.remove_edge(a, b),
+                };
+            }
+            let want: Vec<Vec<HostId>> = (0..5u32)
+                .map(|h| expect.neighbors(HostId(h)).to_vec())
+                .collect();
+            assert_eq!(adj_at_tick, &want, "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn overlay_telemetry_counts_view_churn() {
+        let script = vec![
+            (1, OverlayEvent::AddEdge(HostId(0), HostId(2))),
+            (1, OverlayEvent::AddEdge(HostId(0), HostId(2))), // dup: no-op
+            (3, OverlayEvent::RemoveEdge(HostId(0), HostId(1))),
+        ];
+        let mut rec = Recorder::default();
+        let mut sim = SimBuilder::new(special::chain(3))
+            .overlay(Scripted { script })
+            .telemetry(&mut rec)
+            .build(|h| Flood {
+                origin: h == HostId(0),
+                seen_at: None,
+            });
+        sim.run_until(Time(10));
+        drop(sim);
+        assert_eq!(rec.ticks.iter().map(|s| s.overlay_added).sum::<u64>(), 1);
+        assert_eq!(rec.ticks.iter().map(|s| s.overlay_removed).sum::<u64>(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Events are totally ordered by `(time, rank, seq)` — instant first,
 //! then the same-instant rank of the payload (fails < joins < churn
-//! polls < deliveries < timers), then insertion order. The production
+//! polls < overlay polls < deliveries < timers), then insertion order. The production
 //! implementation is a **bucketed calendar queue** ([`BucketQueue`]):
 //! simulation events are overwhelmingly near-future (a send lands
 //! `1..=δ` ticks ahead, a timer at most a deadline ahead), so a ring of
@@ -45,6 +45,9 @@ pub(crate) enum Payload<M> {
     /// Poll the installed dynamic churn source
     /// (`SimBuilder::dynamic_churn`).
     ChurnPoll,
+    /// Poll the installed overlay-maintenance driver
+    /// (`SimBuilder::overlay`).
+    OverlayPoll,
 }
 
 impl<M> Payload<M> {
@@ -54,15 +57,19 @@ impl<M> Payload<M> {
     /// tie-break means a host scheduled for both dies, restarts, and
     /// ends the tick alive), then joins, then churn-source polls (a
     /// dynamically killed host misses the same tick's deliveries, like
-    /// a static failure), then deliveries, then timers (so a deadline
-    /// timer at `t` observes every message arriving at `t`).
+    /// a static failure), then overlay polls (the maintenance plane
+    /// sees the instant's final membership, and a message already in
+    /// flight across a removed edge still delivers this tick), then
+    /// deliveries, then timers (so a deadline timer at `t` observes
+    /// every message arriving at `t`).
     fn rank(&self) -> u8 {
         match self {
             Payload::Fail(_) => 0,
             Payload::Join(_) => 1,
             Payload::ChurnPoll => 2,
-            Payload::Deliver { .. } => 3,
-            Payload::Timer { .. } => 4,
+            Payload::OverlayPoll => 3,
+            Payload::Deliver { .. } => 4,
+            Payload::Timer { .. } => 5,
         }
     }
 }
@@ -159,7 +166,7 @@ type Bucket<M> = VecDeque<(u8, Payload<M>)>;
 /// * After the current bucket is rank-sorted, the engine may still push
 ///   into it — but only tick-end timers can target the current instant
 ///   (sends have delay ≥ 1, `set_timer` clamps to ≥ 1, churn polls move
-///   strictly forward). A timer's rank (4) is the maximum, so appending
+///   strictly forward). A timer's rank (5) is the maximum, so appending
 ///   keeps the bucket sorted; the debug assertion in `push` enforces
 ///   this so any future same-tick event class fails loudly instead of
 ///   silently reordering.
@@ -547,7 +554,7 @@ mod tests {
     /// A compact encodable action stream for the equivalence property:
     /// interleaved pushes (time offset, payload class) and pops.
     fn arb_actions() -> impl Strategy<Value = Vec<(u16, u8, u8)>> {
-        prop::collection::vec((0u16..2_000, 0u8..5, 0u8..2), 1..400)
+        prop::collection::vec((0u16..2_000, 0u8..6, 0u8..2), 1..400)
     }
 
     fn payload_of(class: u8, tag: u8) -> Payload<u8> {
@@ -555,7 +562,8 @@ mod tests {
             0 => Payload::Fail(HostId(u32::from(tag))),
             1 => Payload::Join(HostId(u32::from(tag))),
             2 => Payload::ChurnPoll,
-            3 => Payload::Deliver {
+            3 => Payload::OverlayPoll,
+            4 => Payload::Deliver {
                 to: HostId(u32::from(tag)),
                 from: HostId(0),
                 msg: tag,
@@ -571,7 +579,7 @@ mod tests {
     fn fingerprint(t: Time, p: &Payload<u8>) -> (u64, u8, u32, u8) {
         let (host, msg) = match *p {
             Payload::Fail(h) | Payload::Join(h) => (h.0, 0),
-            Payload::ChurnPoll => (0, 0),
+            Payload::ChurnPoll | Payload::OverlayPoll => (0, 0),
             Payload::Deliver { to, msg, .. } => (to.0, msg),
             Payload::Timer { host, key } => (host.0, key as u8),
         };

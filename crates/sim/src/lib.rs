@@ -23,6 +23,12 @@
 //!   [`NodeLogic::summary`]), which is what adaptive adversaries such
 //!   as the sketch-targeting [`SketchAdversary`] need; every
 //!   [`ChurnPlan`] doubles as the trivial static source.
+//! * [`OverlayDriver`] — overlay *maintenance* decided during the run:
+//!   the event loop polls the installed driver like a churn source and
+//!   applies the edge mutations it answers with to a mutable
+//!   [`OverlayView`](pov_topology::OverlayView) layered over the base
+//!   CSR, so partial-view membership protocols can rewire the topology
+//!   protocols route over while queries execute.
 //! * [`PartitionPlan`] — temporary cuts severing cross-partition
 //!   messages for a window, then healing (disconnection without
 //!   departure).
@@ -62,6 +68,7 @@ mod event;
 pub mod heartbeat;
 mod metrics;
 mod node;
+mod overlay;
 pub mod phase;
 mod sink;
 mod time;
@@ -74,6 +81,7 @@ pub use dynamic::{ChurnEvent, ChurnSource, EngineView, SketchAdversary, StateSum
 pub use engine::{Medium, SimBuilder, Simulation};
 pub use metrics::Metrics;
 pub use node::NodeLogic;
+pub use overlay::{OverlayDriver, OverlayEvent, OverlayStats};
 pub use phase::{LoweredSchedule, Phase, PhaseKind, PhaseSchedule};
 pub use sink::{NullSink, TelemetrySink, TickSample};
 pub use time::Time;

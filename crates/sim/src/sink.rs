@@ -50,6 +50,15 @@ pub struct TickSample {
     /// Wave frontier: *distinct* hosts that processed at least one
     /// delivery during the tick.
     pub frontier: u32,
+    /// Overlay edges added by the maintenance driver during the tick
+    /// (engine-applied; idempotent no-ops excluded). Zero without an
+    /// [`OverlayDriver`](crate::OverlayDriver) installed.
+    pub overlay_added: u64,
+    /// Overlay edges removed by the maintenance driver during the tick.
+    pub overlay_removed: u64,
+    /// Failure-detector suspicions the overlay driver raised during the
+    /// tick.
+    pub overlay_suspicions: u64,
 }
 
 /// A passive observer of engine activity. All methods have no-op

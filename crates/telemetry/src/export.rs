@@ -58,12 +58,14 @@ pub struct TraceDoc {
 }
 
 /// Append one JSONL tick line for `s`, shifted to absolute time by
-/// `offset`.
+/// `offset`. The overlay fields are appended only on ticks where the
+/// maintenance driver acted, so overlay-free recordings render
+/// byte-identically to schema v1 output.
 pub(crate) fn tick_line(out: &mut String, s: &TickSample, offset: u64) {
     out.push_str(&format!(
         "{{\"t\": {}, \"alive\": {}, \"queue\": {}, \"dispatched\": {}, \"delivered\": {}, \
          \"dropped\": {}, \"sent\": {}, \"fails\": {}, \"joins\": {}, \"timers\": {}, \
-         \"frontier\": {}}}\n",
+         \"frontier\": {}",
         offset + s.tick,
         s.alive,
         s.queue_depth,
@@ -76,6 +78,13 @@ pub(crate) fn tick_line(out: &mut String, s: &TickSample, offset: u64) {
         s.timers,
         s.frontier
     ));
+    if s.overlay_added + s.overlay_removed + s.overlay_suspicions > 0 {
+        out.push_str(&format!(
+            ", \"ov_added\": {}, \"ov_removed\": {}, \"ov_suspicions\": {}",
+            s.overlay_added, s.overlay_removed, s.overlay_suspicions
+        ));
+    }
+    out.push_str("}\n");
 }
 
 /// Render `doc` as deterministic JSONL: a [`TRACE_SCHEMA`]-stamped
@@ -206,6 +215,15 @@ pub fn chrome(doc: &TraceDoc) -> String {
                  \"args\": {{\"frontier\": {}, \"delivered\": {}, \"dropped\": {}}}}}",
                 s.frontier, s.delivered, s.dropped
             ));
+            // Overlay counter track only on ticks the maintenance
+            // driver acted — overlay-free traces are unchanged.
+            if s.overlay_added + s.overlay_removed + s.overlay_suspicions > 0 {
+                ev.push(format!(
+                    "{{\"name\": \"overlay\", \"ph\": \"C\", \"ts\": {t}, \"pid\": {pid}, \
+                     \"args\": {{\"added\": {}, \"removed\": {}, \"suspicions\": {}}}}}",
+                    s.overlay_added, s.overlay_removed, s.overlay_suspicions
+                ));
+            }
         }
     }
     let mut out = String::new();
@@ -255,6 +273,8 @@ pub fn summary(doc: &TraceDoc) -> String {
         "sent",
         "fails",
         "joins",
+        "ov_churn",
+        "suspicions",
         "peak_frontier",
         "min_alive",
     ];
@@ -267,6 +287,8 @@ pub fn summary(doc: &TraceDoc) -> String {
         let mut sent = 0u64;
         let mut fails = 0u64;
         let mut joins = 0u64;
+        let mut ov_churn = 0u64;
+        let mut suspicions = 0u64;
         let mut peak_frontier = 0u32;
         let mut min_alive: Option<u32> = None;
         for c in &doc.cells {
@@ -282,6 +304,8 @@ pub fn summary(doc: &TraceDoc) -> String {
                 sent += s.sent;
                 fails += s.fails;
                 joins += s.joins;
+                ov_churn += s.overlay_added + s.overlay_removed;
+                suspicions += s.overlay_suspicions;
                 peak_frontier = peak_frontier.max(s.frontier);
                 min_alive = Some(min_alive.map_or(s.alive, |m| m.min(s.alive)));
             }
@@ -296,6 +320,8 @@ pub fn summary(doc: &TraceDoc) -> String {
             sent.to_string(),
             fails.to_string(),
             joins.to_string(),
+            ov_churn.to_string(),
+            suspicions.to_string(),
             peak_frontier.to_string(),
             min_alive.map_or_else(|| "-".into(), |m| m.to_string()),
         ]);
@@ -433,6 +459,36 @@ mod tests {
         assert!(growth.split_whitespace().any(|w| w == "16"), "min_alive 16");
         assert!(stable.contains("[5, 10)"));
         assert!(stable.split_whitespace().any(|w| w == "15"), "min_alive 15");
+    }
+
+    #[test]
+    fn overlay_fields_appear_only_on_maintenance_ticks() {
+        // Overlay-free documents render without the overlay keys at
+        // all — schema-v1 byte identity for every existing scenario.
+        let quiet = doc();
+        assert!(!jsonl(&quiet).contains("ov_added"));
+        assert!(!chrome(&quiet).contains("\"name\": \"overlay\""));
+
+        let mut d = doc();
+        d.cells[0].series.ticks[1].overlay_added = 2;
+        d.cells[0].series.ticks[1].overlay_removed = 1;
+        d.cells[0].series.ticks[1].overlay_suspicions = 3;
+        let out = jsonl(&d);
+        // Only the maintenance tick carries the keys.
+        let tick_lines: Vec<&str> = out.lines().filter(|l| l.contains("\"t\": ")).collect();
+        assert!(!tick_lines[0].contains("ov_added"));
+        assert!(tick_lines[1].contains("\"ov_added\": 2, \"ov_removed\": 1, \"ov_suspicions\": 3"));
+        assert!(chrome(&d).contains("\"args\": {\"added\": 2, \"removed\": 1, \"suspicions\": 3}"));
+        // The per-phase summary aggregates churn and suspicions; the
+        // maintenance tick (absolute t=7) lands in the stable phase.
+        let stable = summary(&d)
+            .lines()
+            .find(|l| l.starts_with("stable"))
+            .unwrap()
+            .to_string();
+        let cols: Vec<&str> = stable.split_whitespace().collect();
+        assert_eq!(cols[cols.len() - 4], "3", "ov_churn column: {stable}");
+        assert_eq!(cols[cols.len() - 3], "3", "suspicions column: {stable}");
     }
 
     #[test]

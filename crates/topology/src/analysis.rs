@@ -7,7 +7,7 @@
 //! stable path to the querying host. All of those reduce to BFS over
 //! (sub)graphs, implemented here.
 
-use crate::{Graph, HostId};
+use crate::{Graph, HostId, OverlayView};
 use std::collections::VecDeque;
 
 /// Distance value meaning "unreachable".
@@ -176,6 +176,92 @@ pub fn connect_components(g: &Graph) -> (Graph, usize) {
     (b.build(), added)
 }
 
+/// Degree-distribution summary of an [`OverlayView`] snapshot: the
+/// shape of the maintained overlay at one instant, reported by
+/// `repro overlay` and consumed by topology-aware adversaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest degree over all hosts (0 on an empty graph).
+    pub min: usize,
+    /// Largest degree over all hosts.
+    pub max: usize,
+    /// Mean degree `2|E| / |H|`.
+    pub mean: f64,
+    /// Hosts with degree zero — detached hosts the overlay has evicted
+    /// or not yet re-attached.
+    pub isolated: usize,
+    /// `histogram[d]` = number of hosts with degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Degree distribution of the overlay's *current* merged edge set.
+pub fn overlay_degree_summary(v: &OverlayView) -> DegreeSummary {
+    let n = v.num_hosts();
+    let degrees: Vec<usize> = v.hosts().map(|h| v.degree(h)).collect();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    DegreeSummary {
+        min: degrees.iter().copied().min().unwrap_or(0),
+        max,
+        mean: if n == 0 {
+            0.0
+        } else {
+            2.0 * v.num_edges() as f64 / n as f64
+        },
+        isolated: histogram.first().copied().unwrap_or(0),
+        histogram,
+    }
+}
+
+/// Connectivity summary of an [`OverlayView`] snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectivitySummary {
+    /// Number of connected components (isolated hosts count as
+    /// singleton components).
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Whether the snapshot is one connected component.
+    pub connected: bool,
+}
+
+/// Connectivity of the overlay's *current* merged edge set, via BFS
+/// over [`OverlayView::neighbors`] (no CSR materialization).
+pub fn overlay_connectivity(v: &OverlayView) -> ConnectivitySummary {
+    let n = v.num_hosts();
+    let mut seen = vec![false; n];
+    let mut components = 0usize;
+    let mut largest = 0usize;
+    let mut queue = VecDeque::new();
+    for h in v.hosts() {
+        if seen[h.index()] {
+            continue;
+        }
+        components += 1;
+        let mut size = 0usize;
+        seen[h.index()] = true;
+        queue.push_back(h);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &w in v.neighbors(u) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    ConnectivitySummary {
+        components,
+        largest_component: largest,
+        connected: components <= 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +363,52 @@ mod tests {
         let (fixed, added) = connect_components(&g);
         assert_eq!(added, 0);
         assert_eq!(fixed.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn overlay_degree_summary_tracks_the_delta() {
+        let mut v = OverlayView::new(path(4));
+        let s = overlay_degree_summary(&v);
+        assert_eq!((s.min, s.max, s.isolated), (1, 2, 0));
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.histogram, vec![0, 2, 2]);
+        // Evict host 1: its edges vanish, host 0 detaches.
+        v.isolate(HostId(1));
+        let s = overlay_degree_summary(&v);
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.histogram[0], 2);
+    }
+
+    #[test]
+    fn overlay_connectivity_tracks_the_delta() {
+        let mut v = OverlayView::new(path(4));
+        assert_eq!(
+            overlay_connectivity(&v),
+            ConnectivitySummary {
+                components: 1,
+                largest_component: 4,
+                connected: true,
+            }
+        );
+        v.remove_edge(HostId(1), HostId(2));
+        let c = overlay_connectivity(&v);
+        assert_eq!(c.components, 2);
+        assert_eq!(c.largest_component, 2);
+        assert!(!c.connected);
+        // A maintained overlay re-attaching at a new point heals it.
+        v.add_edge(HostId(0), HostId(3));
+        assert!(overlay_connectivity(&v).connected);
+    }
+
+    #[test]
+    fn overlay_summaries_on_empty_view() {
+        let v = OverlayView::new(Graph::with_hosts(0));
+        let s = overlay_degree_summary(&v);
+        assert_eq!((s.min, s.max, s.isolated), (0, 0, 0));
+        let c = overlay_connectivity(&v);
+        assert_eq!(c.components, 0);
+        assert!(c.connected);
     }
 
     #[test]

@@ -11,9 +11,13 @@
 //!   **Random**, **Power-law**, **Grid**) plus the adversarial
 //!   constructions used in the proofs of Theorems 4.1, 4.2 and 4.4 and a
 //!   DHT-style identifier ring used by the §5.4 size estimators;
+//! * [`OverlayView`] — a mutable add/remove delta layered over the CSR
+//!   graph, the substrate for overlay-maintenance protocols whose edges
+//!   evolve during a run (merged reads, periodic compaction);
 //! * [`analysis`] — BFS distances, diameter estimation, connected
 //!   components and alive-subgraph reachability (the building block of the
-//!   oracle's `HC` computation);
+//!   oracle's `HC` computation), plus degree/connectivity summaries of
+//!   an [`OverlayView`] snapshot;
 //! * [`ring`] — a consistent-hashing identifier ring substrate for the
 //!   protocol-specific size estimator of §5.4.
 //!
@@ -34,9 +38,11 @@
 pub mod analysis;
 pub mod generators;
 mod graph;
+mod overlay;
 pub mod ring;
 
 pub use graph::{Graph, GraphBuilder, HostId};
+pub use overlay::OverlayView;
 
 #[cfg(test)]
 mod smoke {
