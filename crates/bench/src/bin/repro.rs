@@ -27,7 +27,7 @@ use pov_core::experiments::{
     ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, overlay, price, validity,
 };
 use pov_core::report::Table;
-use pov_scenario::{run_batch, table_to_json, trace_batch, Json, Scenario};
+use pov_scenario::{run_batch_sharded, table_to_json, trace_batch_sharded, Json, Scenario};
 use pov_telemetry::export;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -54,16 +54,23 @@ repro — regenerate the tables and figures of the paper's §6
 
 USAGE:
     repro [--paper] [--json PATH] [EXPERIMENT]...
-    repro scenario FILE... [--threads N] [--json PATH]
-    repro trace FILE... [--threads N] [--out DIR] [--format jsonl|chrome|summary]
+    repro scenario FILE... [--threads N] [--shard-delivery N] [--json PATH]
+    repro trace FILE... [--threads N] [--shard-delivery N] [--out DIR] [--format jsonl|chrome|summary]
     repro bench [--quick] [--threads N] [--json PATH] [--check BASELINE] [--counters]
     repro bench --overhead [--quick]
+    repro bench --scale [--quick] [--json PATH]
     repro soak [--quick] [--json PATH]
 
 OPTIONS:
     --paper        run experiments at the paper's full §6 sizes (default: quick scale)
     --threads N    worker threads for the scenario batch runner, the trace
                    runner, or the engine bench (default: 1)
+    --shard-delivery N
+                   `repro scenario` / `repro trace` only: shard each tick's
+                   in-simulation delivery batch across N worker threads
+                   (deterministic — output is byte-identical for any N; see
+                   docs/SCALING.md). Composes with '--threads', which
+                   parallelizes across cells rather than within a simulation
     --json PATH    write results as JSON to PATH (experiment rows, scenario reports,
                    or the bench document — default BENCH_engine.json for `bench`;
                    the bench document's per-PR history grows by one entry per run)
@@ -77,6 +84,11 @@ OPTIONS:
     --overhead     `repro bench` only: measure telemetry overhead — two
                    telemetry-disabled passes vs a null-sink pass — and exit
                    non-zero past the 3% budget (see docs/OBSERVABILITY.md)
+    --scale        `repro bench` only: run the host-count ladder (10⁴, 10⁵,
+                   and — without '--quick' — 10⁶ hosts) instead of the fixed
+                   workloads, record events/sec and peak RSS per rung into
+                   the JSON history, and exit non-zero when a rung breaches
+                   the 1 KiB/host RSS ceiling (see docs/SCALING.md)
     --out DIR      `repro trace` only: directory for trace files (default: .)
     --format F     `repro trace` only: emit one exporter's file — jsonl,
                    chrome (trace-event JSON; open in Perfetto), or summary
@@ -99,7 +111,9 @@ struct Opts {
     quick: bool,
     counters: bool,
     overhead: bool,
+    scale: bool,
     threads: Option<usize>,
+    shard_delivery: Option<usize>,
     json: Option<String>,
     check: Option<String>,
     out: Option<String>,
@@ -113,7 +127,9 @@ fn parse_opts(args: &[String]) -> Opts {
         quick: false,
         counters: false,
         overhead: false,
+        scale: false,
         threads: None,
+        shard_delivery: None,
         json: None,
         check: None,
         out: None,
@@ -127,11 +143,18 @@ fn parse_opts(args: &[String]) -> Opts {
             "--quick" => opts.quick = true,
             "--counters" => opts.counters = true,
             "--overhead" => opts.overhead = true,
+            "--scale" => opts.scale = true,
             "--threads" => {
                 let v = it
                     .next()
                     .unwrap_or_else(|| fail("'--threads' expects a value (e.g. --threads 8)"));
-                opts.threads = Some(parse_threads(v));
+                opts.threads = Some(parse_threads("--threads", v));
+            }
+            "--shard-delivery" => {
+                let v = it.next().unwrap_or_else(|| {
+                    fail("'--shard-delivery' expects a thread count (e.g. --shard-delivery 4)")
+                });
+                opts.shard_delivery = Some(parse_threads("--shard-delivery", v));
             }
             "--json" => {
                 let v = it
@@ -171,16 +194,14 @@ fn parse_opts(args: &[String]) -> Opts {
     opts
 }
 
-fn parse_threads(v: &str) -> usize {
+fn parse_threads(flag: &str, v: &str) -> usize {
     match v.parse::<usize>() {
-        Ok(0) => fail("'--threads 0' makes no progress; use at least 1"),
+        Ok(0) => fail(&format!("'{flag} 0' makes no progress; use at least 1")),
         Ok(n) if n > 512 => fail(&format!(
-            "'--threads {n}' is past any plausible core count; use 1..=512"
+            "'{flag} {n}' is past any plausible core count; use 1..=512"
         )),
         Ok(n) => n,
-        Err(_) => fail(&format!(
-            "'--threads' expects a positive integer, got '{v}'"
-        )),
+        Err(_) => fail(&format!("'{flag}' expects a positive integer, got '{v}'")),
     }
 }
 
@@ -221,6 +242,16 @@ fn reject_trace_flags(opts: &Opts, subcommand: &str) {
     }
 }
 
+/// Reject `--shard-delivery` outside the two subcommands that run
+/// simulations through the scenario machinery.
+fn reject_shard_flag(opts: &Opts, subcommand: &str) {
+    if opts.shard_delivery.is_some() {
+        fail(&format!(
+            "'--shard-delivery' applies to `repro scenario` and `repro trace`, not `{subcommand}`"
+        ));
+    }
+}
+
 /// Reject `repro bench`-only telemetry flags elsewhere.
 fn reject_bench_flags(opts: &Opts, subcommand: &str) {
     if opts.counters {
@@ -231,6 +262,11 @@ fn reject_bench_flags(opts: &Opts, subcommand: &str) {
     if opts.overhead {
         fail(&format!(
             "'--overhead' applies to `repro bench`, not `{subcommand}`"
+        ));
+    }
+    if opts.scale {
+        fail(&format!(
+            "'--scale' applies to `repro bench`, not `{subcommand}`"
         ));
     }
 }
@@ -249,19 +285,41 @@ fn bench_main(args: &[String]) {
         ));
     }
     reject_trace_flags(&opts, "repro bench");
+    reject_shard_flag(&opts, "repro bench");
     let mode = if opts.quick {
         BenchMode::Quick
     } else {
         BenchMode::Full
     };
     if opts.overhead {
-        if opts.check.is_some() || opts.counters || opts.json.is_some() || opts.threads.is_some() {
+        if opts.check.is_some()
+            || opts.counters
+            || opts.json.is_some()
+            || opts.threads.is_some()
+            || opts.scale
+        {
             fail(
                 "'--overhead' runs alone (single-threaded, no JSON document): \
                  drop the other bench flags",
             );
         }
         overhead_main(mode);
+        return;
+    }
+    if opts.scale {
+        if opts.check.is_some() {
+            fail(
+                "'--check' compares the fixed workloads against a baseline; the scale \
+                 ladder asserts its own RSS ceiling — run it without '--check'",
+            );
+        }
+        if opts.counters || opts.threads.is_some() {
+            fail(
+                "'--scale' runs the ladder single-threaded without counter replay: \
+                 drop '--counters' / '--threads'",
+            );
+        }
+        scale_main(mode, &opts);
         return;
     }
     let threads = opts.threads.unwrap_or(1);
@@ -378,6 +436,58 @@ fn overhead_main(mode: BenchMode) {
     }
 }
 
+/// `repro bench --scale`: the host-count ladder. Each rung's events/sec
+/// and peak RSS land in the JSON document's history (mode
+/// `scale-quick` / `scale-full`), and a rung breaching the
+/// 1 KiB/host RSS ceiling exits non-zero — the memory gate behind the
+/// million-host claim in docs/SCALING.md.
+fn scale_main(mode: BenchMode, opts: &Opts) {
+    eprintln!(
+        "# engine scale ladder ({} scale, single thread)",
+        mode.label()
+    );
+    let results = engine_bench::run_scale(mode);
+    println!(
+        "{:<12} {:>9} {:>12} {:>10} {:>12} {:>10} {:>9}",
+        "rung", "n", "events", "wall_ms", "events/s", "rss_kb", "kB/host"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>9} {:>12} {:>10.1} {:>12.0} {:>10} {:>9}",
+            r.name,
+            r.n,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.peak_rss_kb.map_or("-".to_string(), |k| k.to_string()),
+            r.peak_rss_kb
+                .map_or("-".to_string(), |k| format!("{:.2}", k as f64 / r.n as f64)),
+        );
+    }
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let prior = std::fs::read_to_string(&path).ok();
+    let label = format!("scale-{}", mode.label());
+    let entry = trajectory::history_entry(&trajectory::git_sha(), &label, 1, &results);
+    let history = trajectory::appended_history(prior.as_deref(), entry);
+    write_json(&path, &engine_bench::to_json(mode, 1, &results, history));
+    let failures = engine_bench::scale_failures(&results);
+    if failures.is_empty() {
+        eprintln!(
+            "[scale ladder passed: RSS ceiling {} KiB/host + {} kB base]",
+            engine_bench::SCALE_RSS_PER_HOST_KB,
+            engine_bench::SCALE_RSS_ALLOWANCE_KB
+        );
+    } else {
+        for f in &failures {
+            eprintln!("SCALE FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 // --------------------------------------------------------------------- soak
 
 fn soak_main(args: &[String]) {
@@ -393,6 +503,7 @@ fn soak_main(args: &[String]) {
     }
     reject_trace_flags(&opts, "repro soak");
     reject_bench_flags(&opts, "repro soak");
+    reject_shard_flag(&opts, "repro soak");
     if !opts.positional.is_empty() {
         fail(&format!(
             "`repro soak` takes no workload arguments (got '{}')",
@@ -489,7 +600,7 @@ fn scenario_main(args: &[String]) {
             }
         };
         let start = Instant::now();
-        let report = run_batch(&scn, threads);
+        let report = run_batch_sharded(&scn, threads, opts.shard_delivery);
         for t in summary_tables(&report) {
             println!("{t}");
         }
@@ -560,7 +671,7 @@ fn trace_main(args: &[String]) {
             }
         };
         let start = Instant::now();
-        let doc = trace_batch(&scn, threads);
+        let doc = trace_batch_sharded(&scn, threads, opts.shard_delivery);
         for fmt in &formats {
             let (ext, rendered) = match *fmt {
                 "jsonl" => ("jsonl", export::jsonl(&doc)),
@@ -667,6 +778,7 @@ fn experiments_main(args: &[String]) {
     }
     reject_trace_flags(&opts, "the experiments");
     reject_bench_flags(&opts, "the experiments");
+    reject_shard_flag(&opts, "the experiments");
     let scale = if opts.paper {
         Scale::Paper
     } else {

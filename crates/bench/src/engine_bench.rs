@@ -329,6 +329,101 @@ pub fn run_threaded(mode: BenchMode, threads: usize) -> Vec<BenchResult> {
         .collect()
 }
 
+// -------------------------------------------------------------------- scale
+
+/// The `repro bench --scale` ladder: host counts per rung, ascending —
+/// `VmHWM` (the RSS probe) is process-monotone, so each rung's reading
+/// reflects its own high-water mark only if nothing larger ran first.
+/// Quick stops at 10⁵ for CI; full adds the million-host rung the
+/// engine's streaming-topology and active-set work exists to serve.
+pub fn scale_sizes(mode: BenchMode) -> Vec<(&'static str, usize)> {
+    let mut sizes = vec![("scale_10k", 10_000), ("scale_100k", 100_000)];
+    if mode == BenchMode::Full {
+        sizes.push(("scale_1m", 1_000_000));
+    }
+    sizes
+}
+
+/// Per-host RSS budget for the scale ladder, in KiB: topology CSR,
+/// per-host protocol state, alive bookkeeping, and the in-flight event
+/// queue together may not average more than this over the rung's hosts.
+pub const SCALE_RSS_PER_HOST_KB: f64 = 1.0;
+
+/// Fixed allowance on top of the per-host budget, in kB: the process
+/// baseline (binary, allocator arenas, and — `VmHWM` being monotone —
+/// the smaller rungs that ran earlier). Dominates only the small rungs,
+/// where per-host asymptotics are not yet the story; at 10⁶ hosts it is
+/// ~3% of the ceiling.
+pub const SCALE_RSS_ALLOWANCE_KB: u64 = 32 * 1024;
+
+/// One rung of the ladder: a single-seed SPANNINGTREE flood +
+/// convergecast on a random topology — every host activates, classifies
+/// its neighbourhood, and reports, so per-host state, delivery fan-out,
+/// and timer pressure all scale with `n` while event counts stay a pure
+/// function of the rung.
+fn scale_workload(name: &'static str, n: usize) -> Workload {
+    Workload {
+        name,
+        n,
+        seeds: 1,
+        protocols: vec![ProtocolKind::SpanningTree],
+        regime: Regime::Static,
+    }
+}
+
+/// Execute the scale ladder, ascending. Rates are best-of-3 below the
+/// million-host rung; that rung runs once — it is seconds long, where
+/// scheduler noise is already amortized, and repeating it would double
+/// the walltime of every CI scale job for a number the `--check` gate
+/// never reads (the ladder is gated on its RSS ceiling, not throughput).
+pub fn run_scale(mode: BenchMode) -> Vec<BenchResult> {
+    scale_sizes(mode)
+        .iter()
+        .map(|&(name, n)| {
+            let w = scale_workload(name, n);
+            let reps = if n >= 1_000_000 { 1 } else { 3 };
+            (0..reps)
+                .map(|_| run_workload(&w, 1))
+                .reduce(|best, next| {
+                    assert_eq!(best.events, next.events, "{name}: nondeterministic rerun");
+                    if next.events_per_sec > best.events_per_sec {
+                        next
+                    } else {
+                        best
+                    }
+                })
+                .expect("at least one repetition")
+        })
+        .collect()
+}
+
+/// The scale ladder's memory gate: one failure per rung whose peak RSS
+/// exceeds `SCALE_RSS_ALLOWANCE_KB + SCALE_RSS_PER_HOST_KB × n`. Rungs
+/// without an RSS reading (non-Linux) are skipped — the gate runs in CI
+/// on Linux, where the reading always exists.
+pub fn scale_failures(results: &[BenchResult]) -> Vec<String> {
+    results
+        .iter()
+        .filter_map(|r| {
+            let rss = r.peak_rss_kb?;
+            let ceiling = SCALE_RSS_ALLOWANCE_KB as f64 + SCALE_RSS_PER_HOST_KB * r.n as f64;
+            (rss as f64 > ceiling).then(|| {
+                format!(
+                    "{}: peak RSS {} kB breaches ceiling {:.0} kB \
+                     ({:.2} KiB/host at n = {}; budget {} KiB/host + {} kB base)",
+                    r.name,
+                    rss,
+                    ceiling,
+                    rss as f64 / r.n as f64,
+                    r.n,
+                    SCALE_RSS_PER_HOST_KB,
+                    SCALE_RSS_ALLOWANCE_KB,
+                )
+            })
+        })
+        .collect()
+}
+
 /// Deterministic engine counters for every workload, from an
 /// *instrumented replay* of the exact simulations the harness times:
 /// same seeds, same plans, single-threaded, with a
@@ -610,6 +705,64 @@ mod tests {
             assert_eq!(a.messages, b.messages, "{}", a.name);
             assert_eq!((a.runs, a.ticks), (b.runs, b.ticks), "{}", a.name);
         }
+    }
+
+    #[test]
+    fn scale_ladder_ascends_and_quick_fits_ci() {
+        let quick = scale_sizes(BenchMode::Quick);
+        let full = scale_sizes(BenchMode::Full);
+        assert_eq!(quick, full[..quick.len()], "quick is a prefix of full");
+        assert_eq!(full.last(), Some(&("scale_1m", 1_000_000)));
+        for w in full.windows(2) {
+            assert!(
+                w[0].1 < w[1].1,
+                "sizes must ascend (VmHWM is process-monotone): {w:?}"
+            );
+        }
+        assert!(quick.iter().all(|&(_, n)| n <= 100_000));
+    }
+
+    #[test]
+    fn scale_rung_is_deterministic_in_event_counts() {
+        // A miniature rung (the real ladder starts at 10⁴ — too slow
+        // for a debug-build unit test) through the same machinery.
+        let w = scale_workload("scale_test", 1_500);
+        let a = run_workload(&w, 1);
+        let b = run_workload(&w, 1);
+        assert_eq!(a.runs, 1);
+        assert_eq!(
+            (a.events, a.messages, a.ticks),
+            (b.events, b.messages, b.ticks)
+        );
+        assert!(
+            a.events > 0 && a.messages as usize > w.n,
+            "every host reports"
+        );
+    }
+
+    #[test]
+    fn scale_gate_fires_only_past_the_per_host_ceiling() {
+        let rung = |n: usize, rss: Option<u64>| BenchResult {
+            name: "scale_test",
+            n,
+            runs: 1,
+            ticks: 100,
+            events: 1_000,
+            messages: 900,
+            wall_ms: 1.0,
+            events_per_sec: 1e6,
+            ticks_per_sec: 1e5,
+            peak_rss_kb: rss,
+        };
+        // Within budget: allowance + 1 KiB/host.
+        let ceiling = SCALE_RSS_ALLOWANCE_KB + 1_000_000;
+        assert!(scale_failures(&[rung(1_000_000, Some(ceiling))]).is_empty());
+        let fails = scale_failures(&[rung(1_000_000, Some(ceiling + 1))]);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("breaches ceiling"), "{fails:?}");
+        assert!(fails[0].contains("KiB/host"), "{fails:?}");
+        // No reading (non-Linux): skipped, not failed.
+        assert!(scale_failures(&[rung(1_000_000, None)]).is_empty());
     }
 
     #[test]

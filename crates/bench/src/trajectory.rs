@@ -118,22 +118,25 @@ fn migrate_v1(doc: &Json) -> Option<Json> {
 }
 
 /// The baseline numbers a `--check` run compares against: per workload,
-/// `(events_per_sec, peak_rss_kb)` from the *latest* history entry of a
-/// v2 document, or from the measurements of a v1 document.
+/// `(events_per_sec, peak_rss_kb)` from the *most recent* history entry
+/// of a v2 document that measured that workload, or from the
+/// measurements of a v1 document. Entries merge newest-first rather
+/// than reading only the last one: a `--scale` run appends an entry
+/// carrying only `scale_*` rungs, and it must not shadow the latest
+/// fixed-workload measurements a subsequent `--check` compares against.
 fn baseline_numbers(doc: &Json) -> Vec<(String, f64, Option<i64>)> {
-    // v2: the last history entry's workloads object.
+    // v2: history entries, newest first, first reading per name wins.
     if let Some(entries) = doc.get("history").and_then(Json::as_arr) {
-        if let Some(Json::Obj(pairs)) = entries.last().and_then(|e| e.get("workloads")) {
-            return pairs
-                .iter()
-                .filter_map(|(name, w)| {
-                    Some((
-                        name.clone(),
-                        w.get("events_per_sec")?.as_f64()?,
-                        w.get("peak_rss_kb").and_then(Json::as_i64),
-                    ))
-                })
-                .collect();
+        let mut merged: Vec<(String, f64, Option<i64>)> = Vec::new();
+        for entry in entries.iter().rev() {
+            for (name, eps, rss) in baseline_numbers_of_entry(entry) {
+                if !merged.iter().any(|(n, _, _)| *n == name) {
+                    merged.push((name, eps, rss));
+                }
+            }
+        }
+        if !merged.is_empty() {
+            return merged;
         }
     }
     // v1: the flat workloads array.
@@ -289,6 +292,38 @@ mod tests {
         );
         let fails = check_against(&doc, &[result("paper_baseline", 0.95e6, None)]);
         assert_eq!(fails.len(), 1, "{fails:?}");
+    }
+
+    #[test]
+    fn scale_entries_do_not_shadow_fixed_workload_baselines() {
+        // A `--scale` run appends a history entry carrying only the
+        // ladder's rungs. A later `--check` of the fixed workloads must
+        // still find its baseline in the older entry — and a regression
+        // against it must still fail.
+        let doc = Json::obj().with(
+            "history",
+            Json::Arr(vec![
+                history_entry(
+                    "aaa0001",
+                    "quick",
+                    1,
+                    &[result("paper_baseline", 1.0e6, Some(100_000))],
+                ),
+                history_entry(
+                    "bbb0002",
+                    "scale-quick",
+                    1,
+                    &[result("scale_10k", 2.0e6, Some(50_000))],
+                ),
+            ]),
+        );
+        let ok = check_against(&doc, &[result("paper_baseline", 0.95e6, Some(100_000))]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check_against(&doc, &[result("paper_baseline", 0.5e6, Some(100_000))]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        // The scale rung itself is still reachable as a baseline.
+        let rung = check_against(&doc, &[result("scale_10k", 1.9e6, Some(50_000))]);
+        assert!(rung.is_empty(), "{rung:?}");
     }
 
     #[test]

@@ -97,7 +97,12 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 .medium(medium)
                 .seed(cfg.seed);
             let out = runner::run(proto, &graph, &values, &run_cfg);
-            let mut sorted = out.metrics.processed_per_host.clone();
+            let mut sorted: Vec<u64> = out
+                .metrics
+                .processed_per_host
+                .iter()
+                .map(|&c| u64::from(c))
+                .collect();
             sorted.sort_unstable();
             rows.push(Row {
                 topology: kind.name().to_string(),

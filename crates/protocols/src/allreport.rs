@@ -80,7 +80,7 @@ impl AllReportNode {
             routing,
             parent: None,
             seen_query: false,
-            collected: Vec::new(),
+            collected: crate::pool::take_values(),
             query: None,
             result: None,
             is_query_host: false,
@@ -123,7 +123,15 @@ impl AllReportNode {
     pub fn reports_received(&self) -> usize {
         self.collected.len()
     }
+}
 
+impl Drop for AllReportNode {
+    fn drop(&mut self) {
+        crate::pool::put_values(std::mem::take(&mut self.collected));
+    }
+}
+
+impl AllReportNode {
     fn maybe_report(&mut self, ctx: &mut Ctx<'_, ArMsg>, hq: HostId, from: HostId) {
         let report = match self.sample {
             Some(p) => ctx.rng().gen_bool(p),

@@ -83,11 +83,11 @@ impl DagNode {
         DagNode {
             value,
             k,
-            parents: Vec::new(),
+            parents: crate::pool::take_hosts(),
             depth: 0,
             activated: false,
             reported: false,
-            heard: HashSet::new(),
+            heard: crate::pool::take_host_set(),
             partial: None,
             query: None,
             result: None,
@@ -114,7 +114,16 @@ impl DagNode {
     pub fn parents(&self) -> &[HostId] {
         &self.parents
     }
+}
 
+impl Drop for DagNode {
+    fn drop(&mut self) {
+        crate::pool::put_hosts(std::mem::take(&mut self.parents));
+        crate::pool::put_host_set(std::mem::take(&mut self.heard));
+    }
+}
+
+impl DagNode {
     fn expected(&self, ctx: &Ctx<'_, DagMsg>) -> usize {
         ctx.degree() - usize::from(!self.parents.is_empty())
     }

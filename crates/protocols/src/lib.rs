@@ -23,6 +23,7 @@ mod common;
 pub mod dag;
 pub mod gossip;
 pub mod observer;
+mod pool;
 pub mod runner;
 pub mod spanning_tree;
 pub mod wildfire;

@@ -68,7 +68,7 @@ impl SpanningTreeNode {
             depth: 0,
             activated: false,
             reported: false,
-            heard: HashSet::new(),
+            heard: crate::pool::take_host_set(),
             partial: None,
             query: None,
             result: None,
@@ -93,7 +93,15 @@ impl SpanningTreeNode {
     pub fn parent(&self) -> Option<HostId> {
         self.parent
     }
+}
 
+impl Drop for SpanningTreeNode {
+    fn drop(&mut self) {
+        crate::pool::put_host_set(std::mem::take(&mut self.heard));
+    }
+}
+
+impl SpanningTreeNode {
     fn expected(&self, ctx: &Ctx<'_, StMsg>) -> usize {
         ctx.degree() - usize::from(self.parent.is_some())
     }

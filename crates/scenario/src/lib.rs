@@ -48,12 +48,15 @@ pub mod trace;
 
 pub use json::{table_to_json, Json};
 pub use parse::ParseError;
-pub use run::{run_batch, Agg, PairedDiff, PairedSection, ProtocolSection, Report, RunRecord};
+pub use run::{
+    run_batch, run_batch_sharded, Agg, PairedDiff, PairedSection, ProtocolSection, Report,
+    RunRecord,
+};
 pub use spec::{
     AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, PhasesSpec, ProtocolSpec, Scenario,
     TelemetrySpec,
 };
-pub use trace::trace_batch;
+pub use trace::{trace_batch, trace_batch_sharded};
 
 #[cfg(test)]
 mod smoke {

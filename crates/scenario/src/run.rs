@@ -542,11 +542,20 @@ pub(crate) fn cell_plan(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) 
 
 /// Execute one `(seed, rep)` cell: every protocol (and window) shares
 /// the churn/partition realization drawn from this cell's RNG stream.
-fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<RunRecord>> {
+fn run_cell(
+    scn: &Scenario,
+    prep: &Prepared,
+    seed: u64,
+    rep: usize,
+    shard_delivery: Option<usize>,
+) -> Vec<Vec<RunRecord>> {
     let CellPlan {
-        plan,
+        mut plan,
         phases: phase_schedule,
     } = cell_plan(scn, prep, seed, rep);
+    if let Some(threads) = shard_delivery {
+        plan = plan.sharded_delivery(threads);
+    }
     judged_plan(&prep.graph, &prep.values, &plan)
         .into_iter()
         .map(|protocol| {
@@ -580,6 +589,19 @@ fn run_cell(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) -> Vec<Vec<R
 /// exceeds the host count the topology actually produced (grids round
 /// down to squares).
 pub fn run_batch(scn: &Scenario, threads: usize) -> Report {
+    run_batch_sharded(scn, threads, None)
+}
+
+/// [`run_batch`] with in-simulation sharded message delivery: each
+/// cell's simulations additionally fan their per-tick delivery batches
+/// across `shard_delivery` worker threads
+/// ([`RunPlan::sharded_delivery`]). Reports are byte-identical for any
+/// combination of `threads` and `shard_delivery` values — only the
+/// `None`-vs-`Some` switch may change RNG-drawing protocols' outputs.
+///
+/// # Panics
+/// Same conditions as [`run_batch`].
+pub fn run_batch_sharded(scn: &Scenario, threads: usize, shard_delivery: Option<usize>) -> Report {
     assert!(threads >= 1, "need at least one worker thread");
     assert!(
         !scn.protocols.is_empty(),
@@ -613,7 +635,7 @@ pub fn run_batch(scn: &Scenario, threads: usize) -> Report {
         for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(cells.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (&(seed, rep), slot) in job_chunk.iter().zip(slot_chunk) {
-                    *slot = Some(run_cell(scn, prep, seed, rep));
+                    *slot = Some(run_cell(scn, prep, seed, rep, shard_delivery));
                 }
             });
         }

@@ -44,8 +44,12 @@ fn trace_cell(
     seed: u64,
     rep: usize,
     summary_every: u64,
+    shard_delivery: Option<usize>,
 ) -> Vec<Vec<CellTrace>> {
-    let plan = run::cell_plan(scn, prep, seed, rep).plan;
+    let mut plan = run::cell_plan(scn, prep, seed, rep).plan;
+    if let Some(threads) = shard_delivery {
+        plan = plan.sharded_delivery(threads);
+    }
     let windows = window_local_plans(&prep.graph, &plan);
     scn.protocols
         .iter()
@@ -85,6 +89,20 @@ fn trace_cell(
 /// Panics if `threads == 0`, the scenario has no protocols, or its `hq`
 /// exceeds the host count the topology actually produced.
 pub fn trace_batch(scn: &Scenario, threads: usize) -> TraceDoc {
+    trace_batch_sharded(scn, threads, None)
+}
+
+/// [`trace_batch`] with in-simulation sharded message delivery (see
+/// [`crate::run_batch_sharded`]): traces are byte-identical for any
+/// combination of `threads` and `shard_delivery` values.
+///
+/// # Panics
+/// Same conditions as [`trace_batch`].
+pub fn trace_batch_sharded(
+    scn: &Scenario,
+    threads: usize,
+    shard_delivery: Option<usize>,
+) -> TraceDoc {
     assert!(threads >= 1, "need at least one worker thread");
     assert!(
         !scn.protocols.is_empty(),
@@ -116,7 +134,14 @@ pub fn trace_batch(scn: &Scenario, threads: usize) -> TraceDoc {
         for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(cells.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (&(seed, rep), slot) in job_chunk.iter().zip(slot_chunk) {
-                    *slot = Some(trace_cell(scn, prep, seed, rep, summary_every));
+                    *slot = Some(trace_cell(
+                        scn,
+                        prep,
+                        seed,
+                        rep,
+                        summary_every,
+                        shard_delivery,
+                    ));
                 }
             });
         }

@@ -9,6 +9,58 @@ use crate::Time;
 use pov_topology::HostId;
 use rand::rngs::SmallRng;
 
+/// Where a `Ctx` sends the events a handler schedules. The sequential
+/// engine writes straight into the global queue; a sharded-delivery
+/// worker appends to its shard's private buffer (tagged with the
+/// triggering event's within-batch origin index) and the engine merges
+/// the buffers back into the queue in global origin order afterwards —
+/// reproducing exactly the push sequence sequential processing would
+/// have produced.
+pub(crate) enum EventSink<'a, M> {
+    /// Sequential path: push straight into the event queue.
+    Direct(&'a mut EventQueue<M>),
+    /// Sharded path: buffer `(origin, at, payload)` for the post-batch
+    /// deterministic merge.
+    Shard {
+        buf: &'a mut Vec<(u32, Time, Payload<M>)>,
+        origin: u32,
+    },
+}
+
+impl<M> EventSink<'_, M> {
+    #[inline]
+    pub(crate) fn push(&mut self, at: Time, payload: Payload<M>) {
+        match self {
+            EventSink::Direct(q) => q.push(at, payload),
+            EventSink::Shard { buf, origin } => buf.push((*origin, at, payload)),
+        }
+    }
+}
+
+/// Where a `Ctx` records message costs. Handlers only ever record
+/// *sends*, and every send in a delivery batch happens at the same
+/// instant, so the sharded side is a single counter merged into
+/// [`Metrics`] (messages_sent + sent_per_tick) after the batch.
+pub(crate) enum CostSink<'a> {
+    /// Sequential path: record against the run's metrics directly.
+    Direct(&'a mut Metrics),
+    /// Sharded path: count sends; the engine folds them in post-batch.
+    Shard { sends: &'a mut u64 },
+}
+
+impl CostSink<'_> {
+    #[inline]
+    pub(crate) fn record_send(&mut self, at: Time) {
+        match self {
+            CostSink::Direct(m) => m.record_send(at),
+            CostSink::Shard { sends } => {
+                let _ = at; // all batch sends share one instant
+                **sends += 1;
+            }
+        }
+    }
+}
+
 /// Everything a host may do while handling an event: inspect its
 /// current neighbourhood, send messages, set timers and draw
 /// randomness.
@@ -20,8 +72,8 @@ pub struct Ctx<'a, M> {
     pub(crate) now: Time,
     pub(crate) me: HostId,
     pub(crate) topo: TopoRef<'a>,
-    pub(crate) queue: &'a mut EventQueue<M>,
-    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) queue: EventSink<'a, M>,
+    pub(crate) metrics: CostSink<'a>,
     pub(crate) medium: Medium,
     pub(crate) delay: DelayModel,
     pub(crate) rng: &'a mut SmallRng,

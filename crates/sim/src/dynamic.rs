@@ -69,15 +69,19 @@ pub struct EngineView<'a> {
     pub overlay: Option<&'a OverlayView>,
     /// Omniscient alive flags, indexed by host.
     pub alive: &'a [bool],
+    /// Number of `true` flags in [`EngineView::alive`], maintained
+    /// incrementally by the engine — sources can read the population
+    /// without an `O(hosts)` scan.
+    pub alive_count: u32,
     /// Per-host protocol state summaries, indexed by host. Failed hosts
     /// retain their last summary.
     pub summaries: &'a [StateSummary],
 }
 
 impl<'a> EngineView<'a> {
-    /// Number of currently alive hosts.
+    /// Number of currently alive hosts. O(1).
     pub fn num_alive(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.alive_count as usize
     }
 
     /// `h`'s current neighbours: the overlay's merged adjacency when an
@@ -316,6 +320,7 @@ mod tests {
             graph,
             overlay: None,
             alive,
+            alive_count: alive.iter().filter(|&&a| a).count() as u32,
             summaries,
         }
     }

@@ -1,8 +1,9 @@
 //! The simulation engine: deterministic event loop over a dynamic network.
 
+use crate::alive::AliveSet;
 use crate::arena;
 use crate::churn::ChurnPlan;
-use crate::ctx::Ctx;
+use crate::ctx::{CostSink, Ctx, EventSink};
 use crate::delay::{DelayModel, PartitionPlan};
 use crate::dynamic::{ChurnEvent, ChurnSource, EngineView, StateSummary};
 use crate::event::{EventQueue, Payload};
@@ -170,6 +171,7 @@ impl<'g> SimBuilder<'g> {
         for h in self.churn.initially_dead() {
             alive[h.index()] = false;
         }
+        let alive_set = AliveSet::from_flags(&alive);
         #[cfg(test)]
         let mut queue = if self.heap_queue_oracle {
             EventQueue::heap_oracle()
@@ -201,7 +203,20 @@ impl<'g> SimBuilder<'g> {
                 edges_removed: 0,
             }
         });
-        let logic = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
+        let logic: Vec<Option<L>> = (0..n as u32).map(|i| Some(factory(HostId(i)))).collect();
+        // Summaries are read only through poll-time EngineViews. Seeding
+        // every slot once here (pre-`on_start`, same state the old
+        // refresh-everyone poll loop would observe for never-activated
+        // hosts) lets each poll refresh *alive* hosts only: a dead
+        // host's logic never activates, so its seeded (or fail-time
+        // captured) summary stays exact.
+        let track_summaries = self.dynamic.is_some() || overlay.is_some();
+        let mut summaries = arena::take_summaries(n);
+        if track_summaries {
+            for (slot, l) in summaries.iter_mut().zip(&logic) {
+                *slot = l.as_ref().expect("logic present").summary();
+            }
+        }
         let mut initially_alive = arena::take_bools(n);
         initially_alive.copy_from_slice(&alive);
         let tele = self.tele.map(|sink| {
@@ -209,8 +224,8 @@ impl<'g> SimBuilder<'g> {
             Telemetry {
                 next_summary: sink.summary_every().map(|_| 0),
                 sink,
-                alive: alive.iter().filter(|&&a| a).count() as u32,
-                touched: vec![0; n],
+                alive: alive_set.count() as u32,
+                touched: arena::take_u32s(n),
                 counts: TickCounts::default(),
                 flushed_through: 0,
             }
@@ -222,6 +237,7 @@ impl<'g> SimBuilder<'g> {
             hosts: Hosts {
                 logic,
                 alive,
+                alive_set,
                 last_depth: arena::take_u32s(n),
             },
             queue,
@@ -232,7 +248,11 @@ impl<'g> SimBuilder<'g> {
             overlay,
             partition: self.partition,
             rng: SmallRng::seed_from_u64(self.seed),
-            summaries: arena::take_summaries(n),
+            seed: self.seed,
+            shard: None,
+            shard_batches: 0,
+            track_summaries,
+            summaries,
             churn_buf: arena::take_churn(),
             now: Time::ZERO,
             started: false,
@@ -247,6 +267,11 @@ impl<'g> SimBuilder<'g> {
 struct Hosts<L> {
     logic: Vec<Option<L>>,
     alive: Vec<bool>,
+    /// Bitset mirror of `alive` with an O(1) count and O(active)
+    /// ascending iteration — the index behind every per-poll loop that
+    /// must not scan the full host range (see `crate::alive`). The flat
+    /// `Vec<bool>` stays for O(1) reads and the `EngineView` slice.
+    alive_set: AliveSet,
     /// Deepest causal chain seen by each host; timers continue the
     /// chain from here.
     last_depth: Vec<u32>,
@@ -266,6 +291,7 @@ impl<L> Hosts<L> {
     #[inline]
     fn set_alive(&mut self, h: HostId, alive: bool) {
         self.alive[h.index()] = alive;
+        self.alive_set.set(h.index(), alive);
     }
 
     #[inline]
@@ -295,7 +321,7 @@ impl<L> Hosts<L> {
     }
 
     fn num_alive(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.alive_set.count()
     }
 }
 
@@ -338,7 +364,9 @@ struct Telemetry<'s> {
     /// per flushed tick).
     alive: u32,
     /// Per-host stamp (`tick + 1`) marking wave-frontier membership.
-    touched: Vec<u64>,
+    /// `u32` halves the buffer (4 MiB saved at n = 10⁶); runs are
+    /// bounded well under 2³² ticks (debug-asserted at the stamp site).
+    touched: Vec<u32>,
     counts: TickCounts,
     /// Next tick at or after which to take a protocol-state sample.
     next_summary: Option<u64>,
@@ -363,8 +391,24 @@ pub struct Simulation<'g, L: NodeLogic> {
     overlay: Option<OverlayState>,
     partition: Option<PartitionPlan>,
     rng: SmallRng,
+    /// Builder seed, retained to derive per-event RNG streams under
+    /// sharded delivery.
+    seed: u64,
+    /// Sharded-delivery configuration; `None` = sequential dispatch
+    /// (see [`Simulation::enable_sharded_delivery`]).
+    shard: Option<ShardCfg<L>>,
+    /// Delivery batches drained so far — the per-event RNG's batch
+    /// ordinal, advanced identically for every thread count.
+    shard_batches: u64,
     tele: Option<Telemetry<'g>>,
-    /// Reused per-poll scratch: one summary slot per host.
+    /// Whether `summaries` is live (a churn source or overlay driver is
+    /// installed). Gates the fail-time summary captures; stored as a
+    /// flag because `dynamic` is `take()`n to `None` mid-poll.
+    track_summaries: bool,
+    /// Reused per-poll scratch: one summary slot per host. Seeded once
+    /// at build, refreshed for *alive* hosts at each poll, captured at
+    /// fail sites — dead hosts' logic never changes, so the invariant
+    /// "slot == current summary" holds without full-range scans.
     summaries: Vec<StateSummary>,
     /// Reused per-poll scratch: the churn source's event wave.
     churn_buf: Vec<ChurnEvent>,
@@ -377,12 +421,16 @@ impl<'g, L: NodeLogic> Drop for Simulation<'g, L> {
         // Hand the host-indexed buffers back to the thread-local arena
         // for the next cell of the batch.
         arena::put_bools(std::mem::take(&mut self.hosts.alive));
+        self.hosts.alive_set.release();
         arena::put_u32s(std::mem::take(&mut self.hosts.last_depth));
         arena::put_bools(std::mem::take(&mut self.trace.initially_alive));
-        arena::put_u64s(std::mem::take(&mut self.metrics.processed_per_host));
+        arena::put_u32s(std::mem::take(&mut self.metrics.processed_per_host));
         arena::put_u64s(std::mem::take(&mut self.metrics.sent_per_tick));
         arena::put_summaries(std::mem::take(&mut self.summaries));
         arena::put_churn(std::mem::take(&mut self.churn_buf));
+        if let Some(t) = self.tele.as_mut() {
+            arena::put_u32s(std::mem::take(&mut t.touched));
+        }
     }
 }
 
@@ -399,6 +447,35 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                 self.activate(HostId(i as u32), Activation::Start);
             }
         }
+    }
+
+    /// Turn on sharded message delivery: each tick's delivery run is
+    /// collected as one closed batch (sends always land ≥ 1 tick ahead,
+    /// so no handler can extend the current instant's deliveries),
+    /// partitioned across `threads` scoped worker threads by contiguous
+    /// destination-host range, and the handlers' buffered pushes merged
+    /// back into the queue in global origin order.
+    ///
+    /// **Determinism contract:** every observable of the run — metrics,
+    /// trace, telemetry, per-host protocol state — is byte-identical
+    /// for *any* `threads` value (including 1), because per-destination
+    /// processing order, queue push order and per-event RNG streams are
+    /// all derived from batch origin indices, never from thread
+    /// scheduling. Output is *not* required to match the sequential
+    /// (non-sharded) engine for protocols that draw from [`Ctx::rng`]:
+    /// sharding gives each delivery its own seeded stream instead of
+    /// one stream threaded through all events. RNG-free protocols (and
+    /// the default fixed delay model, which never samples) match the
+    /// sequential engine exactly.
+    pub fn enable_sharded_delivery(&mut self, threads: usize)
+    where
+        L: Send,
+        L::Msg: Send,
+    {
+        self.shard = Some(ShardCfg {
+            threads: threads.max(1),
+            drain: drain_deliver_batch::<L>,
+        });
     }
 
     /// Run until the event queue is exhausted or virtual time would
@@ -487,15 +564,18 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
             t.next_summary = Some(tick + every);
             // Mass still present in the network: alive hosts only
             // (failed hosts retain a summary, but their partials are
-            // gone with them). Ascending host order keeps the f64 sum
-            // deterministic.
+            // gone with them). The alive-set iterates in ascending host
+            // order, keeping the f64 sum deterministic, and touches
+            // O(active) hosts rather than the full range.
             let mut active = 0u32;
             let mut mass = 0.0f64;
-            for (logic, &alive) in self.hosts.logic.iter().zip(&self.hosts.alive) {
-                if !alive {
-                    continue;
-                }
-                let s = logic.as_ref().expect("logic present").summary();
+            let mut visited = 0usize;
+            for i in self.hosts.alive_set.iter() {
+                visited += 1;
+                let s = self.hosts.logic[i]
+                    .as_ref()
+                    .expect("logic present")
+                    .summary();
                 if s.active {
                     active += 1;
                 }
@@ -503,6 +583,11 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                     mass += w;
                 }
             }
+            debug_assert!(
+                visited <= 2 * self.hosts.alive_set.count().max(1),
+                "summary sample scanned {visited} hosts for {} active",
+                self.hosts.alive_set.count()
+            );
             t.sink.on_summary(Time(tick), active, mass);
         }
     }
@@ -520,6 +605,12 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                     if let Some(t) = self.tele.as_mut() {
                         t.counts.fails += 1;
                         t.alive -= 1;
+                    }
+                    if self.track_summaries {
+                        // Capture the host's final summary: its slot is
+                        // no longer refreshed by the alive-only poll
+                        // loops, and dead logic never changes.
+                        self.summaries[h.index()] = self.hosts.logic(h).summary();
                     }
                 }
             }
@@ -540,6 +631,23 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                 msg,
                 depth,
             } => {
+                if self.shard.is_some() {
+                    // Sharded path: collect the whole (closed) delivery
+                    // run of this instant and fan it out across worker
+                    // threads; `drain` is the bound-carrying fn pointer
+                    // installed by `enable_sharded_delivery`.
+                    let drain = self.shard.as_ref().expect("checked").drain;
+                    drain(
+                        self,
+                        DeliverEvent {
+                            to,
+                            from,
+                            msg,
+                            depth,
+                        },
+                    );
+                    return;
+                }
                 // Delivery only to hosts alive *now*; messages to failed
                 // hosts vanish (the sender has already paid for them).
                 // Likewise messages crossing an active partition cut.
@@ -553,7 +661,8 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                         t.counts.delivered += 1;
                         // Frontier = distinct hosts reached this tick;
                         // the stamp dedups repeat deliveries.
-                        let stamp = self.now.ticks() + 1;
+                        debug_assert!(self.now.ticks() < u64::from(u32::MAX));
+                        let stamp = (self.now.ticks() + 1) as u32;
                         let slot = &mut t.touched[to.index()];
                         if *slot != stamp {
                             *slot = stamp;
@@ -583,8 +692,32 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         }
     }
 
-    /// Poll the dynamic churn source: summarize every host's protocol
-    /// state, hand the source an [`EngineView`], apply the events it
+    /// Bring the summary scratch up to date for the next
+    /// [`EngineView`]: refresh *alive* hosts only. Dead hosts keep the
+    /// summary captured when they failed (or the build-time seed if
+    /// they never lived) — their logic cannot have changed since. The
+    /// debug assertion is the scan-audit bar: per-poll work must track
+    /// the active population, not the host range.
+    fn refresh_alive_summaries(&mut self) {
+        let mut visited = 0usize;
+        for i in self.hosts.alive_set.iter() {
+            visited += 1;
+            self.summaries[i] = self.hosts.logic[i]
+                .as_ref()
+                .expect("logic present")
+                .summary();
+        }
+        debug_assert!(
+            visited <= 2 * self.hosts.alive_set.count().max(1),
+            "summary refresh scanned {visited} hosts for {} alive",
+            self.hosts.alive_set.count()
+        );
+        #[cfg(debug_assertions)]
+        self.hosts.alive_set.verify();
+    }
+
+    /// Poll the dynamic churn source: summarize the *alive* hosts'
+    /// protocol state, hand the source an [`EngineView`], apply the events it
     /// writes into the (pooled, reused) wave buffer — source failures
     /// and joins have the same semantics as statically scheduled ones,
     /// including trace recording — and schedule the next poll it asks
@@ -593,9 +726,7 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         let Some(mut source) = self.dynamic.take() else {
             return;
         };
-        for (slot, logic) in self.summaries.iter_mut().zip(&self.hosts.logic) {
-            *slot = logic.as_ref().expect("logic present").summary();
-        }
+        self.refresh_alive_summaries();
         let mut wave = std::mem::take(&mut self.churn_buf);
         wave.clear();
         let view = EngineView {
@@ -603,6 +734,7 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
             graph: &self.graph,
             overlay: self.overlay.as_ref().map(|st| &st.view),
             alive: &self.hosts.alive,
+            alive_count: self.hosts.alive_set.count() as u32,
             summaries: &self.summaries,
         };
         source.next_events(self.now, &view, &mut wave);
@@ -616,6 +748,10 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                             t.counts.fails += 1;
                             t.alive -= 1;
                         }
+                        // Final-summary capture, as in the static Fail
+                        // path (`track_summaries` is always true here —
+                        // a source is installed).
+                        self.summaries[h.index()] = self.hosts.logic(h).summary();
                     }
                 }
                 ChurnEvent::Join(h) => {
@@ -639,19 +775,18 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
         self.dynamic = Some(source);
     }
 
-    /// Poll the overlay-maintenance driver: summarize every host's
-    /// protocol state, hand the driver an [`EngineView`] with the
+    /// Poll the overlay-maintenance driver: summarize the *alive*
+    /// hosts' protocol state, hand the driver an [`EngineView`] with the
     /// overlay's current merged adjacency, apply the edge mutations it
     /// writes into the (reused) wave buffer, fold the delta back into a
     /// fresh CSR when it has grown past the compaction threshold, and
     /// schedule the next poll it asks for.
     fn poll_overlay_driver(&mut self) {
-        for (slot, logic) in self.summaries.iter_mut().zip(&self.hosts.logic) {
-            *slot = logic.as_ref().expect("logic present").summary();
-        }
+        self.refresh_alive_summaries();
         let Some(st) = self.overlay.as_mut() else {
             return;
         };
+        let alive_count = self.hosts.alive_set.count() as u32;
         let OverlayState {
             view,
             driver,
@@ -666,6 +801,7 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
             graph: &self.graph,
             overlay: Some(&*view),
             alive: &self.hosts.alive,
+            alive_count,
             summaries: &self.summaries,
         };
         driver.next_events(self.now, &engine_view, buf);
@@ -715,8 +851,8 @@ impl<'g, L: NodeLogic> Simulation<'g, L> {
                 Some(st) => TopoRef::Overlay(&st.view),
                 None => TopoRef::Static(&self.graph),
             },
-            queue: &mut self.queue,
-            metrics: &mut self.metrics,
+            queue: EventSink::Direct(&mut self.queue),
+            metrics: CostSink::Direct(&mut self.metrics),
             medium: self.medium,
             delay: self.delay,
             rng: &mut self.rng,
@@ -813,6 +949,319 @@ enum Activation<M> {
     Start,
     Message { from: HostId, msg: M, depth: u32 },
     Timer { key: u64 },
+}
+
+// ------------------------------------------------- sharded delivery
+
+/// Sharded-delivery configuration installed by
+/// [`Simulation::enable_sharded_delivery`]. The drain routine needs
+/// `L: Send, L::Msg: Send` bounds that `Simulation` itself does not
+/// carry; the enable method — the only place those bounds are checked —
+/// coerces the generic fn to this pointer, keeping the dispatch hot
+/// path bound-free.
+struct ShardCfg<L: NodeLogic> {
+    /// Worker threads the delivery batch is partitioned across.
+    threads: usize,
+    /// `drain_deliver_batch::<L>`, coerced to a pointer.
+    drain: for<'s, 'g> fn(&'s mut Simulation<'g, L>, DeliverEvent<L::Msg>),
+}
+
+/// One delivery popped from the queue, awaiting shard processing.
+struct DeliverEvent<M> {
+    to: HostId,
+    from: HostId,
+    msg: M,
+    depth: u32,
+}
+
+/// Per-shard accumulator, merged deterministically after the batch.
+struct ShardOut<M> {
+    /// Handler pushes tagged with the triggering event's origin index,
+    /// in processing (= ascending-origin) order.
+    pushes: Vec<(u32, Time, Payload<M>)>,
+    /// Sends recorded by handlers (all at the batch instant).
+    sends: u64,
+    delivered: u64,
+    dropped: u64,
+    /// Distinct hosts newly stamped into this tick's wave frontier.
+    frontier: u32,
+    /// Deepest causal chain observed (max-merged into metrics).
+    longest_chain: u32,
+}
+
+/// State shared read-only by every shard worker.
+#[derive(Clone, Copy)]
+struct ShardShared<'a> {
+    topo: TopoRef<'a>,
+    alive: &'a [bool],
+    partition: Option<&'a PartitionPlan>,
+    medium: Medium,
+    delay: DelayModel,
+    now: Time,
+    seed: u64,
+    batch_no: u64,
+    tele_on: bool,
+}
+
+/// One worker's slice of the mutable per-host state: the contiguous
+/// destination range `[base, base + len)` of each host-indexed array,
+/// plus the batch items addressed to it.
+struct ShardTask<'a, L: NodeLogic> {
+    items: Vec<(u32, DeliverEvent<L::Msg>)>,
+    logic: &'a mut [Option<L>],
+    last_depth: &'a mut [u32],
+    processed: &'a mut [u32],
+    touched: Option<&'a mut [u32]>,
+    base: usize,
+}
+
+/// Deterministic per-event RNG seed: mixes the run seed, the batch
+/// ordinal and the event's origin index (splitmix64-style finalizer),
+/// so each handler draws from its own stream regardless of which
+/// worker thread runs it.
+fn event_seed(seed: u64, batch: u64, origin: u32) -> u64 {
+    let mut x = seed
+        ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(origin).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Collect the closed delivery run of the current instant (`first` has
+/// already been popped and dispatch-counted), fan it out across worker
+/// threads by destination range, and merge the results back in a
+/// thread-count-invariant order. See
+/// [`Simulation::enable_sharded_delivery`] for the determinism
+/// contract.
+fn drain_deliver_batch<L>(sim: &mut Simulation<'_, L>, first: DeliverEvent<L::Msg>)
+where
+    L: NodeLogic + Send,
+    L::Msg: Send,
+{
+    let now = sim.now;
+    let mut batch = vec![first];
+    while let Some(p) = sim.queue.pop_deliver_at(now) {
+        match p {
+            Payload::Deliver {
+                to,
+                from,
+                msg,
+                depth,
+            } => batch.push(DeliverEvent {
+                to,
+                from,
+                msg,
+                depth,
+            }),
+            _ => unreachable!("pop_deliver_at returns deliveries only"),
+        }
+    }
+    // The first event's dispatch was counted by `dispatch` already;
+    // account for the rest of the batch.
+    let extra = (batch.len() - 1) as u64;
+    sim.metrics.events_dispatched += extra;
+    if let Some(t) = sim.tele.as_mut() {
+        t.counts.dispatched += extra;
+    }
+    let batch_no = sim.shard_batches;
+    sim.shard_batches += 1;
+
+    // Partition by contiguous destination range: shard s owns hosts
+    // [s * chunk, (s + 1) * chunk). Within a shard, items stay in
+    // ascending origin order, preserving per-destination FIFO.
+    let n = sim.hosts.len();
+    let threads = sim.shard.as_ref().expect("sharding enabled").threads;
+    let chunk = n.div_ceil(threads).max(1);
+    let num_shards = n.div_ceil(chunk).max(1);
+    let mut items: Vec<Vec<(u32, DeliverEvent<L::Msg>)>> =
+        (0..num_shards).map(|_| Vec::new()).collect();
+    debug_assert!(batch.len() < u32::MAX as usize);
+    for (o, ev) in batch.into_iter().enumerate() {
+        items[ev.to.index() / chunk].push((o as u32, ev));
+    }
+
+    let shared = ShardShared {
+        topo: match &sim.overlay {
+            Some(st) => TopoRef::Overlay(&st.view),
+            None => TopoRef::Static(&sim.graph),
+        },
+        alive: &sim.hosts.alive,
+        partition: sim.partition.as_ref(),
+        medium: sim.medium,
+        delay: sim.delay,
+        now,
+        seed: sim.seed,
+        batch_no,
+        tele_on: sim.tele.is_some(),
+    };
+    let mut logic_it = sim.hosts.logic.chunks_mut(chunk);
+    let mut depth_it = sim.hosts.last_depth.chunks_mut(chunk);
+    let mut proc_it = sim.metrics.processed_per_host.chunks_mut(chunk);
+    let mut touched_it = sim.tele.as_mut().map(|t| t.touched.chunks_mut(chunk));
+
+    let mut outs: Vec<ShardOut<L::Msg>> = Vec::with_capacity(num_shards);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_shards);
+        for (s, shard_items) in items.into_iter().enumerate() {
+            let logic = logic_it.next().expect("one chunk per shard");
+            let last_depth = depth_it.next().expect("one chunk per shard");
+            let processed = proc_it.next().expect("one chunk per shard");
+            let touched = touched_it
+                .as_mut()
+                .map(|it| it.next().expect("one chunk per shard"));
+            if shard_items.is_empty() {
+                continue;
+            }
+            let task = ShardTask {
+                items: shard_items,
+                logic,
+                last_depth,
+                processed,
+                touched,
+                base: s * chunk,
+            };
+            handles.push(scope.spawn(move || run_shard(shared, task)));
+        }
+        for h in handles {
+            outs.push(h.join().expect("delivery shard worker panicked"));
+        }
+    });
+
+    // Commutative merges first: counters and maxima.
+    let mut sends = 0u64;
+    for out in &outs {
+        sends += out.sends;
+        sim.metrics.longest_chain = sim.metrics.longest_chain.max(out.longest_chain);
+    }
+    sim.metrics.messages_sent += sends;
+    if sends > 0 {
+        let idx = now.ticks() as usize;
+        if sim.metrics.sent_per_tick.len() <= idx {
+            sim.metrics.sent_per_tick.resize(idx + 1, 0);
+        }
+        sim.metrics.sent_per_tick[idx] += sends;
+    }
+    if let Some(t) = sim.tele.as_mut() {
+        for out in &outs {
+            t.counts.delivered += out.delivered;
+            t.counts.dropped += out.dropped;
+            t.counts.frontier += out.frontier;
+        }
+    }
+    // Order-sensitive merge: replay every buffered push in ascending
+    // global origin order — exactly the sequence sequential processing
+    // would have pushed — so queue insertion (seq) order, and with it
+    // every downstream tie-break, is thread-count-invariant. Each
+    // origin's pushes live contiguously in one shard's buffer.
+    let mut iters: Vec<_> = outs
+        .into_iter()
+        .map(|o| o.pushes.into_iter().peekable())
+        .collect();
+    loop {
+        let mut best: Option<(u32, usize)> = None;
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some(&(o, _, _)) = it.peek() {
+                if best.is_none_or(|(bo, _)| o < bo) {
+                    best = Some((o, i));
+                }
+            }
+        }
+        let Some((origin, i)) = best else { break };
+        while iters[i].peek().is_some_and(|&(o, _, _)| o == origin) {
+            let (_, at, payload) = iters[i].next().expect("peeked");
+            sim.queue.push(at, payload);
+        }
+    }
+}
+
+/// Process one shard's slice of a delivery batch. Mirrors the
+/// sequential `Deliver` arm of `dispatch` exactly, with writes confined
+/// to the shard's destination range and pushes/sends buffered for the
+/// deterministic post-batch merge.
+fn run_shard<L>(shared: ShardShared<'_>, task: ShardTask<'_, L>) -> ShardOut<L::Msg>
+where
+    L: NodeLogic + Send,
+    L::Msg: Send,
+{
+    let ShardTask {
+        items,
+        logic,
+        last_depth,
+        processed,
+        mut touched,
+        base,
+    } = task;
+    let mut out = ShardOut {
+        pushes: Vec::new(),
+        sends: 0,
+        delivered: 0,
+        dropped: 0,
+        frontier: 0,
+        longest_chain: 0,
+    };
+    debug_assert!(shared.now.ticks() < u64::from(u32::MAX));
+    let stamp = (shared.now.ticks() + 1) as u32;
+    for (origin, ev) in items {
+        let DeliverEvent {
+            to,
+            from,
+            msg,
+            depth,
+        } = ev;
+        let li = to.index() - base;
+        let severed = shared
+            .partition
+            .is_some_and(|p| p.blocks(shared.now, from, to));
+        let live = shared.alive[to.index()] && !severed;
+        if shared.tele_on {
+            if live {
+                out.delivered += 1;
+                let slot = &mut touched.as_mut().expect("tele on => touched chunk")[li];
+                if *slot != stamp {
+                    *slot = stamp;
+                    out.frontier += 1;
+                }
+            } else {
+                out.dropped += 1;
+            }
+        }
+        if !live {
+            continue;
+        }
+        debug_assert!(
+            processed[li] < u32::MAX,
+            "per-host processed count overflow"
+        );
+        processed[li] += 1;
+        out.longest_chain = out.longest_chain.max(depth);
+        last_depth[li] = last_depth[li].max(depth);
+        let mut logic_inst = logic[li].take().expect("logic present");
+        let mut rng = SmallRng::seed_from_u64(event_seed(shared.seed, shared.batch_no, origin));
+        let mut ctx = Ctx {
+            now: shared.now,
+            me: to,
+            topo: shared.topo,
+            queue: EventSink::Shard {
+                buf: &mut out.pushes,
+                origin,
+            },
+            metrics: CostSink::Shard {
+                sends: &mut out.sends,
+            },
+            medium: shared.medium,
+            delay: shared.delay,
+            rng: &mut rng,
+            chain_depth: depth,
+            in_timer: false,
+        };
+        logic_inst.on_message(&mut ctx, from, msg);
+        logic[li] = Some(logic_inst);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1751,5 +2200,173 @@ mod tests {
         assert_eq!(sim.num_alive(), 1);
         assert!(!sim.is_alive(HostId(0)));
         assert!(sim.is_alive(HostId(2)));
+    }
+
+    /// A deliberately awkward protocol for the sharding invariance bar:
+    /// draws per-event randomness, sets tick-end batching timers and
+    /// ordinary delayed timers, and folds message/sender/timer history
+    /// into an order-sensitive accumulator.
+    #[derive(Debug)]
+    struct Churner {
+        hops: u32,
+        acc: u64,
+    }
+
+    impl NodeLogic for Churner {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.me() == HostId(0) {
+                ctx.broadcast(1);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: HostId, msg: u64) {
+            // Order-sensitive fold: any reordering of deliveries to this
+            // host changes the value.
+            self.acc = self
+                .acc
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(msg ^ u64::from(from.0));
+            if self.hops < 3 {
+                self.hops += 1;
+                use rand::Rng;
+                let jitter = ctx.rng().gen_range(0..4u64);
+                ctx.broadcast_except(Some(from), msg.wrapping_add(jitter));
+                ctx.set_timer_at_tick_end(u64::from(self.hops));
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, key: u64) {
+            self.acc = self.acc.rotate_left(7) ^ key;
+            if key == 1 {
+                ctx.set_timer(2, 99);
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn sharded_fingerprint(threads: usize) -> (Metrics, Vec<(Time, bool, u32)>, Vec<(u32, u64)>) {
+        let n = 24u32;
+        let churn = ChurnPlan::none()
+            .with_failure(Time(2), HostId(3))
+            .with_failure(Time(3), HostId(17))
+            .with_join(Time(4), HostId(3));
+        let mut sim = SimBuilder::new(special::cycle(n as usize))
+            .churn(churn)
+            .seed(7)
+            .build(|_| Churner { hops: 0, acc: 0 });
+        sim.enable_sharded_delivery(threads);
+        sim.run_to_quiescence(100_000);
+        let trace: Vec<(Time, bool, u32)> = sim
+            .trace()
+            .events
+            .iter()
+            .map(|e| match *e {
+                TraceEvent::Fail(t, h) => (t, false, h.0),
+                TraceEvent::Join(t, h) => (t, true, h.0),
+            })
+            .collect();
+        let states: Vec<(u32, u64)> = (0..n)
+            .map(|i| {
+                let l = sim.logic(HostId(i));
+                (l.hops, l.acc)
+            })
+            .collect();
+        (sim.metrics().clone(), trace, states)
+    }
+
+    #[test]
+    fn sharded_delivery_thread_count_invariance() {
+        // The tentpole determinism bar: metrics, trace and every host's
+        // final protocol state are byte-identical for any thread count.
+        let (base_metrics, base_trace, base_states) = sharded_fingerprint(1);
+        assert!(base_metrics.messages_sent > 0, "workload actually ran");
+        assert!(base_metrics.timers_fired > 0, "timers exercised");
+        for threads in [2, 3, 8] {
+            let (m, trace, states) = sharded_fingerprint(threads);
+            assert_eq!(m.messages_sent, base_metrics.messages_sent, "t={threads}");
+            assert_eq!(m.sent_per_tick, base_metrics.sent_per_tick, "t={threads}");
+            assert_eq!(
+                m.processed_per_host, base_metrics.processed_per_host,
+                "t={threads}"
+            );
+            assert_eq!(m.longest_chain, base_metrics.longest_chain, "t={threads}");
+            assert_eq!(m.timers_fired, base_metrics.timers_fired, "t={threads}");
+            assert_eq!(
+                m.events_dispatched, base_metrics.events_dispatched,
+                "t={threads}"
+            );
+            assert_eq!(trace, base_trace, "t={threads}");
+            assert_eq!(states, base_states, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_rng_free_protocols() {
+        // Flood never touches Ctx::rng and the default delay model is
+        // fixed, so sharded output must equal the sequential engine's
+        // exactly — including the dispatch counter (a batch member is
+        // one dispatched event either way).
+        let run = |shard: Option<usize>| {
+            let churn = ChurnPlan::none().with_failure(Time(1), HostId(5));
+            let mut sim = SimBuilder::new(special::cycle(16))
+                .churn(churn)
+                .medium(Medium::Radio)
+                .build(|h| Flood {
+                    origin: h == HostId(0),
+                    seen_at: None,
+                });
+            if let Some(t) = shard {
+                sim.enable_sharded_delivery(t);
+            }
+            sim.run_to_quiescence(10_000);
+            let seen: Vec<Option<Time>> = (0..16).map(|i| sim.logic(HostId(i)).seen_at).collect();
+            (sim.metrics().clone(), seen)
+        };
+        let (seq_m, seq_seen) = run(None);
+        for threads in [1, 4] {
+            let (m, seen) = run(Some(threads));
+            assert_eq!(m.messages_sent, seq_m.messages_sent, "t={threads}");
+            assert_eq!(m.sent_per_tick, seq_m.sent_per_tick, "t={threads}");
+            assert_eq!(
+                m.processed_per_host, seq_m.processed_per_host,
+                "t={threads}"
+            );
+            assert_eq!(m.longest_chain, seq_m.longest_chain, "t={threads}");
+            assert_eq!(m.events_dispatched, seq_m.events_dispatched, "t={threads}");
+            assert_eq!(seen, seq_seen, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_delivery_respects_partitions_and_telemetry() {
+        // Two halves of an 8-cycle severed for ticks 1..=2: sharded
+        // runs must agree on drops, and telemetry per-tick aggregates
+        // must be thread-count-invariant.
+        let sides: Vec<u8> = (0..8u8).map(|i| u8::from(i >= 4)).collect();
+        let plan = PartitionPlan::new(sides).window(Time(1), Time(3));
+        let run = |threads: usize| {
+            let mut rec = Recorder::default();
+            let mut sim = SimBuilder::new(special::cycle(8))
+                .partition(plan.clone())
+                .telemetry(&mut rec)
+                .build(|h| Flood {
+                    origin: h == HostId(0),
+                    seen_at: None,
+                });
+            sim.enable_sharded_delivery(threads);
+            sim.run_to_quiescence(10_000);
+            drop(sim);
+            rec.ticks
+        };
+        let base = run(1);
+        assert!(
+            base.iter().any(|s| s.dropped > 0),
+            "partition actually dropped messages"
+        );
+        for threads in [2, 5] {
+            assert_eq!(run(threads), base, "t={threads}");
+        }
     }
 }

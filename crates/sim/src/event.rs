@@ -129,6 +129,20 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Pop the next event only if it is a [`Payload::Deliver`] at exactly
+    /// instant `at` — the batch-collection primitive of sharded delivery.
+    /// Sound because the `at`-tick delivery run is *closed* once draining
+    /// reaches rank 4: sends always land ≥ 1 tick ahead, so no handler
+    /// can append another delivery to the current instant (only tick-end
+    /// timers, rank 5, which this refuses to pop).
+    pub fn pop_deliver_at(&mut self, at: Time) -> Option<Payload<M>> {
+        match self {
+            EventQueue::Bucket(q) => q.pop_deliver_at(at),
+            #[cfg(test)]
+            EventQueue::Heap(q) => q.pop_deliver_at(at),
+        }
+    }
+
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -330,6 +344,28 @@ impl<M> BucketQueue<M> {
         self.in_buckets -= 1;
         Some((Time(self.base), payload))
     }
+
+    /// See [`EventQueue::pop_deliver_at`]. The prepared bucket is rank-
+    /// sorted, so the remaining deliveries of the instant sit contiguous
+    /// at its front; pop while the head is rank 4. Deliberately does
+    /// *not* settle: the caller just popped an event at `at`, so the
+    /// ring base already sits on this tick, and settling after the
+    /// bucket empties would advance the base past `at` — making the
+    /// batch's post-merge pushes (tick-end timers at `at`, sends at
+    /// `at + d`) look scheduled in the past.
+    pub fn pop_deliver_at(&mut self, at: Time) -> Option<Payload<M>> {
+        if self.base != at.0 {
+            return None;
+        }
+        let front = self.buckets.front_mut()?;
+        if front.front().is_some_and(|&(rank, _)| rank == 4) {
+            let (_, payload) = front.pop_front().expect("head checked");
+            self.in_buckets -= 1;
+            Some(payload)
+        } else {
+            None
+        }
+    }
 }
 
 // ---------------------------------------------------------------- oracle
@@ -400,6 +436,15 @@ impl<M> HeapQueue<M> {
 
     pub fn peek_time(&mut self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn pop_deliver_at(&mut self, at: Time) -> Option<Payload<M>> {
+        let head = self.heap.peek()?;
+        if head.at == at && head.payload.rank() == 4 {
+            Some(self.heap.pop().expect("peeked").payload)
+        } else {
+            None
+        }
     }
 
     pub fn len(&self) -> usize {

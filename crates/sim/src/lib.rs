@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod alive;
 mod arena;
 mod churn;
 mod ctx;

@@ -162,18 +162,50 @@ pub fn connect_components(g: &Graph) -> (Graph, usize) {
         .map(|(i, _)| i)
         .expect("at least one component");
     let anchor = comps[largest][0];
-    let mut b = crate::GraphBuilder::with_hosts(g.num_hosts());
-    for (a, bb) in g.edges() {
-        b.add_edge(a, bb);
-    }
+    // Patch edges are few (one per secondary component) and connect
+    // previously disjoint components, so none can duplicate an existing
+    // edge. Merge them into the sorted CSR slices directly instead of
+    // re-materializing the whole graph through a GraphBuilder.
+    let mut patch: Vec<(HostId, HostId)> = Vec::with_capacity(2 * (comps.len() - 1));
     let mut added = 0;
     for (i, c) in comps.iter().enumerate() {
         if i != largest {
-            b.add_edge(anchor, c[0]);
+            patch.push((anchor, c[0]));
+            patch.push((c[0], anchor));
             added += 1;
         }
     }
-    (b.build(), added)
+    patch.sort_unstable();
+    let n = g.num_hosts();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(2 * (g.num_edges() + added));
+    offsets.push(0u32);
+    let mut pi = 0;
+    for h in g.hosts() {
+        let old = g.neighbors(h);
+        let start = pi;
+        while pi < patch.len() && patch[pi].0 == h {
+            pi += 1;
+        }
+        let extras = &patch[start..pi];
+        let (mut oi, mut ei) = (0, 0);
+        while oi < old.len() && ei < extras.len() {
+            if old[oi] < extras[ei].1 {
+                targets.push(old[oi]);
+                oi += 1;
+            } else {
+                targets.push(extras[ei].1);
+                ei += 1;
+            }
+        }
+        targets.extend_from_slice(&old[oi..]);
+        targets.extend(extras[ei..].iter().map(|&(_, nb)| nb));
+        offsets.push(targets.len() as u32);
+    }
+    (
+        Graph::from_csr(offsets, targets, g.num_edges() + added),
+        added,
+    )
 }
 
 /// Degree-distribution summary of an [`OverlayView`] snapshot: the

@@ -17,7 +17,7 @@
 //! standard recipe for Gnutella-like overlays.
 
 use crate::analysis::connect_components;
-use crate::{Graph, GraphBuilder, HostId};
+use crate::{EdgeSink, Graph, HostId, StreamingBuilder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,19 +26,18 @@ use rand::{Rng, SeedableRng};
 /// Gnutella exponent (~2.3) while keeping a thick low-degree mode.
 const PREFERENTIAL_MIX: f64 = 0.7;
 
-/// Build a Gnutella-like graph with `n` hosts. Use `n = 39_046` to match
-/// the paper's crawl size.
-pub fn gnutella(n: usize, seed: u64) -> Graph {
+/// Emit the Gnutella-like edge stream into `sink`. Shared by the
+/// streaming production path and the materialized `#[cfg(test)]` oracle.
+fn emit_gnutella<S: EdgeSink>(n: usize, seed: u64, sink: &mut S) {
     assert!(n >= 8, "need at least 8 hosts");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_hosts(n);
     let mut endpoints: Vec<HostId> = Vec::with_capacity(4 * n);
 
     // Small random core.
     let core = 8.min(n);
     for a in 0..core as u32 {
         let bb = (a + 1) % core as u32;
-        b.add_edge(HostId(a), HostId(bb));
+        sink.add_edge(HostId(a), HostId(bb));
         endpoints.push(HostId(a));
         endpoints.push(HostId(bb));
     }
@@ -62,13 +61,32 @@ pub fn gnutella(n: usize, seed: u64) -> Graph {
             }
         }
         for t in chosen {
-            b.add_edge(v, t);
+            sink.add_edge(v, t);
             endpoints.push(v);
             endpoints.push(t);
         }
     }
-    let g = b.build();
-    let (g, _) = connect_components(&g);
+}
+
+/// Build a Gnutella-like graph with `n` hosts. Use `n = 39_046` to match
+/// the paper's crawl size. Edges stream straight into the CSR builder so
+/// peak memory is `O(edges)`.
+pub fn gnutella(n: usize, seed: u64) -> Graph {
+    // ~1.7 edges contributed per arrival plus the core ring.
+    let hint = (n as f64 * 1.8) as usize + 16;
+    let mut b = StreamingBuilder::with_edge_capacity(n, hint);
+    emit_gnutella(n, seed, &mut b);
+    let (g, _) = connect_components(&b.build());
+    g
+}
+
+/// The pre-streaming materialized path, kept as the byte-identity oracle
+/// for `generators::tests::streaming_matches_materialized_oracle`.
+#[cfg(test)]
+pub(crate) fn gnutella_materialized(n: usize, seed: u64) -> Graph {
+    let mut b = crate::GraphBuilder::with_hosts(n);
+    emit_gnutella(n, seed, &mut b);
+    let (g, _) = connect_components(&b.build());
     g
 }
 

@@ -2,31 +2,46 @@
 //! host has the hosts in the enclosing 2-unit square as neighbours, i.e.
 //! the Moore 8-neighbourhood).
 
-use crate::{Graph, GraphBuilder, HostId};
+use crate::{EdgeSink, Graph, HostId, StreamingBuilder};
 
-/// `rows × cols` grid with Moore (8-neighbour) connectivity. Host at
-/// `(r, c)` has id `r * cols + c`.
-pub fn grid(rows: usize, cols: usize) -> Graph {
+/// Emit the Moore-neighbourhood grid edges into `sink`. Shared by the
+/// streaming production path and the materialized `#[cfg(test)]` oracle.
+fn emit_grid<S: EdgeSink>(rows: usize, cols: usize, sink: &mut S) {
     assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
     let id = |r: usize, c: usize| HostId((r * cols + c) as u32);
-    let mut b = GraphBuilder::with_hosts(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
             // Right, down-left, down, down-right: each undirected edge once.
             if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1));
+                sink.add_edge(id(r, c), id(r, c + 1));
             }
             if r + 1 < rows {
                 if c > 0 {
-                    b.add_edge(id(r, c), id(r + 1, c - 1));
+                    sink.add_edge(id(r, c), id(r + 1, c - 1));
                 }
-                b.add_edge(id(r, c), id(r + 1, c));
+                sink.add_edge(id(r, c), id(r + 1, c));
                 if c + 1 < cols {
-                    b.add_edge(id(r, c), id(r + 1, c + 1));
+                    sink.add_edge(id(r, c), id(r + 1, c + 1));
                 }
             }
         }
     }
+}
+
+/// `rows × cols` grid with Moore (8-neighbour) connectivity. Host at
+/// `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = StreamingBuilder::with_edge_capacity(rows * cols, 4 * rows * cols);
+    emit_grid(rows, cols, &mut b);
+    b.build()
+}
+
+/// The pre-streaming materialized path, kept as the byte-identity oracle
+/// for `generators::tests::streaming_matches_materialized_oracle`.
+#[cfg(test)]
+pub(crate) fn grid_materialized(rows: usize, cols: usize) -> Graph {
+    let mut b = crate::GraphBuilder::with_hosts(rows * cols);
+    emit_grid(rows, cols, &mut b);
     b.build()
 }
 

@@ -121,4 +121,56 @@ mod tests {
         let g = TopologyKind::Grid.build(10_100, 0);
         assert_eq!(g.num_hosts(), 10_000);
     }
+
+    /// The streaming CSR path must be byte-identical to the old
+    /// materialized `GraphBuilder` path (kept behind `#[cfg(test)]` as
+    /// the oracle) for every generator × size × seed. Mirrors the PR-5
+    /// heap-queue oracle pattern.
+    #[test]
+    fn streaming_matches_materialized_oracle() {
+        fn assert_identical(stream: &Graph, oracle: &Graph, what: &str) {
+            assert_eq!(
+                stream.csr_parts(),
+                oracle.csr_parts(),
+                "{what}: CSR parts diverge"
+            );
+            assert_eq!(stream.num_edges(), oracle.num_edges(), "{what}");
+        }
+        for &n in &[16usize, 257, 1000] {
+            for seed in 0..3u64 {
+                assert_identical(
+                    &gnutella(n, seed),
+                    &gnutella::gnutella_materialized(n, seed),
+                    &format!("gnutella n={n} seed={seed}"),
+                );
+                assert_identical(
+                    &random_average_degree(n, 5.0, seed),
+                    &random::random_average_degree_materialized(n, 5.0, seed),
+                    &format!("random n={n} seed={seed}"),
+                );
+                assert_identical(
+                    &power_law(n, 2.9, seed),
+                    &powerlaw::power_law_materialized(n, 2.9, seed),
+                    &format!("power_law n={n} seed={seed}"),
+                );
+                assert_identical(
+                    &barabasi_albert(n, 2, seed),
+                    &powerlaw::barabasi_albert_materialized(n, 2, seed),
+                    &format!("barabasi_albert n={n} seed={seed}"),
+                );
+            }
+            let side = (n as f64).sqrt().floor() as usize;
+            assert_identical(
+                &grid(side, side + 1),
+                &grid::grid_materialized(side, side + 1),
+                &format!("grid {side}x{}", side + 1),
+            );
+        }
+        // The dense complete-graph branch of the random generator.
+        assert_identical(
+            &random_average_degree(6, 5.0, 0),
+            &random::random_average_degree_materialized(6, 5.0, 0),
+            "random dense limit",
+        );
+    }
 }

@@ -2,17 +2,15 @@
 //! Barabási–Albert [4]).
 
 use crate::analysis::connect_components;
-use crate::{Graph, GraphBuilder, HostId};
+use crate::{EdgeSink, Graph, HostId, StreamingBuilder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Barabási–Albert preferential attachment: each arriving host attaches
-/// to `m` existing hosts chosen proportionally to degree. Produces a
-/// connected graph with a power-law tail of exponent ≈ 3.
-pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+/// Emit the Barabási–Albert edge stream into `sink`. Shared by the
+/// streaming production path and the materialized `#[cfg(test)]` oracle.
+fn emit_barabasi_albert<S: EdgeSink>(n: usize, m: usize, seed: u64, sink: &mut S) {
     assert!(n > m && m >= 1, "need n > m >= 1");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_hosts(n);
     // Repeated-endpoints list: choosing uniformly from it is
     // degree-proportional choice.
     let mut endpoints: Vec<HostId> = Vec::with_capacity(2 * n * m);
@@ -20,7 +18,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     // Seed clique on the first m+1 hosts.
     for a in 0..=(m as u32) {
         for bb in (a + 1)..=(m as u32) {
-            b.add_edge(HostId(a), HostId(bb));
+            sink.add_edge(HostId(a), HostId(bb));
             endpoints.push(HostId(a));
             endpoints.push(HostId(bb));
         }
@@ -35,19 +33,35 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
             }
         }
         for t in chosen {
-            b.add_edge(v, t);
+            sink.add_edge(v, t);
             endpoints.push(v);
             endpoints.push(t);
         }
     }
+}
+
+/// Barabási–Albert preferential attachment: each arriving host attaches
+/// to `m` existing hosts chosen proportionally to degree. Produces a
+/// connected graph with a power-law tail of exponent ≈ 3.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    let hint = n * m + m * m;
+    let mut b = StreamingBuilder::with_edge_capacity(n, hint);
+    emit_barabasi_albert(n, m, seed, &mut b);
     b.build()
 }
 
-/// Configuration-model power-law graph with target degree exponent
-/// `gamma` (the paper uses γ = 2.9). Draws degrees from a truncated
-/// discrete power law (min degree 2, max `√n`), pairs stubs uniformly at
-/// random, erases self-loops/multi-edges and patches connectivity.
-pub fn power_law(n: usize, gamma: f64, seed: u64) -> Graph {
+/// The pre-streaming materialized BA path, kept as the byte-identity
+/// oracle for `generators::tests::streaming_matches_materialized_oracle`.
+#[cfg(test)]
+pub(crate) fn barabasi_albert_materialized(n: usize, m: usize, seed: u64) -> Graph {
+    let mut b = crate::GraphBuilder::with_hosts(n);
+    emit_barabasi_albert(n, m, seed, &mut b);
+    b.build()
+}
+
+/// Emit the configuration-model stub pairing into `sink`. Shared by the
+/// streaming production path and the materialized `#[cfg(test)]` oracle.
+fn emit_power_law<S: EdgeSink>(n: usize, gamma: f64, seed: u64, sink: &mut S) {
     assert!(n >= 4, "need at least 4 hosts");
     assert!(gamma > 1.0, "gamma must exceed 1");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -82,12 +96,31 @@ pub fn power_law(n: usize, gamma: f64, seed: u64) -> Graph {
     for i in (1..stubs.len()).rev() {
         stubs.swap(i, rng.gen_range(0..=i));
     }
-    let mut b = GraphBuilder::with_hosts(n);
     for pair in stubs.chunks_exact(2) {
-        b.add_edge(pair[0], pair[1]);
+        sink.add_edge(pair[0], pair[1]);
     }
-    let g = b.build();
-    let (g, _) = connect_components(&g);
+}
+
+/// Configuration-model power-law graph with target degree exponent
+/// `gamma` (the paper uses γ = 2.9). Draws degrees from a truncated
+/// discrete power law (min degree 2, max `√n`), pairs stubs uniformly at
+/// random, erases self-loops/multi-edges and patches connectivity.
+pub fn power_law(n: usize, gamma: f64, seed: u64) -> Graph {
+    // Mean degree of the truncated power law is a little over min_deg.
+    let hint = (n as f64 * 1.5) as usize + 16;
+    let mut b = StreamingBuilder::with_edge_capacity(n, hint);
+    emit_power_law(n, gamma, seed, &mut b);
+    let (g, _) = connect_components(&b.build());
+    g
+}
+
+/// The pre-streaming materialized path, kept as the byte-identity oracle
+/// for `generators::tests::streaming_matches_materialized_oracle`.
+#[cfg(test)]
+pub(crate) fn power_law_materialized(n: usize, gamma: f64, seed: u64) -> Graph {
+    let mut b = crate::GraphBuilder::with_hosts(n);
+    emit_power_law(n, gamma, seed, &mut b);
+    let (g, _) = connect_components(&b.build());
     g
 }
 

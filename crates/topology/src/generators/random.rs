@@ -1,30 +1,25 @@
 //! Uniform random graphs (the §6.1 "Random" topology).
 
 use crate::analysis::connect_components;
-use crate::{Graph, GraphBuilder, HostId};
+use crate::{EdgeSink, Graph, HostId, StreamingBuilder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// `G(n, p)` with `p` chosen so the expected average degree is
-/// `avg_degree`, then patched to a single connected component (§6.1:
-/// *"constructed by placing an edge between pairs of hosts with uniform
-/// probability such that average degree is 5"*).
-///
-/// Uses geometric edge skipping so generation is `O(|E|)` rather than
-/// `O(n²)`, which matters at the paper's 40K-host scale.
-pub fn random_average_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
+/// Emit the `G(n, p)` edge stream into `sink`. Shared by the streaming
+/// production path and the materialized `#[cfg(test)]` oracle, so both
+/// consume the rng identically.
+fn emit_random<S: EdgeSink>(n: usize, avg_degree: f64, seed: u64, sink: &mut S) {
     assert!(n >= 2, "need at least two hosts");
     let p = (avg_degree / (n as f64 - 1.0)).clamp(0.0, 1.0);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_hosts(n);
 
     if p >= 1.0 {
         for a in 0..n as u32 {
             for bb in (a + 1)..n as u32 {
-                b.add_edge(HostId(a), HostId(bb));
+                sink.add_edge(HostId(a), HostId(bb));
             }
         }
-        return b.build();
+        return;
     }
     if p > 0.0 {
         // Iterate over the implicit index of pairs (a, b), a < b, skipping
@@ -41,12 +36,36 @@ pub fn random_average_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
                 a += 1;
             }
             if a < n {
-                b.add_edge(HostId(bb as u32), HostId(a as u32));
+                sink.add_edge(HostId(bb as u32), HostId(a as u32));
             }
         }
     }
-    let g = b.build();
-    let (g, _) = connect_components(&g);
+}
+
+/// `G(n, p)` with `p` chosen so the expected average degree is
+/// `avg_degree`, then patched to a single connected component (§6.1:
+/// *"constructed by placing an edge between pairs of hosts with uniform
+/// probability such that average degree is 5"*).
+///
+/// Uses geometric edge skipping so generation is `O(|E|)` rather than
+/// `O(n²)`, and streams edges straight into the CSR builder so peak
+/// memory is one flat pair buffer — `O(|E|)` with a small constant.
+pub fn random_average_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    // Expected |E| = n·avg/2; pad a little so the buffer rarely grows.
+    let hint = ((n as f64 * avg_degree / 2.0) * 1.05) as usize + 16;
+    let mut b = StreamingBuilder::with_edge_capacity(n, hint);
+    emit_random(n, avg_degree, seed, &mut b);
+    let (g, _) = connect_components(&b.build());
+    g
+}
+
+/// The pre-streaming materialized path, kept as the byte-identity oracle
+/// for `generators::tests::streaming_matches_materialized_oracle`.
+#[cfg(test)]
+pub(crate) fn random_average_degree_materialized(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    let mut b = crate::GraphBuilder::with_hosts(n);
+    emit_random(n, avg_degree, seed, &mut b);
+    let (g, _) = connect_components(&b.build());
     g
 }
 

@@ -135,6 +135,28 @@ impl Graph {
         }
         hist
     }
+
+    /// Assemble a graph directly from CSR parts. The caller guarantees the
+    /// invariants: `offsets` has length `n + 1`, is non-decreasing, starts
+    /// at 0; each host's `targets` slice is sorted, deduplicated and
+    /// symmetric. Used by [`crate::analysis::connect_components`] to patch
+    /// a graph without round-tripping through a [`GraphBuilder`].
+    pub(crate) fn from_csr(offsets: Vec<u32>, targets: Vec<HostId>, num_edges: usize) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(targets.len(), 2 * num_edges);
+        Graph {
+            offsets,
+            targets,
+            num_edges,
+        }
+    }
+
+    /// The raw CSR parts, for byte-level comparisons in tests.
+    #[cfg(test)]
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[HostId]) {
+        (&self.offsets, &self.targets)
+    }
 }
 
 impl fmt::Debug for Graph {
@@ -144,6 +166,19 @@ impl fmt::Debug for Graph {
             .field("edges", &self.num_edges())
             .finish()
     }
+}
+
+/// Anything that can receive a stream of undirected edges.
+///
+/// Topology generators emit edges through this trait, which lets the
+/// same generator body feed either the materialized [`GraphBuilder`]
+/// (kept as the test oracle) or the flat [`StreamingBuilder`] used in
+/// production. Implementations must treat `add_edge(a, b)` and
+/// `add_edge(b, a)` as the same edge and ignore self-loops.
+pub trait EdgeSink {
+    /// Add the undirected edge `(a, b)`. Self-loops are ignored;
+    /// duplicates are deduplicated at build time.
+    fn add_edge(&mut self, a: HostId, b: HostId);
 }
 
 /// Incremental builder for [`Graph`]; tolerates duplicate edge insertions
@@ -202,6 +237,117 @@ impl GraphBuilder {
             targets,
             num_edges: num_half_edges / 2,
         }
+    }
+}
+
+impl EdgeSink for GraphBuilder {
+    fn add_edge(&mut self, a: HostId, b: HostId) {
+        GraphBuilder::add_edge(self, a, b);
+    }
+}
+
+/// Streaming CSR builder: collects each undirected edge as one packed
+/// `u64` pair and counting-sorts the pairs straight into the CSR arena.
+///
+/// Unlike [`GraphBuilder`] there is no per-host `Vec` (no `n` separate
+/// allocations, no pointer-chasing during build): peak memory is one flat
+/// pair buffer (8 bytes per inserted edge) plus the final CSR arrays, i.e.
+/// `O(edges)` regardless of how skewed the degree distribution is. This is
+/// what makes topology generation at `n = 10⁶` fit the scaling budget —
+/// see `docs/SCALING.md`.
+///
+/// Produces output byte-identical to `GraphBuilder::build` for the same
+/// edge multiset (property-tested per generator in
+/// `generators::tests::streaming_matches_materialized_oracle`).
+#[derive(Clone, Debug)]
+pub struct StreamingBuilder {
+    num_hosts: usize,
+    /// Canonicalized edges, packed `(min << 32) | max`. Sorting these
+    /// lexicographically is exactly sorting by `(min, max)`.
+    pairs: Vec<u64>,
+}
+
+impl StreamingBuilder {
+    /// A streaming builder for a graph with `n` hosts.
+    pub fn with_hosts(n: usize) -> Self {
+        StreamingBuilder {
+            num_hosts: n,
+            pairs: Vec::new(),
+        }
+    }
+
+    /// A streaming builder with capacity reserved for `edges` insertions
+    /// (counting duplicates). Generators that know their edge budget pass
+    /// it here so the pair buffer never reallocates mid-stream.
+    pub fn with_edge_capacity(n: usize, edges: usize) -> Self {
+        StreamingBuilder {
+            num_hosts: n,
+            pairs: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    /// Add the undirected edge `(a, b)`. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: HostId, b: HostId) {
+        if a == b {
+            return;
+        }
+        debug_assert!(a.index() < self.num_hosts && b.index() < self.num_hosts);
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.pairs.push(((lo as u64) << 32) | hi as u64);
+    }
+
+    /// Finalize: sort and deduplicate the pair buffer, then counting-sort
+    /// it into the CSR arena.
+    ///
+    /// Filling in pair-sorted order leaves every neighbour list already
+    /// sorted ascending: host `h` first receives its smaller neighbours
+    /// `c < h` (from pairs `(c, h)`, which sort before any `(h, ·)` pair),
+    /// each in ascending `c` order, then its larger neighbours from
+    /// `(h, b)` pairs in ascending `b` order.
+    pub fn build(mut self) -> Graph {
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        let n = self.num_hosts;
+        let num_edges = self.pairs.len();
+        assert!(
+            num_edges <= (u32::MAX / 2) as usize,
+            "edge count overflows u32 CSR offsets"
+        );
+        let mut offsets = vec![0u32; n + 1];
+        for &p in &self.pairs {
+            offsets[(p >> 32) as usize + 1] += 1;
+            offsets[(p & 0xffff_ffff) as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // cursor[h] = next free slot in h's CSR slice.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![HostId(0); 2 * num_edges];
+        for &p in &self.pairs {
+            let a = (p >> 32) as u32;
+            let b = (p & 0xffff_ffff) as u32;
+            targets[cursor[a as usize] as usize] = HostId(b);
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = HostId(a);
+            cursor[b as usize] += 1;
+        }
+        Graph {
+            offsets,
+            targets,
+            num_edges,
+        }
+    }
+}
+
+impl EdgeSink for StreamingBuilder {
+    fn add_edge(&mut self, a: HostId, b: HostId) {
+        StreamingBuilder::add_edge(self, a, b);
     }
 }
 
@@ -282,6 +428,42 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.average_degree(), 0.0);
         assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn streaming_builder_matches_graph_builder() {
+        // Same insertion stream — duplicates, both orientations, a
+        // self-loop — must produce byte-identical CSR parts.
+        let inserts = [(0u32, 3u32), (3, 0), (0, 1), (2, 1), (0, 2), (2, 2)];
+        let mut gb = GraphBuilder::with_hosts(4);
+        let mut sb = StreamingBuilder::with_edge_capacity(4, inserts.len());
+        for &(a, b) in &inserts {
+            gb.add_edge(HostId(a), HostId(b));
+            sb.add_edge(HostId(a), HostId(b));
+        }
+        let g = gb.build();
+        let s = sb.build();
+        assert_eq!(g.csr_parts(), s.csr_parts());
+        assert_eq!(g.num_edges(), s.num_edges());
+    }
+
+    #[test]
+    fn streaming_builder_sorted_neighbors_and_isolated_hosts() {
+        let mut sb = StreamingBuilder::with_hosts(5);
+        sb.add_edge(HostId(4), HostId(1));
+        sb.add_edge(HostId(1), HostId(0));
+        sb.add_edge(HostId(1), HostId(3));
+        let g = sb.build();
+        assert_eq!(g.neighbors(HostId(1)), &[HostId(0), HostId(3), HostId(4)]);
+        assert_eq!(g.degree(HostId(2)), 0);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn streaming_builder_empty() {
+        let g = StreamingBuilder::with_hosts(0).build();
+        assert_eq!(g.num_hosts(), 0);
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod graph;
 mod overlay;
 pub mod ring;
 
-pub use graph::{Graph, GraphBuilder, HostId};
+pub use graph::{EdgeSink, Graph, GraphBuilder, HostId, StreamingBuilder};
 pub use overlay::OverlayView;
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ const DOCS: &[&str] = &[
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKING.md",
     "docs/OBSERVABILITY.md",
+    "docs/SCALING.md",
 ];
 
 fn repo_root() -> PathBuf {
@@ -112,6 +113,7 @@ fn docs_cross_link_each_other() {
         "docs/ARCHITECTURE.md",
         "docs/BENCHMARKING.md",
         "docs/OBSERVABILITY.md",
+        "docs/SCALING.md",
     ] {
         assert!(
             readme_targets
