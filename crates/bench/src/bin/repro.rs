@@ -22,7 +22,7 @@
 //! ```
 
 use pov_bench::engine_bench::{self, BenchMode};
-use pov_bench::{flight, soak, trajectory, Scale};
+use pov_bench::{flight, mux, soak, trajectory, Scale};
 use pov_core::experiments::{
     ablation, adversary, ext_accuracy, fig06, fig10, fig11, fig12, fig13, overlay, price, validity,
 };
@@ -59,7 +59,26 @@ USAGE:
     repro bench [--quick] [--threads N] [--json PATH] [--check BASELINE] [--counters]
     repro bench --overhead [--quick]
     repro bench --scale [--quick] [--json PATH]
+    repro mux [--quick] [--json PATH]
     repro soak [--quick] [--json PATH]
+
+SUBCOMMANDS:
+    (none)         run the paper's §6 experiments (EXPERIMENT subset, or all)
+    list           print the experiment names
+    scenario       run declarative .scn scenario batches and print reports
+    trace          re-run scenario batches with deterministic telemetry traces
+    bench          engine micro-benchmarks, perf gates, and the scale ladder
+    mux            multiplexed-query bench: one shared-substrate workload vs
+                   the same queries run sequentially (queries/sec + speedup)
+    soak           long-horizon endurance run with events/sec and RSS limits
+    overlay        one experiment by name: maintained-overlay vs frozen-graph
+                   validity/cost comparison (`repro overlay`)
+    adversary      one experiment by name: adaptive sketch-targeting attacker
+                   vs oblivious churn at equal budget (`repro adversary`)
+                   — any name from `repro list` runs the same way
+
+    Unknown subcommands are treated as experiment names and rejected with
+    a non-zero exit and a pointer to `repro list`.
 
 OPTIONS:
     --paper        run experiments at the paper's full §6 sizes (default: quick scale)
@@ -93,7 +112,8 @@ OPTIONS:
     --format F     `repro trace` only: emit one exporter's file — jsonl,
                    chrome (trace-event JSON; open in Perfetto), or summary
                    (default: all three)
-    --quick        run `repro bench` / `repro soak` at CI scale instead of full
+    --quick        run `repro bench` / `repro mux` / `repro soak` at CI scale
+                   instead of full
     -h, --help     print this help
 
 ARGUMENTS:
@@ -223,6 +243,7 @@ fn main() {
         Some("scenario") => scenario_main(&args[1..]),
         Some("trace") => trace_main(&args[1..]),
         Some("bench") => bench_main(&args[1..]),
+        Some("mux") => mux_main(&args[1..]),
         Some("soak") => soak_main(&args[1..]),
         _ => experiments_main(&args),
     }
@@ -473,6 +494,16 @@ fn scale_main(mode: BenchMode, opts: &Opts) {
     let entry = trajectory::history_entry(&trajectory::git_sha(), &label, 1, &results);
     let history = trajectory::appended_history(prior.as_deref(), entry);
     write_json(&path, &engine_bench::to_json(mode, 1, &results, history));
+    // Greppable mid-rung line for CI logs: the 10⁵ rung's throughput
+    // next to its RSS, one line, fixed keys.
+    if let Some(r) = results.iter().find(|r| r.name == "scale_100k") {
+        println!(
+            "scale_mid_rung: n {} events_per_sec {:.0} rss_kb {}",
+            r.n,
+            r.events_per_sec,
+            r.peak_rss_kb.map_or("-".to_string(), |k| k.to_string()),
+        );
+    }
     let failures = engine_bench::scale_failures(&results);
     if failures.is_empty() {
         eprintln!(
@@ -486,6 +517,113 @@ fn scale_main(mode: BenchMode, opts: &Opts) {
         }
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------------- mux
+
+/// `repro mux`: the multiplexed-query bench. One shared-substrate run
+/// of the preset workload versus the same queries executed one at a
+/// time over the same environment — answers must agree before any
+/// throughput number is reported, and the wall-clock speedup must reach
+/// [`mux::MIN_SPEEDUP`] or the run exits non-zero (the CI gate).
+fn mux_main(args: &[String]) {
+    let opts = parse_opts(args);
+    if opts.paper {
+        fail("'--paper' applies to the figure experiments, not `repro mux`");
+    }
+    if opts.threads.is_some() {
+        fail("'--threads' does not apply to `repro mux`: both sides run single-threaded");
+    }
+    if opts.check.is_some() {
+        fail("'--check' applies to `repro bench`; `repro mux` gates on its own speedup floor");
+    }
+    reject_trace_flags(&opts, "repro mux");
+    reject_bench_flags(&opts, "repro mux");
+    reject_shard_flag(&opts, "repro mux");
+    if !opts.positional.is_empty() {
+        fail(&format!(
+            "`repro mux` takes no workload arguments (got '{}')",
+            opts.positional[0]
+        ));
+    }
+    let mode = if opts.quick {
+        BenchMode::Quick
+    } else {
+        BenchMode::Full
+    };
+    eprintln!("# multiplexed query bench ({} scale)", mode.label());
+    let r = mux::run(mode);
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "n", "queries", "mux_ms", "seq_ms", "mux_msgs", "seq_msgs", "joins", "valid%"
+    );
+    println!(
+        "{:<10} {:>8} {:>12.1} {:>12.1} {:>12} {:>12} {:>8} {:>7.0}%",
+        r.n,
+        r.queries,
+        r.mux_wall_ms,
+        r.sequential_wall_ms,
+        r.raw_messages,
+        r.sequential_raw_messages,
+        r.cache_joins,
+        r.valid_fraction * 100.0,
+    );
+    // Fixed-key headline lines for the CI awk gate.
+    println!("queries_per_sec: {:.1}", r.queries_per_sec);
+    println!("speedup: {:.2}", r.speedup);
+    if !r.answers_agree() {
+        for m in &r.mismatches {
+            eprintln!("MUX MISMATCH: {m}");
+        }
+        eprintln!(
+            "[mux failed: {} of {} non-joined queries diverged from their solo twins]",
+            r.mismatches.len(),
+            r.queries
+        );
+        std::process::exit(1);
+    }
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let prior = std::fs::read_to_string(&path).ok();
+    let label = format!("mux-{}", mode.label());
+    let entry = Json::obj()
+        .with("sha", trajectory::git_sha())
+        .with("mode", label.as_str())
+        .with("threads", 1u32)
+        .with("mux", r.to_json());
+    let history = trajectory::appended_history(prior.as_deref(), entry);
+    let mut doc = Json::obj()
+        .with("schema", "bench_engine/v2")
+        .with("mode", label.as_str())
+        .with("threads", 1u32);
+    // A mux run must not erase the fixed-workload trajectory record:
+    // carry the prior document's measurement blocks forward untouched.
+    if let Some(p) = prior.as_deref().and_then(|t| Json::parse(t).ok()) {
+        for key in ["workloads", "baseline"] {
+            if let Some(v) = p.get(key) {
+                doc = doc.with(key, v.clone());
+            }
+        }
+    }
+    let doc = doc
+        .with("mux", r.to_json())
+        .with("history", Json::Arr(history));
+    write_json(&path, &doc);
+    if r.speedup < mux::MIN_SPEEDUP {
+        eprintln!(
+            "MUX FAILURE: speedup {:.2}x below the {:.0}x floor",
+            r.speedup,
+            mux::MIN_SPEEDUP
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[mux passed: {:.2}x over sequential at equal per-query answers, floor {:.0}x]",
+        r.speedup,
+        mux::MIN_SPEEDUP
+    );
 }
 
 // --------------------------------------------------------------------- soak
@@ -737,6 +875,31 @@ fn summary_tables(report: &pov_scenario::Report) -> Vec<Table> {
             t
         })
         .collect();
+    if let Some(w) = &report.workload {
+        let title = format!(
+            "scenario '{}' — [workload]: {} queries/cell multiplexed over one substrate: \
+             {:.0}% declared, {:.0}% valid",
+            report.scenario,
+            w.queries_per_cell,
+            w.declared_fraction * 100.0,
+            w.valid_fraction * 100.0,
+        );
+        let mut t = Table::new(title, &["metric", "total"]);
+        t.push(vec![
+            "raw_messages".to_string(),
+            w.stats.raw_messages.to_string(),
+        ]);
+        t.push(vec![
+            "payload_items".to_string(),
+            w.stats.payload_items.to_string(),
+        ]);
+        t.push(vec![
+            "cache_joins".to_string(),
+            w.stats.cache_joins.to_string(),
+        ]);
+        t.push(vec!["queries".to_string(), w.records.len().to_string()]);
+        tables.push(t);
+    }
     for paired in &report.paired {
         let title = format!(
             "scenario '{}' — paired difference {} − {} per (seed, rep, window) cell",

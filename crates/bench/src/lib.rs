@@ -13,6 +13,7 @@
 
 pub mod engine_bench;
 pub mod flight;
+pub mod mux;
 pub mod soak;
 pub mod trajectory;
 

@@ -50,6 +50,7 @@ pub mod continuous;
 pub mod experiments;
 mod facade;
 pub mod judged;
+pub mod mux;
 pub mod report;
 pub mod ring_estimator;
 pub mod workload;

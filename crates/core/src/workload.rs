@@ -123,4 +123,80 @@ mod tests {
     fn rejects_inverted_range() {
         Zipf::new(10, 5, 1.0);
     }
+
+    // Property coverage past the paper defaults: arbitrary ranges and
+    // exponents (s ≠ 1 included), not just `[10, 500]` at s = 1. The
+    // vendored proptest only ships integer range strategies, so the
+    // exponent is drawn as a scaled integer: 5..400 → s ∈ [0.05, 4.0).
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn exponent() -> impl Strategy<Value = f64> {
+            (5u64..400).prop_map(|raw| raw as f64 / 100.0)
+        }
+
+        proptest! {
+            /// The inverse-CDF table is sound for any parameters: one
+            /// entry per integer in the range, non-decreasing, and
+            /// normalised to 1 at the tail.
+            #[test]
+            fn cdf_is_monotone_and_complete(
+                min in 0u64..10_000,
+                span in 0u64..400,
+                s in exponent(),
+            ) {
+                let z = Zipf::new(min, min + span, s);
+                prop_assert_eq!(z.cdf.len() as u64, span + 1);
+                for w in z.cdf.windows(2) {
+                    prop_assert!(w[0] <= w[1], "CDF must be monotone");
+                }
+                let tail = *z.cdf.last().unwrap();
+                prop_assert!((tail - 1.0).abs() < 1e-9, "CDF tail {tail}");
+            }
+
+            /// Every draw lands inside `[min, max]` for any exponent.
+            #[test]
+            fn samples_stay_in_range(
+                min in 0u64..10_000,
+                span in 0u64..400,
+                s in exponent(),
+                seed in 0u64..1 << 48,
+            ) {
+                let z = Zipf::new(min, min + span, s);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                for v in z.sample_n(64, &mut rng) {
+                    prop_assert!((min..=min + span).contains(&v));
+                }
+            }
+
+            /// A degenerate single-value range is a constant sampler.
+            #[test]
+            fn single_value_range_is_constant(
+                min in 0u64..10_000,
+                s in exponent(),
+                seed in 0u64..1 << 48,
+            ) {
+                let z = Zipf::new(min, min, s);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                prop_assert!(z.sample_n(32, &mut rng).iter().all(|&v| v == min));
+            }
+
+            /// Identical seeds replay identical streams for any
+            /// parameters — the determinism contract every experiment
+            /// leans on.
+            #[test]
+            fn identical_seeds_identical_streams(
+                min in 0u64..10_000,
+                span in 0u64..400,
+                s in exponent(),
+                seed in 0u64..1 << 48,
+            ) {
+                let z = Zipf::new(min, min + span, s);
+                let a = z.sample_n(50, &mut SmallRng::seed_from_u64(seed));
+                let b = z.sample_n(50, &mut SmallRng::seed_from_u64(seed));
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
 }

@@ -9,6 +9,7 @@
 //! | [`dag`] | §4.4 | best-effort with `k`-parent redundancy |
 //! | [`wildfire`] | §5 | Single-Site Validity (min/max exact; count/sum/avg within FM factor) |
 //! | [`gossip`] | §2.2 | eventual consistency (push-sum baseline) |
+//! | [`mux`] | §4.4 × N | best-effort per query; many queries share one substrate |
 //!
 //! All protocols implement [`pov_sim::NodeLogic`] and are driven by the
 //! shared runner in [`runner`], which wires a topology, per-host values,
@@ -22,6 +23,7 @@ pub mod allreport;
 mod common;
 pub mod dag;
 pub mod gossip;
+pub mod mux;
 pub mod observer;
 mod pool;
 pub mod runner;
@@ -29,6 +31,7 @@ pub mod spanning_tree;
 pub mod wildfire;
 
 pub use common::{Aggregate, Operator, Partial, QuerySpec};
+pub use mux::{run_mux, MuxOutcome, MuxPlan, MuxQuery, QueryId};
 pub use observer::ProtocolObserver;
 pub use pov_overlay::OverlayConfig;
 pub use runner::{AdversarySpec, AdversaryTarget, ContinuousSpec, Outcome, ProtocolKind, RunPlan};

@@ -23,6 +23,7 @@
 //! degree capacity each bound the idle pool to a few megabytes per
 //! thread while fully recycling the scenario library's cell sizes.
 
+use crate::mux::{MuxItem, QueryId};
 use pov_topology::HostId;
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -37,6 +38,7 @@ struct Pool {
     hosts: Vec<Vec<HostId>>,
     host_sets: Vec<HashSet<HostId>>,
     values: Vec<Vec<u64>>,
+    mux_items: Vec<Vec<(QueryId, MuxItem)>>,
 }
 
 thread_local! {
@@ -74,6 +76,12 @@ macro_rules! pooled {
 pooled!(take_hosts, put_hosts, hosts, Vec<HostId>);
 pooled!(take_host_set, put_host_set, host_sets, HashSet<HostId>);
 pooled!(take_values, put_values, values, Vec<u64>);
+pooled!(
+    take_mux_items,
+    put_mux_items,
+    mux_items,
+    Vec<(QueryId, MuxItem)>
+);
 
 #[cfg(test)]
 mod tests {

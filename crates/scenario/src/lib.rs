@@ -50,11 +50,11 @@ pub use json::{table_to_json, Json};
 pub use parse::ParseError;
 pub use run::{
     run_batch, run_batch_sharded, Agg, PairedDiff, PairedSection, ProtocolSection, Report,
-    RunRecord,
+    RunRecord, WorkloadCellStats, WorkloadRecord, WorkloadSection,
 };
 pub use spec::{
     AdversarySpec, ChurnSpec, ContinuousSpec, PartitionSpec, PhasesSpec, ProtocolSpec, Scenario,
-    TelemetrySpec,
+    TelemetrySpec, WorkloadSpec,
 };
 pub use trace::{trace_batch, trace_batch_sharded};
 

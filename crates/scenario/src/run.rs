@@ -17,7 +17,10 @@
 use crate::json::Json;
 use crate::spec::{ChurnSpec, Scenario};
 use pov_core::judged::judged_plan;
-use pov_core::pov_protocols::{AdversarySpec as PlanAdversarySpec, OverlayConfig, RunPlan};
+use pov_core::mux::{judged_mux, WindowSpec, WorkloadSpec as MuxWorkloadSpec};
+use pov_core::pov_protocols::{
+    AdversarySpec as PlanAdversarySpec, MuxPlan, OverlayConfig, RunPlan,
+};
 use pov_core::pov_sim::{ChurnPlan, PartitionPlan, PhaseSchedule, Time};
 use pov_core::pov_topology::{analysis, Graph, HostId};
 use pov_core::workload;
@@ -222,6 +225,109 @@ impl PairedSection {
     }
 }
 
+/// What one query of a cell's `[workload]` produced inside the
+/// multiplexed run, judged over the query's own interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadRecord {
+    /// Root seed of this cell.
+    pub seed: u64,
+    /// Repetition index under that seed.
+    pub rep: usize,
+    /// Query index inside the cell's workload.
+    pub query: u32,
+    /// Aggregate display name (`count`, `sum`, …).
+    pub aggregate: &'static str,
+    /// The query's root host.
+    pub root: u32,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Declared value (`None` if the root died first).
+    pub value: Option<f64>,
+    /// Whether the ORACLE judged the declared value Single-Site Valid
+    /// over this query's own interval.
+    pub valid: bool,
+    /// Declaration instant in ticks.
+    pub declared_at: Option<u64>,
+    /// `|HC|` over the query's interval.
+    pub hc: usize,
+    /// `|HU|` over the query's interval.
+    pub hu: usize,
+    /// Payload items charged to this query across all hosts.
+    pub payload_msgs: u64,
+    /// Whether the query joined a live wave via the partial cache.
+    pub joined: bool,
+}
+
+/// One cell's raw multiplexing economics: what the shared substrate
+/// actually sent versus what the co-resident queries paid in payload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkloadCellStats {
+    /// Raw engine messages (shared wave messages actually sent).
+    pub raw_messages: u64,
+    /// Total payload items across all queries.
+    pub payload_items: u64,
+    /// Queries that joined a live wave through the partial cache.
+    pub cache_joins: u64,
+}
+
+impl WorkloadCellStats {
+    fn add(&mut self, other: WorkloadCellStats) {
+        self.raw_messages += other.raw_messages;
+        self.payload_items += other.payload_items;
+        self.cache_joins += other.cache_joins;
+    }
+}
+
+/// The `[workload]` slice of a batch report: per-query verdicts over
+/// the whole matrix plus the summed sharing economics.
+#[derive(Clone, Debug)]
+pub struct WorkloadSection {
+    /// Queries per cell (after sliding-window expansion).
+    pub queries_per_cell: usize,
+    /// Fraction of workload queries whose root declared.
+    pub declared_fraction: f64,
+    /// Fraction of workload queries judged Single-Site Valid.
+    pub valid_fraction: f64,
+    /// Summed sharing economics over all cells.
+    pub stats: WorkloadCellStats,
+    /// Per-query results in matrix order (seed-major, then repetition,
+    /// then query index).
+    pub records: Vec<WorkloadRecord>,
+}
+
+impl WorkloadSection {
+    fn to_json(&self) -> Json {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("seed", r.seed)
+                    .with("rep", r.rep)
+                    .with("query", r.query)
+                    .with("aggregate", r.aggregate)
+                    .with("root", r.root)
+                    .with("arrival", r.arrival)
+                    .with("value", r.value)
+                    .with("valid", r.valid)
+                    .with("declared_at", r.declared_at)
+                    .with("hc", r.hc)
+                    .with("hu", r.hu)
+                    .with("payload_msgs", r.payload_msgs)
+                    .with("joined", r.joined)
+            })
+            .collect();
+        Json::obj()
+            .with("queries_per_cell", self.queries_per_cell)
+            .with("declared_fraction", self.declared_fraction)
+            .with("valid_fraction", self.valid_fraction)
+            .with("raw_messages", self.stats.raw_messages)
+            .with("payload_items", self.stats.payload_items)
+            .with("cache_joins", self.stats.cache_joins)
+            .with("records", Json::Arr(records))
+    }
+}
+
 /// The aggregated result of one scenario batch: shared run facts plus
 /// one [`ProtocolSection`] per `[[protocol]]` contender, all computed
 /// from the same per-cell churn realizations.
@@ -250,6 +356,9 @@ pub struct Report {
     /// Paired per-cell differences of every later protocol against the
     /// first (empty for single-protocol scenarios).
     pub paired: Vec<PairedSection>,
+    /// Per-query verdicts of the `[workload]` multiplexed runs (`None`
+    /// without a `[workload]` section).
+    pub workload: Option<WorkloadSection>,
 }
 
 impl Report {
@@ -276,7 +385,7 @@ impl Report {
     /// The JSON document emitted by `repro scenario --json` (and diffed
     /// byte-for-byte by the determinism gate).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let doc = Json::obj()
             .with("scenario", self.scenario.as_str())
             .with("topology", self.topology.as_str())
             .with("churn_model", self.churn_model.as_str())
@@ -293,7 +402,13 @@ impl Report {
             .with(
                 "paired",
                 Json::Arr(self.paired.iter().map(|p| p.to_json()).collect()),
-            )
+            );
+        // The key exists only for [workload] scenarios, so workload-free
+        // reports stay byte-identical to their historical renderings.
+        match &self.workload {
+            Some(w) => doc.with("workload", w.to_json()),
+            None => doc,
+        }
     }
 }
 
@@ -469,6 +584,8 @@ pub(crate) struct CellPlan {
     /// The phase schedule the regime lowered from (`None` without a
     /// `[phases]` section).
     pub(crate) phases: Option<PhaseSchedule>,
+    /// The cell's workload seed (`None` without a `[workload]` section).
+    pub(crate) workload_seed: Option<u64>,
 }
 
 /// Lower one `(seed, rep)` cell to its [`RunPlan`]. This is *the* cell
@@ -486,6 +603,8 @@ pub(crate) fn cell_plan(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) 
     // scenario has an [overlay] section — overlay-free scenarios keep
     // their exact historical seed streams (byte-identical reports).
     let overlay_seed: Option<u64> = scn.overlay.map(|_| stream.gen());
+    // Same discipline for [workload], drawn after the overlay seed.
+    let workload_seed: Option<u64> = scn.workload.map(|_| stream.gen());
     // Churn/partition windows are fractions of the regime span in
     // *ticks*: the `2·D̂·δ` deadline, or the full multi-window horizon.
     let deadline = 2 * prep.d_hat as u64 * scn.delay.bound();
@@ -537,7 +656,80 @@ pub(crate) fn cell_plan(scn: &Scenario, prep: &Prepared, seed: u64, rep: usize) 
     CellPlan {
         plan,
         phases: phase_schedule,
+        workload_seed,
     }
+}
+
+/// What one `(seed, rep)` cell hands back to the regrouping step: one
+/// record stream per protocol, plus the multiplexed workload's records
+/// and sharing stats when the scenario carries a `[workload]`.
+struct CellOutput {
+    protocols: Vec<Vec<RunRecord>>,
+    workload: Option<(Vec<WorkloadRecord>, WorkloadCellStats)>,
+}
+
+/// Execute one cell's `[workload]`: lower the fractions to ticks of the
+/// unit-delay mux deadline `2·D̂`, materialize the arrival process from
+/// the cell's workload seed, and run all queries multiplexed against
+/// the *same* churn/partition realization the protocol contenders saw.
+fn run_cell_workload(
+    scn: &Scenario,
+    prep: &Prepared,
+    plan: &RunPlan,
+    workload_seed: u64,
+    seed: u64,
+    rep: usize,
+) -> (Vec<WorkloadRecord>, WorkloadCellStats) {
+    let wl = scn.workload.expect("caller checked [workload] presence");
+    // The multiplexed engine always runs on the unit-delay point-to-point
+    // substrate, so its deadline base is 2·D̂ hops = ticks.
+    let base = 2 * prep.d_hat as u64;
+    let frac = |f: f64| (f * base as f64).round() as u64;
+    let spec = MuxWorkloadSpec {
+        queries: wl.queries,
+        span: frac(wl.span).max(1),
+        d_hat: prep.d_hat,
+        window: wl.window.map(|(window, slide, instances)| {
+            let window = frac(window).max(2);
+            WindowSpec {
+                window,
+                slide: frac(slide).clamp(1, window - 1),
+                instances,
+            }
+        }),
+        seed: workload_seed,
+    };
+    let queries = spec.generate(prep.graph.num_hosts());
+    let mux_plan = MuxPlan {
+        churn: plan.churn.clone(),
+        partition: plan.partition.clone(),
+        seed: plan.seed,
+    };
+    let (judged, out) = judged_mux(&prep.graph, &prep.values, &queries, &mux_plan);
+    let records = judged
+        .iter()
+        .map(|j| WorkloadRecord {
+            seed,
+            rep,
+            query: j.query.id.0,
+            aggregate: j.query.aggregate.name(),
+            root: j.query.root.0,
+            arrival: j.query.arrival,
+            value: j.value,
+            valid: j.is_valid(),
+            declared_at: j.declared_at.map(|t| t.ticks()),
+            hc: j.hc_size,
+            hu: j.hu_size,
+            payload_msgs: j.payload_msgs,
+            joined: j.joined,
+        })
+        .collect();
+    let stats = WorkloadCellStats {
+        raw_messages: out.raw_messages,
+        payload_items: out.payload_items,
+        cache_joins: out.cache_joins,
+    };
+    (records, stats)
 }
 
 /// Execute one `(seed, rep)` cell: every protocol (and window) shares
@@ -548,15 +740,17 @@ fn run_cell(
     seed: u64,
     rep: usize,
     shard_delivery: Option<usize>,
-) -> Vec<Vec<RunRecord>> {
+) -> CellOutput {
     let CellPlan {
         mut plan,
         phases: phase_schedule,
+        workload_seed,
     } = cell_plan(scn, prep, seed, rep);
     if let Some(threads) = shard_delivery {
         plan = plan.sharded_delivery(threads);
     }
-    judged_plan(&prep.graph, &prep.values, &plan)
+    let workload = workload_seed.map(|ws| run_cell_workload(scn, prep, &plan, ws, seed, rep));
+    let protocols = judged_plan(&prep.graph, &prep.values, &plan)
         .into_iter()
         .map(|protocol| {
             protocol
@@ -579,7 +773,11 @@ fn run_cell(
                 })
                 .collect()
         })
-        .collect()
+        .collect();
+    CellOutput {
+        protocols,
+        workload,
+    }
 }
 
 /// Execute the whole batch on `threads` workers and aggregate.
@@ -627,7 +825,8 @@ pub fn run_batch_sharded(scn: &Scenario, threads: usize, shard_delivery: Option<
         "scenario '{}' has an empty seeds × repetitions matrix",
         scn.name
     );
-    let mut cells: Vec<Option<Vec<Vec<RunRecord>>>> = vec![None; jobs.len()];
+    let mut cells: Vec<Option<CellOutput>> = Vec::new();
+    cells.resize_with(jobs.len(), || None);
 
     let chunk = jobs.len().div_ceil(threads);
     std::thread::scope(|scope| {
@@ -642,15 +841,49 @@ pub fn run_batch_sharded(scn: &Scenario, threads: usize, shard_delivery: Option<
     });
 
     // Regroup: cell-major [(protocol, windows)] → protocol-major record
-    // streams, still in deterministic (seed, rep, window) order.
+    // streams, still in deterministic (seed, rep, window) order. The
+    // workload streams concatenate in the same cell order.
     let mut per_protocol: Vec<Vec<RunRecord>> = vec![Vec::new(); scn.protocols.len()];
+    let mut workload_records: Vec<WorkloadRecord> = Vec::new();
+    let mut workload_stats = WorkloadCellStats::default();
     for cell in cells {
         let cell = cell.expect("every cell ran");
-        for (p, records) in cell.into_iter().enumerate() {
+        for (p, records) in cell.protocols.into_iter().enumerate() {
             per_protocol[p].extend(records);
         }
+        if let Some((records, stats)) = cell.workload {
+            workload_records.extend(records);
+            workload_stats.add(stats);
+        }
     }
-    aggregate(scn, &prep, jobs.len(), per_protocol)
+    let workload = scn
+        .workload
+        .map(|_| workload_section(workload_records, workload_stats));
+    aggregate(scn, &prep, jobs.len(), per_protocol, workload)
+}
+
+/// Aggregate the concatenated workload record stream into its report
+/// section.
+fn workload_section(records: Vec<WorkloadRecord>, stats: WorkloadCellStats) -> WorkloadSection {
+    let per_cell = records
+        .first()
+        .map(|r0| {
+            records
+                .iter()
+                .filter(|r| (r.seed, r.rep) == (r0.seed, r0.rep))
+                .count()
+        })
+        .unwrap_or(0);
+    let total = records.len().max(1);
+    let declared = records.iter().filter(|r| r.value.is_some()).count();
+    let valid = records.iter().filter(|r| r.valid).count();
+    WorkloadSection {
+        queries_per_cell: per_cell,
+        declared_fraction: declared as f64 / total as f64,
+        valid_fraction: valid as f64 / total as f64,
+        stats,
+        records,
+    }
 }
 
 fn aggregate(
@@ -658,6 +891,7 @@ fn aggregate(
     prep: &Prepared,
     runs: usize,
     per_protocol: Vec<Vec<RunRecord>>,
+    workload: Option<WorkloadSection>,
 ) -> Report {
     let sections: Vec<ProtocolSection> = scn
         .protocols
@@ -719,6 +953,7 @@ fn aggregate(
         valid_fraction: valid as f64 / all.max(1) as f64,
         protocols: sections,
         paired,
+        workload,
     }
 }
 
@@ -787,6 +1022,7 @@ mod tests {
             continuous: None,
             telemetry: None,
             overlay: None,
+            workload: None,
             seeds: vec![1, 2, 3],
             repetitions: 2,
         }
@@ -1270,6 +1506,79 @@ mod tests {
     #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_rejected() {
         run_batch(&tiny(ChurnSpec::None), 0);
+    }
+
+    #[test]
+    fn workload_scenario_reports_per_query_verdicts() {
+        let mut scn = tiny(ChurnSpec::Uniform {
+            fraction: 0.1,
+            window: (0.0, 1.0),
+        });
+        scn.workload = Some(crate::spec::WorkloadSpec {
+            queries: 12,
+            span: 1.0,
+            window: None,
+        });
+        let report = run_batch(&scn, 2);
+        let w = report.workload.as_ref().expect("workload section");
+        assert_eq!(w.queries_per_cell, 12);
+        assert_eq!(w.records.len(), 12 * report.runs);
+        // Matrix order: seed-major, then repetition, then query index.
+        let order: Vec<(u64, usize, u32)> =
+            w.records.iter().map(|r| (r.seed, r.rep, r.query)).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        // Sharing economics are accounted.
+        assert!(w.stats.raw_messages > 0);
+        assert!(w.stats.payload_items > 0);
+        // The key lands in the JSON document, byte-identically across
+        // thread counts like every other report slice.
+        let json = report.to_json().render();
+        assert!(json.contains("\"workload\""), "{json}");
+        assert!(json.contains("\"payload_msgs\""), "{json}");
+        assert_eq!(json, run_batch(&scn, 8).to_json().render());
+    }
+
+    #[test]
+    fn workload_leaves_protocol_records_untouched() {
+        // The workload seed is drawn after every pre-existing seed, so
+        // adding a [workload] section must not perturb the protocol
+        // contenders' realizations — the golden-report guarantee.
+        let churn = ChurnSpec::Uniform {
+            fraction: 0.15,
+            window: (0.0, 1.0),
+        };
+        let plain = tiny(churn.clone());
+        let mut with_wl = tiny(churn);
+        with_wl.workload = Some(crate::spec::WorkloadSpec {
+            queries: 5,
+            span: 0.5,
+            window: None,
+        });
+        let a = run_batch(&plain, 2);
+        let b = run_batch(&with_wl, 2);
+        assert_eq!(a.records(), b.records());
+        // And workload-free reports carry no workload key at all.
+        assert!(!a.to_json().render().contains("\"workload\""));
+    }
+
+    #[test]
+    fn windowed_workload_expands_instances_in_report() {
+        let mut scn = tiny(ChurnSpec::None);
+        scn.seeds = vec![1];
+        scn.repetitions = 1;
+        scn.workload = Some(crate::spec::WorkloadSpec {
+            queries: 4,
+            span: 0.5,
+            window: Some((0.8, 0.3, 3)),
+        });
+        let report = run_batch(&scn, 1);
+        let w = report.workload.as_ref().expect("workload section");
+        assert_eq!(w.queries_per_cell, 4 * 3, "base queries × instances");
+        // Static network: every query declares and every verdict holds.
+        assert_eq!(w.declared_fraction, 1.0);
+        assert_eq!(w.valid_fraction, 1.0);
     }
 
     #[test]

@@ -252,6 +252,30 @@ pub struct OverlaySpec {
     pub config: OverlayConfig,
 }
 
+/// A `[workload]` section: a deterministic multiplexed query workload
+/// executed *concurrently inside one simulation* per cell, alongside
+/// the `[[protocol]]` contenders. `queries` mixed-aggregate queries
+/// with uniform-random roots arrive over `span × 2·D̂` ticks; optional
+/// sliding windows (§4.2) expand each base query into `instances`
+/// instances `slide × 2·D̂` ticks apart, each judged over its own
+/// `[end − W, end]` interval. All fractions scale to the one-shot
+/// deadline like churn windows do. The multiplexed engine always runs
+/// on the unit-delay point-to-point substrate (the `[medium]` section
+/// applies to the protocol contenders only). Incompatible with
+/// `[continuous]` (a workload is already many queries) and
+/// `[adversary]` (a dynamic kill schedule cannot be replayed into the
+/// workload's environment).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of base queries per cell.
+    pub queries: usize,
+    /// Arrival span as a multiple of the one-shot deadline `2·D̂`.
+    pub span: f64,
+    /// Optional sliding windows: `(window, slide, instances)` with the
+    /// first two as fractions of the deadline and `slide < window`.
+    pub window: Option<(f64, f64, usize)>,
+}
+
 /// A fully specified, runnable scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -301,6 +325,9 @@ pub struct Scenario {
     /// Optional `[overlay]` maintenance layered over the base topology
     /// (affects reports: protocols route over the evolving overlay).
     pub overlay: Option<OverlaySpec>,
+    /// Optional `[workload]` multiplexed query workload run per cell
+    /// alongside the protocol contenders.
+    pub workload: Option<WorkloadSpec>,
     /// Root seeds; the batch runs `seeds × repetitions`.
     pub seeds: Vec<u64>,
     /// Repetitions per seed.
@@ -360,6 +387,7 @@ impl Scenario {
             "continuous",
             "telemetry",
             "overlay",
+            "workload",
             "run",
         ];
         for s in &doc.sections {
@@ -853,6 +881,61 @@ impl Scenario {
             }
         };
 
+        let workload = match doc.section("workload") {
+            None => None,
+            Some(section) => {
+                if doc.section("continuous").is_some() {
+                    return Err(ParseError::at(
+                        section.line,
+                        "[workload] cannot be combined with [continuous]: a workload is \
+                         already many queries over one run",
+                    ));
+                }
+                if doc.section("adversary").is_some() {
+                    return Err(ParseError::at(
+                        section.line,
+                        "[workload] cannot be combined with [adversary]: a dynamic kill \
+                         schedule cannot be replayed into the workload's environment",
+                    ));
+                }
+                let wl = Keys::over(doc, "workload")?;
+                let queries = wl.require_usize("queries")?;
+                if queries == 0 {
+                    return Err(wl.err("queries", "a workload needs at least one query"));
+                }
+                let span = wl.opt_f64("span")?.unwrap_or(1.0);
+                if !(span > 0.0 && span <= 8.0) {
+                    return Err(wl.err("span", format!("arrival span {span} outside (0, 8]")));
+                }
+                let window = match wl.opt_f64("window")? {
+                    None => None,
+                    Some(w) => {
+                        if !(w > 0.0 && w <= 1.0) {
+                            return Err(wl.err("window", format!("window {w} outside (0, 1]")));
+                        }
+                        let slide = wl.require_f64("slide")?;
+                        if !(slide > 0.0 && slide < w) {
+                            return Err(wl.err(
+                                "slide",
+                                format!("slide {slide} must satisfy 0 < slide < window {w}"),
+                            ));
+                        }
+                        let instances = wl.opt_usize("instances")?.unwrap_or(2);
+                        if instances == 0 {
+                            return Err(wl.err("instances", "need at least one instance"));
+                        }
+                        Some((w, slide, instances))
+                    }
+                };
+                wl.finish()?;
+                Some(WorkloadSpec {
+                    queries,
+                    span,
+                    window,
+                })
+            }
+        };
+
         let continuous = match doc.section("continuous") {
             None => None,
             Some(_) => {
@@ -910,6 +993,7 @@ impl Scenario {
             continuous,
             telemetry,
             overlay,
+            workload,
             seeds,
             repetitions,
         })
@@ -969,10 +1053,11 @@ impl<'a> Keys<'a> {
         let section = doc.section(name);
         match (name, &section) {
             // [medium], [churn], [partition], [adversary], [continuous],
-            // [telemetry] and [overlay] are optional; the rest must exist.
+            // [telemetry], [overlay] and [workload] are optional; the
+            // rest must exist.
             (
                 "medium" | "churn" | "partition" | "adversary" | "continuous" | "telemetry"
-                | "overlay",
+                | "overlay" | "workload",
                 _,
             )
             | (_, Some(_)) => Ok(Keys {
@@ -1685,6 +1770,73 @@ seeds = [1]
         let err = Scenario::from_str(&format!("{GOOD}\n[[overlay]]\nactive_degree = 3"))
             .expect_err("array form");
         assert!(err.msg.contains("not repeatable"), "{}", err.msg);
+    }
+
+    #[test]
+    fn workload_section_parses_and_validates() {
+        // Absent section → no workload (reports keep their historical
+        // rendering, byte for byte).
+        let s = Scenario::from_str(GOOD).expect("valid");
+        assert_eq!(s.workload, None);
+        // Minimal form: queries with the default one-deadline span.
+        let s = Scenario::from_str(&format!("{GOOD}\n[workload]\nqueries = 40")).expect("valid");
+        assert_eq!(
+            s.workload,
+            Some(WorkloadSpec {
+                queries: 40,
+                span: 1.0,
+                window: None,
+            })
+        );
+        // Full form with sliding windows.
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[workload]\nqueries = 10\nspan = 2.0\nwindow = 0.8\nslide = 0.3\ninstances = 3"
+        ))
+        .expect("valid");
+        assert_eq!(
+            s.workload,
+            Some(WorkloadSpec {
+                queries: 10,
+                span: 2.0,
+                window: Some((0.8, 0.3, 3)),
+            })
+        );
+        // `instances` defaults to 2 when windowed.
+        let s = Scenario::from_str(&format!(
+            "{GOOD}\n[workload]\nqueries = 10\nwindow = 0.5\nslide = 0.2"
+        ))
+        .expect("valid");
+        assert_eq!(s.workload.unwrap().window, Some((0.5, 0.2, 2)));
+        // Validation: every knob is range-checked.
+        let err = Scenario::from_str(&format!("{GOOD}\n[workload]\nqueries = 0"))
+            .expect_err("zero queries");
+        assert!(err.msg.contains("at least one query"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[workload]\nqueries = 5\nspan = 9.0"))
+            .expect_err("huge span");
+        assert!(err.msg.contains("outside (0, 8]"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[workload]\nqueries = 5\nwindow = 0.4\nslide = 0.4"
+        ))
+        .expect_err("slide == window");
+        assert!(err.msg.contains("slide < window"), "{}", err.msg);
+        let err = Scenario::from_str(&format!("{GOOD}\n[workload]\nqueries = 5\nwindow = 0.4"))
+            .expect_err("window without slide");
+        assert!(err.msg.contains("slide"), "{}", err.msg);
+        // Conflicts: [continuous] and [adversary] are rejected.
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[workload]\nqueries = 5\n[continuous]\nwindows = 2"
+        ))
+        .expect_err("continuous conflict");
+        assert!(err.msg.contains("[continuous]"), "{}", err.msg);
+        let err = Scenario::from_str(&format!(
+            "{GOOD}\n[workload]\nqueries = 5\n[adversary]\nkills_per_wave = 1\nbudget = 4"
+        ))
+        .expect_err("adversary conflict");
+        assert!(err.msg.contains("[adversary]"), "{}", err.msg);
+        // Unknown keys are caught like every other section.
+        let err = Scenario::from_str(&format!("{GOOD}\n[workload]\nqueries = 5\nbogus = 1"))
+            .expect_err("unknown key");
+        assert!(err.msg.contains("unknown key"), "{}", err.msg);
     }
 
     #[test]

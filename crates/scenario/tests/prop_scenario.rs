@@ -100,6 +100,7 @@ fn scenario(topology_seed: u64, base_seed: u64, churn_pick: u8, proto_pick: u8) 
         continuous,
         telemetry: None,
         overlay: None,
+        workload: None,
         seeds: vec![base_seed, base_seed ^ 0xabcd, base_seed.wrapping_add(7)],
         repetitions: 2,
     }

@@ -1,0 +1,167 @@
+//! The multiplexed engine's equivalence witness, end to end: every
+//! query executed concurrently with hundreds of co-residents must
+//! declare exactly what it declares when run *alone* over the same
+//! graph, values and churn realization — `(value, declared_at)` and
+//! ORACLE verdict both. This is what makes `repro mux`'s speedup a
+//! like-for-like comparison rather than a different computation that
+//! happens to be faster.
+
+use pov_core::mux::{judged_mux, solo_twin, WindowSpec, WorkloadSpec};
+use pov_core::pov_protocols::MuxPlan;
+use pov_core::pov_sim::{ChurnPlan, Time};
+use pov_core::pov_topology::generators::TopologyKind;
+use pov_core::pov_topology::{analysis, Graph, HostId};
+use pov_core::workload::paper_values;
+
+/// A random-overlay environment with uniform churn across the whole
+/// workload horizon — the same construction `repro mux` benches, at
+/// test scale.
+fn environment(n: usize, seed: u64) -> (Graph, Vec<u64>, u32) {
+    let graph = TopologyKind::Random.build(n, seed);
+    let n = graph.num_hosts();
+    let values = paper_values(n, seed ^ 0x5eed_0001);
+    let d_hat = analysis::diameter_estimate(&graph, 4, seed | 1) + 2;
+    (graph, values, d_hat)
+}
+
+fn churned_plan(n: usize, failures: usize, horizon: u64, seed: u64) -> MuxPlan {
+    MuxPlan {
+        churn: ChurnPlan::uniform_failures(
+            n,
+            failures,
+            Time(1),
+            Time(horizon),
+            HostId(0),
+            seed ^ 0xc4,
+        ),
+        partition: None,
+        seed: seed ^ 0x51b,
+    }
+}
+
+/// Solo-vs-multiplexed answer equivalence per query: a mixed workload
+/// under mid-run churn, every non-joined query re-run alone against
+/// the identical realization.
+#[test]
+fn every_query_matches_its_solo_twin_under_churn() {
+    let (graph, values, d_hat) = environment(250, 42);
+    let n = graph.num_hosts();
+    let spec = WorkloadSpec {
+        queries: 30,
+        span: 2 * d_hat as u64,
+        d_hat,
+        window: None,
+        seed: 42,
+    };
+    let queries = spec.generate(n);
+    let horizon = queries.iter().map(|q| q.deadline()).max().unwrap() + 2;
+    let plan = churned_plan(n, n / 10, horizon, 42);
+    let (judged, _) = judged_mux(&graph, &values, &queries, &plan);
+    assert_eq!(judged.len(), queries.len());
+
+    // The churn window spans the whole horizon and arrivals are spread
+    // over two deadlines, so queries genuinely arrive mid-churn: hosts
+    // have already failed before they launch, and more fail while they
+    // run. Make sure the regime is actually exercised.
+    let first_kill = plan.churn.failures.iter().map(|&(t, _)| t).min().unwrap();
+    let mid_churn = judged
+        .iter()
+        .filter(|j| Time(j.query.arrival) > first_kill)
+        .count();
+    assert!(
+        mid_churn >= judged.len() / 2,
+        "only {mid_churn} of {} queries arrived after churn began",
+        judged.len()
+    );
+
+    let mut checked = 0;
+    for j in judged.iter().filter(|j| !j.joined) {
+        let twin = solo_twin(&graph, &values, &j.query, &plan);
+        assert_eq!(
+            (j.value, j.declared_at),
+            (twin.value, twin.declared_at),
+            "query {:?} ({:?} root {:?}) diverged from its solo twin",
+            j.query.id,
+            j.query.aggregate,
+            j.query.root
+        );
+        assert_eq!(
+            j.is_valid(),
+            twin.is_valid(),
+            "query {:?}: multiplexing changed the ORACLE verdict",
+            j.query.id
+        );
+        assert_eq!((j.hc_size, j.hu_size), (twin.hc_size, twin.hu_size));
+        checked += 1;
+    }
+    assert!(checked >= 25, "only {checked} twins checked");
+}
+
+/// The same witness through the sliding-window expansion: instances of
+/// a windowed base query arrive mid-churn by construction (successive
+/// arrivals are `slide` ticks apart), and each must carry its solo
+/// twin's verdict over its own `[end − W, end]` slice.
+#[test]
+fn windowed_instances_match_their_solo_twins() {
+    let (graph, values, d_hat) = environment(150, 9);
+    let n = graph.num_hosts();
+    let deadline = 2 * d_hat as u64;
+    let spec = WorkloadSpec {
+        queries: 8,
+        span: deadline,
+        d_hat,
+        window: Some(WindowSpec {
+            window: (deadline * 4) / 5,
+            slide: deadline / 3,
+            instances: 3,
+        }),
+        seed: 9,
+    };
+    let queries = spec.generate(n);
+    assert_eq!(queries.len(), 24, "8 base queries × 3 instances");
+    let horizon = queries.iter().map(|q| q.deadline()).max().unwrap() + 2;
+    let plan = churned_plan(n, n / 8, horizon, 9);
+    let (judged, _) = judged_mux(&graph, &values, &queries, &plan);
+    for j in judged.iter().filter(|j| !j.joined) {
+        let twin = solo_twin(&graph, &values, &j.query, &plan);
+        assert_eq!(
+            (j.value, j.declared_at),
+            (twin.value, twin.declared_at),
+            "windowed instance {:?} diverged from its solo twin",
+            j.query.id
+        );
+        assert_eq!(j.is_valid(), twin.is_valid(), "instance {:?}", j.query.id);
+    }
+    // Later instances of a live root join the earlier instance's wave
+    // through the partial cache — the aliasing path stays exercised.
+    assert!(
+        judged.iter().any(|j| j.joined),
+        "no instance joined a live wave; the cache path went dark"
+    );
+}
+
+/// The multiplexed run itself is a pure function of its inputs: a
+/// second execution reproduces every declaration bit for bit.
+#[test]
+fn multiplexed_run_is_deterministic() {
+    let (graph, values, d_hat) = environment(200, 7);
+    let n = graph.num_hosts();
+    let spec = WorkloadSpec {
+        queries: 20,
+        span: 2 * d_hat as u64,
+        d_hat,
+        window: None,
+        seed: 7,
+    };
+    let queries = spec.generate(n);
+    let horizon = queries.iter().map(|q| q.deadline()).max().unwrap() + 2;
+    let plan = churned_plan(n, n / 10, horizon, 7);
+    let (a, out_a) = judged_mux(&graph, &values, &queries, &plan);
+    let (b, out_b) = judged_mux(&graph, &values, &queries, &plan);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!((x.value, x.declared_at), (y.value, y.declared_at));
+        assert_eq!(x.payload_msgs, y.payload_msgs);
+    }
+    assert_eq!(out_a.raw_messages, out_b.raw_messages);
+    assert_eq!(out_a.results, out_b.results);
+}

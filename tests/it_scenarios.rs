@@ -37,8 +37,8 @@ fn every_shipped_scenario_parses() {
     // The library: paper baseline + the regime files (including the
     // composed churn+partition and oscillating+continuous regimes the
     // RunPlan redesign opened, the [phases] lifecycle arc the soak
-    // harness mirrors, and the maintained-overlay twin of the
-    // oscillating regime) + the CI smoke file.
+    // harness mirrors, the maintained-overlay twin of the oscillating
+    // regime, and the multiplexed [workload] file) + the CI smoke file.
     names.sort();
     assert_eq!(
         names,
@@ -49,6 +49,7 @@ fn every_shipped_scenario_parses() {
             "churn-plus-partition",
             "correlated-failure",
             "flash-crowd",
+            "mux-workload",
             "oscillating",
             "overlay-churn",
             "paper-baseline",
